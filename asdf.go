@@ -1,0 +1,160 @@
+// Package asdf is the public API of ASDF, an automated, online framework
+// for diagnosing performance problems in distributed systems (Bare et al.),
+// reproduced as a Go library.
+//
+// ASDF localizes performance problems ("fingerpointing") while the system
+// under diagnosis is running: pluggable data-collection modules feed
+// time-varying data sources — OS performance counters, Hadoop logs — into
+// pluggable analysis modules wired together as a DAG by a configuration
+// file. The repository also contains a complete Hadoop cluster simulator
+// substrate, the paper's black-box and white-box peer-comparison analyses,
+// and an evaluation harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// # Quick start
+//
+//	env := asdf.NewEnv()                    // register data sources here
+//	reg := asdf.NewRegistry(env)            // all built-in modules
+//	cfg, err := asdf.ParseConfigString(`
+//	[sadc]
+//	id = collector
+//	node = myhost
+//	period = 1
+//
+//	[print]
+//	id = sink
+//	only_nonzero = false
+//	input[a] = collector.output0
+//	`)
+//	eng, err := asdf.NewEngine(reg, cfg)
+//	err = eng.Run(ctx)                      // online, wall-clock mode
+//
+// See the examples directory for complete programs, including the paper's
+// full two-pipeline Hadoop configuration over the simulator.
+package asdf
+
+import (
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// Engine is an fpt-core instance: the module DAG plus its scheduler.
+// Drive it with Tick/Flush (deterministic virtual time) or Run (wall
+// clock).
+type Engine = core.Engine
+
+// EngineOption customizes engine construction.
+type EngineOption = core.Option
+
+// Module is the plug-in interface all data-collection and analysis modules
+// implement.
+type Module = core.Module
+
+// Registry maps configuration section names to module factories.
+type Registry = core.Registry
+
+// InitContext and RunContext are passed to Module implementations.
+type (
+	InitContext = core.InitContext
+	RunContext  = core.RunContext
+)
+
+// Sample is one timestamped data point on a DAG edge; Origin describes its
+// provenance.
+type (
+	Sample = core.Sample
+	Origin = core.Origin
+)
+
+// RunReason says why a module's Run was invoked.
+type RunReason = core.RunReason
+
+// Run reasons.
+const (
+	RunPeriodic = core.RunPeriodic
+	RunInputs   = core.RunInputs
+	RunFlush    = core.RunFlush
+)
+
+// InputPort and OutputPort are the ends of DAG edges.
+type (
+	InputPort  = core.InputPort
+	OutputPort = core.OutputPort
+)
+
+// Config is a parsed fpt-core configuration file.
+type Config = config.File
+
+// Env supplies external resources (procfs providers, log buffers, alarm
+// sinks) to the built-in modules.
+type Env = modules.Env
+
+// Model is a trained black-box model: log-scaling sigmas plus k-means
+// workload-state centroids.
+type Model = analysis.Model
+
+// NewEnv returns an empty module environment.
+func NewEnv() *Env { return modules.NewEnv() }
+
+// NewRegistry returns a registry containing every built-in ASDF module
+// (sadc, hadoop_log, mavgvec, knn, ibuffer, analysis_bb, analysis_wb,
+// print, csv) bound to env. Custom modules can be added with Register.
+func NewRegistry(env *Env) *Registry { return modules.NewRegistry(env) }
+
+// NewBareRegistry returns an empty registry for fully custom module sets.
+func NewBareRegistry() *Registry { return core.NewRegistry() }
+
+// ParseConfig parses an fpt-core configuration file from disk.
+func ParseConfig(path string) (*Config, error) { return config.ParseFile(path) }
+
+// ParseConfigString parses fpt-core configuration text.
+func ParseConfigString(text string) (*Config, error) { return config.ParseString(text) }
+
+// NewEngine builds the module DAG from a parsed configuration, following
+// the paper's unsatisfied-inputs construction; dangling references, missing
+// modules, and dependency cycles are configuration errors.
+func NewEngine(reg *Registry, cfg *Config, opts ...EngineOption) (*Engine, error) {
+	return core.NewEngine(reg, cfg, opts...)
+}
+
+// WithErrorHandler sets the callback invoked when a module's Run fails; the
+// default logs and keeps monitoring.
+func WithErrorHandler(f func(instanceID string, err error)) EngineOption {
+	return core.WithErrorHandler(f)
+}
+
+// WithLogger sets the engine's diagnostic logger.
+func WithLogger(l core.Logger) EngineOption { return core.WithLogger(l) }
+
+// TrainModel fits a black-box model on fault-free raw metric vectors:
+// log-scaling sigmas plus k centroids from k-means (§4.5 of the paper).
+func TrainModel(points [][]float64, k int, seed int64) (*Model, error) {
+	return analysis.TrainModel(points, k, seed)
+}
+
+// TrainValidatedModel fits the black-box model with model selection by the
+// paper's criterion (§4.9): k-means is restarted several times and the
+// candidate minimizing the fault-free peer-comparison score tail wins.
+// series[second][node] is a raw metric vector; all nodes must be
+// problem-free. Prefer this over TrainModel whenever per-node time series
+// are available.
+// Vectors must be full sadc node-metric vectors; the black-box metric
+// selection is applied internally.
+func TrainValidatedModel(series [][][]float64, k int, seed int64) (*Model, error) {
+	indexes, err := sadc.NodeMetricIndexes(sadc.AnalysisMetricNames)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.TrainValidatedModel(series, analysis.TrainOptions{
+		K:             k,
+		Seed:          seed,
+		MetricIndexes: indexes,
+		Perturb:       sadc.CPUHogPerturbation(),
+	})
+}
+
+// LoadModel reads a model saved with Model.Save.
+func LoadModel(path string) (*Model, error) { return analysis.LoadModel(path) }

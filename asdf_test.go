@@ -1,0 +1,141 @@
+package asdf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	asdf "github.com/asdf-project/asdf"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end to
+// end: build an Env over a simulated node, parse a configuration, run the
+// engine in step mode, and observe printed samples.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cluster, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := asdf.NewEnv()
+	env.Procfs["node1"] = cluster.Slave(0)
+	env.Clock = cluster.Now
+	var out bytes.Buffer
+	env.AlarmWriter = &out
+
+	cfg, err := asdf.ParseConfigString(`
+[sadc]
+id = collector
+node = node1
+period = 1
+
+[print]
+id = sink
+only_nonzero = false
+input[a] = collector.output0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := asdf.NewEngine(asdf.NewRegistry(env), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		cluster.Tick()
+		if err := eng.Tick(cluster.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(out.String(), "node=node1") {
+		t.Errorf("no samples printed: %q", out.String())
+	}
+}
+
+// TestPublicAPICustomModule registers a user module alongside the built-in
+// set, the documented extension path.
+func TestPublicAPICustomModule(t *testing.T) {
+	env := asdf.NewEnv()
+	reg := asdf.NewRegistry(env)
+	reg.Register("ticker", func() asdf.Module { return &tickerModule{} })
+
+	cfg, err := asdf.ParseConfigString(`
+[ticker]
+id = src
+period = 1
+
+[print]
+id = sink
+only_nonzero = false
+input[a] = src.out
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := asdf.NewEngine(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if err := eng.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outs := eng.OutputPortsOf("src")
+	if len(outs) != 1 || outs[0].Published() != 3 {
+		t.Errorf("custom module published %d samples", outs[0].Published())
+	}
+}
+
+type tickerModule struct {
+	out *asdf.OutputPort
+	n   float64
+}
+
+func (m *tickerModule) Init(ctx *asdf.InitContext) error {
+	var err error
+	if m.out, err = ctx.NewOutput("out", asdf.Origin{Source: "ticker"}); err != nil {
+		return err
+	}
+	return ctx.SchedulePeriodic(time.Second)
+}
+
+func (m *tickerModule) Run(ctx *asdf.RunContext) error {
+	m.n++
+	m.out.Publish(asdf.Sample{Time: ctx.Now, Values: []float64{m.n}})
+	return nil
+}
+
+// TestPublicAPIModelRoundTrip trains, saves, and loads a model through the
+// public API.
+func TestPublicAPIModelRoundTrip(t *testing.T) {
+	points := [][]float64{{1, 2}, {3, 4}, {100, 200}, {110, 190}}
+	model, err := asdf.TrainModel(points, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.json"
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := asdf.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumStates() != 2 {
+		t.Errorf("NumStates = %d", loaded.NumStates())
+	}
+	s1, err := model.Classify([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := loaded.Classify([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("classification changed after round trip: %d vs %d", s1, s2)
+	}
+}

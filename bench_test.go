@@ -1,0 +1,261 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one bench per exhibit), plus component micro-benchmarks. Run:
+//
+//	go test -bench=. -benchmem .
+//
+// The per-exhibit benches time the analysis replay over pre-collected
+// monitoring traces and report the headline numbers of each exhibit as
+// custom metrics, so a bench run doubles as a reproduction run. The cmd/
+// asdf-bench binary prints the same exhibits as full paper-vs-measured
+// tables.
+package asdf_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/eval"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// benchState holds the expensive shared fixtures: the trained model, a
+// problem-free trace, and one trace per fault.
+type benchState struct {
+	opts        eval.Options
+	model       *analysis.Model
+	cleanTrace  *eval.Trace
+	faultTraces map[hadoopsim.FaultKind]*eval.Trace
+}
+
+var (
+	benchOnce sync.Once
+	bench     *benchState
+	benchErr  error
+)
+
+func getBench(b *testing.B) *benchState {
+	b.Helper()
+	benchOnce.Do(func() {
+		opts := eval.DefaultOptions()
+		st := &benchState{opts: opts, faultTraces: make(map[hadoopsim.FaultKind]*eval.Trace)}
+		st.model, benchErr = eval.TrainDefaultModel(opts.Slaves, opts.Seed, opts.TrainSeconds, opts.NumStates)
+		if benchErr != nil {
+			return
+		}
+		st.cleanTrace, benchErr = eval.CollectTrace(eval.TraceConfig{
+			Slaves: opts.Slaves, Seed: opts.Seed + 100, WarmupSec: opts.WarmupSec,
+			DurationSec: opts.CleanDuration, Fault: hadoopsim.FaultNone,
+		}, st.model)
+		if benchErr != nil {
+			return
+		}
+		for fi, fault := range hadoopsim.AllFaults {
+			st.faultTraces[fault], benchErr = eval.CollectTrace(eval.TraceConfig{
+				Slaves: opts.Slaves, Seed: opts.Seed + 200 + int64(fi),
+				WarmupSec: opts.WarmupSec, DurationSec: opts.FaultDuration,
+				Fault: fault, FaultNode: opts.FaultNode, InjectAtSec: opts.InjectAtSec,
+			}, st.model)
+			if benchErr != nil {
+				return
+			}
+		}
+		bench = st
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return bench
+}
+
+// BenchmarkTable3MonitoringOverhead regenerates Table 3: the CPU cost of
+// each monitoring process per 1 Hz collection iteration. The reported
+// cpu_pct_* metrics are the table's %CPU column.
+func BenchmarkTable3MonitoringOverhead(b *testing.B) {
+	var rows []eval.OverheadRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = eval.MeasureTable3(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CPUPct, "cpu_pct_"+r.Process)
+	}
+}
+
+// BenchmarkTable4RPCBandwidth regenerates Table 4: static and steady-state
+// wire bytes of each RPC type, reported as kB and kB/s custom metrics.
+func BenchmarkTable4RPCBandwidth(b *testing.B) {
+	var rows []eval.BandwidthRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = eval.MeasureTable4(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.RPCType == "TCP Sum" {
+			b.ReportMetric(r.StaticKB, "static_kB_sum")
+			b.ReportMetric(r.PerIterKBs, "kBps_sum")
+		}
+	}
+}
+
+// BenchmarkFigure6aBlackBoxFPR regenerates Figure 6(a): the black-box
+// false-positive sweep over a problem-free trace. Reported metrics give the
+// curve's endpoints and the FPR at the paper's chosen operating region.
+func BenchmarkFigure6aBlackBoxFPR(b *testing.B) {
+	st := getBench(b)
+	var points []eval.SweepPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = sweepBBOn(st, eval.Figure6aThresholds())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].FPR*100, "fpr_pct_at_0")
+	for _, p := range points {
+		if p.Param == 55 {
+			b.ReportMetric(p.FPR*100, "fpr_pct_at_55")
+		}
+	}
+}
+
+// sweepBBOn replays the clean trace for each threshold.
+func sweepBBOn(st *benchState, thresholds []float64) ([]eval.SweepPoint, error) {
+	out := make([]eval.SweepPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		p := eval.DefaultParams(st.model.NumStates())
+		p.BBThreshold = th
+		verdicts, err := eval.EvaluateBB(st.cleanTrace, p)
+		if err != nil {
+			return nil, err
+		}
+		o := eval.Score(st.cleanTrace, verdicts, p)
+		out = append(out, eval.SweepPoint{Param: th, FPR: o.FalsePositiveRate})
+	}
+	return out, nil
+}
+
+// BenchmarkFigure6bWhiteBoxFPR regenerates Figure 6(b): the white-box
+// false-positive sweep over k.
+func BenchmarkFigure6bWhiteBoxFPR(b *testing.B) {
+	st := getBench(b)
+	var atKnee float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range eval.Figure6bKs() {
+			p := eval.DefaultParams(st.model.NumStates())
+			p.WBK = k
+			verdicts, err := eval.EvaluateWB(st.cleanTrace, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := eval.Score(st.cleanTrace, verdicts, p)
+			if k == 3 {
+				atKnee = o.FalsePositiveRate
+			}
+		}
+	}
+	b.ReportMetric(atKnee*100, "fpr_pct_at_k3")
+}
+
+// BenchmarkFigure7aBalancedAccuracy regenerates Figure 7(a): per-fault
+// balanced accuracy under all three approaches. The reported metrics are
+// the paper's headline means (paper: bb 71%, wb 78%, combined 80%).
+func BenchmarkFigure7aBalancedAccuracy(b *testing.B) {
+	st := getBench(b)
+	params := eval.DefaultParams(st.model.NumStates())
+	var bbMean, wbMean, cbMean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bbSum, wbSum, cbSum float64
+		for _, tr := range st.faultTraces {
+			bb, err := eval.EvaluateBB(tr, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wb, err := eval.EvaluateWB(tr, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cb, err := eval.CombineVerdicts(bb, wb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bbSum += eval.Score(tr, bb, params).BalancedAccuracy
+			wbSum += eval.Score(tr, wb, params).BalancedAccuracy
+			cbSum += eval.Score(tr, cb, params).BalancedAccuracy
+		}
+		n := float64(len(st.faultTraces))
+		bbMean, wbMean, cbMean = bbSum/n, wbSum/n, cbSum/n
+	}
+	b.ReportMetric(bbMean*100, "ba_pct_blackbox")
+	b.ReportMetric(wbMean*100, "ba_pct_whitebox")
+	b.ReportMetric(cbMean*100, "ba_pct_combined")
+}
+
+// BenchmarkFigure7bLatency regenerates Figure 7(b): fingerpointing latency
+// per fault under the combined approach. Reported metrics give the fastest
+// and slowest fault-to-alarm latencies (the paper's story: ~3 windows for
+// resource faults, much longer for the dormant reduce faults).
+func BenchmarkFigure7bLatency(b *testing.B) {
+	st := getBench(b)
+	params := eval.DefaultParams(st.model.NumStates())
+	var fastest, slowest float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fastest, slowest = 1e18, -1
+		for _, tr := range st.faultTraces {
+			verdicts, err := eval.Verdicts(tr, eval.ApproachCombined, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := eval.Score(tr, verdicts, params)
+			if o.LatencySec >= 0 {
+				if o.LatencySec < fastest {
+					fastest = o.LatencySec
+				}
+				if o.LatencySec > slowest {
+					slowest = o.LatencySec
+				}
+			}
+		}
+	}
+	b.ReportMetric(fastest, "latency_s_fastest")
+	b.ReportMetric(slowest, "latency_s_slowest")
+}
+
+// BenchmarkSimulatorTick measures the simulator's per-tick cost at the
+// default experiment scale.
+func BenchmarkSimulatorTick(b *testing.B) {
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(8, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+	}
+}
+
+// BenchmarkModelClassify measures one black-box 1-NN classification.
+func BenchmarkModelClassify(b *testing.B) {
+	st := getBench(b)
+	series, err := eval.CollectFaultFreeSeries(2, 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := series[1][0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.model.Classify(vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Command asdf-bench regenerates every table and figure of the paper's
+// evaluation against the simulated cluster substrate and prints
+// paper-vs-measured comparisons. Absolute numbers differ (the substrate is
+// a simulator, not the authors' EC2 testbed); the shapes — who wins, where
+// the knees fall, which faults are slow to localize — are the reproduction
+// targets.
+//
+// Usage:
+//
+//	asdf-bench -experiment all
+//	asdf-bench -experiment fig7a -slaves 16 -duration 2400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/eval"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("asdf-bench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "table3 | table4 | fig6a | fig6b | fig7a | fig7b | ablation | workload | all")
+	slaves := fs.Int("slaves", 0, "cluster size (0 = default)")
+	seed := fs.Int64("seed", 0, "base seed (0 = default)")
+	duration := fs.Int("duration", 0, "fault-run seconds (0 = default)")
+	csvOut := fs.String("csv", "", "directory to also write each exhibit's data as CSV (for plotting)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *csvOut != "" {
+		if err := os.MkdirAll(*csvOut, 0o755); err != nil {
+			return fail(err)
+		}
+		csvDir = *csvOut
+	}
+
+	opts := eval.DefaultOptions()
+	if *slaves > 0 {
+		opts.Slaves = *slaves
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *duration > 0 {
+		opts.FaultDuration = *duration
+	}
+
+	want := strings.ToLower(*experiment)
+	runAll := want == "all"
+
+	var model *analysis.Model
+	needModel := runAll || strings.HasPrefix(want, "fig") || want == "ablation" || want == "workload"
+	if needModel {
+		fmt.Printf("training black-box model (%d slaves, %d fault-free seconds, %d states)...\n",
+			opts.Slaves, opts.TrainSeconds, opts.NumStates)
+		var err error
+		model, err = eval.TrainDefaultModel(opts.Slaves, opts.Seed, opts.TrainSeconds, opts.NumStates)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	ok := true
+	dispatch := map[string]func() error{
+		"table3":   runTable3,
+		"table4":   runTable4,
+		"fig6a":    func() error { return runFig6a(opts, model) },
+		"fig6b":    func() error { return runFig6b(opts, model) },
+		"fig7a":    func() error { return runFig7(opts, model, true) },
+		"fig7b":    func() error { return runFig7(opts, model, false) },
+		"ablation": func() error { return runAblation(opts, model) },
+		"workload": func() error { return runWorkload(opts, model) },
+	}
+	if runAll {
+		for _, name := range []string{"table3", "table4", "fig6a", "fig6b", "fig7a", "fig7b", "ablation", "workload"} {
+			if err := dispatch[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "asdf-bench: %s: %v\n", name, err)
+				ok = false
+			}
+		}
+	} else {
+		f, known := dispatch[want]
+		if !known {
+			fmt.Fprintf(os.Stderr, "asdf-bench: unknown experiment %q\n", *experiment)
+			return 2
+		}
+		if err := f(); err != nil {
+			return fail(err)
+		}
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "asdf-bench: %v\n", err)
+	return 1
+}
+
+// csvDir, when non-empty, receives one CSV file per exhibit.
+var csvDir string
+
+// writeCSV emits an exhibit's data for external plotting.
+func writeCSV(name string, header []string, rows [][]string) {
+	if csvDir == "" {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ",") + "\n")
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ",") + "\n")
+	}
+	path := filepath.Join(csvDir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "asdf-bench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
+func runTable3() error {
+	rows, err := eval.MeasureTable3(200)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Table 3: monitoring overhead (CPU % of one core at 1 Hz, resident memory) ===")
+	fmt.Printf("%-18s %12s %12s %14s %14s\n", "Process", "paper %CPU", "ours %CPU", "paper MB", "ours MB")
+	paper := map[string][2]float64{
+		"hadoop_log_rpcd": {0.0245, 2.36},
+		"sadc_rpcd":       {0.3553, 0.77},
+		"fpt-core":        {0.8063, 5.11},
+	}
+	for _, r := range rows {
+		p := paper[r.Process]
+		fmt.Printf("%-18s %12.4f %12.4f %14.2f %14.2f\n", r.Process, p[0], r.CPUPct, p[1], r.MemoryMB)
+	}
+	fmt.Println("shape target: per-node daemons well under 1% CPU; fpt-core the heaviest.")
+	return nil
+}
+
+func runTable4() error {
+	rows, err := eval.MeasureTable4(60)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Table 4: RPC bandwidth (static setup kB, per-iteration kB/s at 1 Hz) ===")
+	fmt.Printf("%-10s %14s %14s %16s %16s\n", "RPC type", "paper static", "ours static", "paper kB/s", "ours kB/s")
+	paper := map[string][2]float64{
+		"sadc-tcp":  {1.98, 1.22},
+		"hl-dn-tcp": {2.04, 0.31},
+		"hl-tt-tcp": {2.04, 0.32},
+		"TCP Sum":   {6.06, 1.85},
+	}
+	for _, r := range rows {
+		p := paper[r.RPCType]
+		fmt.Printf("%-10s %14.2f %14.2f %16.2f %16.2f\n", r.RPCType, p[0], r.StaticKB, p[1], r.PerIterKBs)
+	}
+	fmt.Println("shape target: static setup a few kB; steady-state monitoring a few kB/s per node.")
+	return nil
+}
+
+func runFig6a(opts eval.Options, model *analysis.Model) error {
+	points, err := eval.Figure6a(opts, model, eval.Figure6aThresholds())
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 6(a): black-box false-positive rate vs threshold (problem-free GridMix) ===")
+	fmt.Printf("%-10s %10s\n", "threshold", "FPR %")
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		fmt.Printf("%-10.0f %10.1f  %s\n", p.Param, p.FPR*100, bar(p.FPR))
+		rows = append(rows, []string{fmt.Sprint(p.Param), fmt.Sprintf("%.4f", p.FPR)})
+	}
+	writeCSV("fig6a.csv", []string{"threshold", "fpr"}, rows)
+	fmt.Println("shape target (paper): FPR drops rapidly with threshold; little improvement past the knee (~60 in the paper; similar here).")
+	return nil
+}
+
+func runFig6b(opts eval.Options, model *analysis.Model) error {
+	points, err := eval.Figure6b(opts, model, eval.Figure6bKs())
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 6(b): white-box false-positive rate vs k (problem-free GridMix) ===")
+	fmt.Printf("%-10s %10s\n", "k", "FPR %")
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		fmt.Printf("%-10.1f %10.2f  %s\n", p.Param, p.FPR*100, bar(p.FPR))
+		rows = append(rows, []string{fmt.Sprint(p.Param), fmt.Sprintf("%.4f", p.FPR)})
+	}
+	writeCSV("fig6b.csv", []string{"k", "fpr"}, rows)
+	fmt.Println("shape target (paper): FPR under a few %, flat past k = 3.")
+	return nil
+}
+
+func runFig7(opts eval.Options, model *analysis.Model, accuracy bool) error {
+	params := eval.DefaultParams(model.NumStates())
+	results, err := eval.Figure7(opts, model, params)
+	if err != nil {
+		return err
+	}
+	approaches := []eval.Approach{eval.ApproachBlackBox, eval.ApproachWhiteBox, eval.ApproachCombined}
+	if accuracy {
+		fmt.Println("\n=== Figure 7(a): balanced accuracy per fault (%) ===")
+		fmt.Printf("%-12s %12s %12s %12s\n", "fault", "black-box", "white-box", "combined")
+		for _, r := range results {
+			fmt.Printf("%-12s", r.Fault)
+			for _, a := range approaches {
+				fmt.Printf(" %11.0f%%", r.Outcomes[a].BalancedAccuracy*100)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-12s", "MEAN")
+		for _, a := range approaches {
+			fmt.Printf(" %11.0f%%", eval.MeanBalancedAccuracy(results, a)*100)
+		}
+		fmt.Println()
+		rows := make([][]string, 0, len(results))
+		for _, r := range results {
+			rows = append(rows, []string{r.Fault.String(),
+				fmt.Sprintf("%.4f", r.Outcomes[eval.ApproachBlackBox].BalancedAccuracy),
+				fmt.Sprintf("%.4f", r.Outcomes[eval.ApproachWhiteBox].BalancedAccuracy),
+				fmt.Sprintf("%.4f", r.Outcomes[eval.ApproachCombined].BalancedAccuracy)})
+		}
+		writeCSV("fig7a.csv", []string{"fault", "blackbox_ba", "whitebox_ba", "combined_ba"}, rows)
+		fmt.Println("paper means: black-box 71%, white-box 78%, combined 80%.")
+		fmt.Println("shape targets: BB strong on resource faults, weak on HADOOP-1152/2080; WB strong there; combined dominates both.")
+	} else {
+		fmt.Println("\n=== Figure 7(b): fingerpointing latency per fault (seconds; -1 = never confidently localized) ===")
+		fmt.Printf("%-12s %12s %12s %12s\n", "fault", "black-box", "white-box", "combined")
+		for _, r := range results {
+			fmt.Printf("%-12s", r.Fault)
+			for _, a := range approaches {
+				fmt.Printf(" %12.0f", r.Outcomes[a].LatencySec)
+			}
+			fmt.Println()
+		}
+		rows := make([][]string, 0, len(results))
+		for _, r := range results {
+			rows = append(rows, []string{r.Fault.String(),
+				fmt.Sprintf("%.0f", r.Outcomes[eval.ApproachBlackBox].LatencySec),
+				fmt.Sprintf("%.0f", r.Outcomes[eval.ApproachWhiteBox].LatencySec),
+				fmt.Sprintf("%.0f", r.Outcomes[eval.ApproachCombined].LatencySec)})
+		}
+		writeCSV("fig7b.csv", []string{"fault", "blackbox_s", "whitebox_s", "combined_s"}, rows)
+		fmt.Println("paper: ~200 s for most faults (3-window confidence); longest for the dormant reduce faults (HADOOP-1152/2080).")
+		fmt.Println("shape targets: resource faults localize within a few windows; HADOOP-1152 is the slowest.")
+	}
+	_ = hadoopsim.AllFaults
+	return nil
+}
+
+func runAblation(opts eval.Options, model *analysis.Model) error {
+	params := eval.DefaultParams(model.NumStates())
+	rows, err := eval.Ablation(opts, params)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Ablation: the design choices of DESIGN.md §5a, each reverted ===")
+	fmt.Printf("%-46s %10s %10s\n", "variant", "mean BA %", "clean FPR %")
+	for _, r := range rows {
+		fmt.Printf("%-46s %9.0f%% %10.1f%%\n", r.Variant, r.MeanBA*100, r.CleanFPR*100)
+	}
+	fmt.Println("expectations: stall metrics carry the white-box hang detection; metric")
+	fmt.Println("selection and validated training each buy black-box accuracy and robustness.")
+	return nil
+}
+
+func runWorkload(opts eval.Options, model *analysis.Model) error {
+	params := eval.DefaultParams(model.NumStates())
+	res, err := eval.WorkloadChange(opts, model, params)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Workload change (§2.1): peer comparison vs static-threshold baseline ===")
+	fmt.Printf("%-34s %12s %12s\n", "approach", "FPR before", "FPR after")
+	fmt.Printf("%-34s %11.1f%% %11.1f%%\n", "ASDF peer comparison (black-box)", res.PeerFPRBefore*100, res.PeerFPRAfter*100)
+	fmt.Printf("%-34s %11.1f%% %11.1f%%\n", "static thresholds (rule baseline)", res.RuleFPRBefore*100, res.RuleFPRAfter*100)
+	fmt.Printf("the GridMix composition switches from light (webdataScan+combiner) to heavy\n")
+	fmt.Printf("(javaSort+monsterQuery) at t = %d s; the run is fault-free throughout, so\n", res.SwitchAtSec)
+	fmt.Println("every alarm is a false positive. Peer comparison rides through the change;")
+	fmt.Println("thresholds calibrated on the light phase fire persistently after it (§2.1).")
+	return nil
+}
+
+func bar(frac float64) string {
+	n := int(frac * 40)
+	if n > 40 {
+		n = 40
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-experiment", "nonsense"}); code != 2 {
+		t.Errorf("unknown experiment exit = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	if code := run([]string{"-experiment", "table4"}); code != 0 {
+		t.Errorf("table4 exit = %d, want 0", code)
+	}
+}

@@ -1,0 +1,99 @@
+// Command asdf-offline post-processes traces recorded by ASDF's csv sink
+// (§2.1: ASDF doubles as "a data-collection and data-logging engine" whose
+// output can be analyzed offline). It re-runs the black-box and/or
+// white-box analyses over the recorded data with any parameters and prints
+// the fingerpointing verdicts.
+//
+// Usage:
+//
+//	asdf-offline -blackbox bb.csv -model model.json
+//	asdf-offline -whitebox wb.csv -k 3 -window 60
+//	asdf-offline -blackbox bb.csv -whitebox wb.csv -model model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/eval"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("asdf-offline", flag.ContinueOnError)
+	bbPath := fs.String("blackbox", "", "csv of raw sadc vectors (csv sink fed by sadc modules)")
+	wbPath := fs.String("whitebox", "", "csv of Hadoop log state vectors (csv sink fed by hadoop_log modules)")
+	modelPath := fs.String("model", "", "trained model JSON (required with -blackbox)")
+	window := fs.Int("window", 60, "window size in samples")
+	slide := fs.Int("slide", 15, "window slide in samples")
+	threshold := fs.Float64("threshold", 55, "black-box L1 threshold")
+	k := fs.Float64("k", 3, "white-box threshold factor")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *bbPath == "" && *wbPath == "" {
+		fmt.Fprintln(os.Stderr, "asdf-offline: need -blackbox and/or -whitebox (see -h)")
+		return 2
+	}
+
+	params := eval.AnalysisParams{
+		WindowSize:  *window,
+		WindowSlide: *slide,
+		BBThreshold: *threshold,
+		WBK:         *k,
+	}
+
+	if *bbPath != "" {
+		if *modelPath == "" {
+			fmt.Fprintln(os.Stderr, "asdf-offline: -blackbox requires -model")
+			return 2
+		}
+		model, err := analysis.LoadModel(*modelPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asdf-offline: %v\n", err)
+			return 1
+		}
+		params.NumStates = model.NumStates()
+		alarms, err := eval.OfflineBlackBox(*bbPath, model, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asdf-offline: %v\n", err)
+			return 1
+		}
+		printAlarms("black-box", alarms)
+	}
+	if *wbPath != "" {
+		alarms, err := eval.OfflineWhiteBox(*wbPath, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asdf-offline: %v\n", err)
+			return 1
+		}
+		printAlarms("white-box", alarms)
+	}
+	return 0
+}
+
+func printAlarms(kind string, alarms []eval.OfflineAlarm) {
+	if len(alarms) == 0 {
+		fmt.Printf("%s: no alarms\n", kind)
+		return
+	}
+	perNode := make(map[string]int)
+	for _, a := range alarms {
+		fmt.Printf("%s ALARM %s node=%s score=%.1f\n",
+			kind, a.Time.Format("2006-01-02 15:04:05"), a.Node, a.Score)
+		perNode[a.Node]++
+	}
+	fmt.Printf("%s: %d alarms", kind, len(alarms))
+	best, n := "", 0
+	for node, c := range perNode {
+		if c > n {
+			best, n = node, c
+		}
+	}
+	fmt.Printf("; most-flagged node: %s (%d windows)\n", best, n)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run(nil); code != 2 {
+		t.Errorf("no inputs exit = %d, want 2", code)
+	}
+	if code := run([]string{"-blackbox", "x.csv"}); code != 2 {
+		t.Errorf("blackbox without model exit = %d, want 2", code)
+	}
+	if code := run([]string{"-whitebox", "/nonexistent.csv"}); code != 1 {
+		t.Errorf("missing csv exit = %d, want 1", code)
+	}
+	if code := run([]string{"-blackbox", "x.csv", "-model", "/nonexistent.json"}); code != 1 {
+		t.Errorf("missing model exit = %d, want 1", code)
+	}
+}
+
+func TestRunWhiteBoxOnSyntheticCSV(t *testing.T) {
+	// A hand-built trace: four nodes, node d's ReduceStallSec diverges.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wb.csv")
+	var b []byte
+	b = append(b, []byte("time,node,source,output,values\n")...)
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	for s := 0; s < 30; s++ {
+		for _, node := range []string{"a", "b", "c", "d"} {
+			stall := 0
+			if node == "d" && s > 5 {
+				stall = s * 10
+			}
+			line := fmt.Sprintf("%s,%s,hadoop_log_tasktracker,%s,1;1;1;0;0;0;%d;0\n",
+				base.Add(time.Duration(s)*time.Second).Format("2006-01-02T15:04:05"), node, node, stall)
+			b = append(b, []byte(line)...)
+		}
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-whitebox", path, "-window", "10", "-slide", "5", "-k", "3"}); code != 0 {
+		t.Errorf("whitebox run exit = %d, want 0", code)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunListModules(t *testing.T) {
+	if code := run([]string{"-list-modules"}); code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestRunMissingConfig(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("exit without -config = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nonsense"}); code != 2 {
+		t.Errorf("exit with bad flag = %d, want 2", code)
+	}
+}
+
+func TestRunUnreadableConfig(t *testing.T) {
+	if code := run([]string{"-config", "/nonexistent/fpt.conf"}); code != 1 {
+		t.Errorf("exit with missing config = %d, want 1", code)
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.conf")
+	// References a module that does not exist.
+	if err := os.WriteFile(path, []byte("[nosuch]\nid = x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-config", path}); code != 1 {
+		t.Errorf("exit with invalid config = %d, want 1", code)
+	}
+}

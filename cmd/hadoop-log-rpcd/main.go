@@ -1,0 +1,73 @@
+// Command hadoop-log-rpcd is the per-node white-box collection daemon
+// (§4.4): it tails the node's natively generated Hadoop TaskTracker and
+// DataNode logs, parses them into per-second state vectors, and serves the
+// vectors to the ASDF control node over RPC.
+//
+// Usage:
+//
+//	hadoop-log-rpcd -listen :7402 -tasktracker-log tt.log -datanode-log dn.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("hadoop-log-rpcd", flag.ContinueOnError)
+	listen := fs.String("listen", ":7402", "address to serve RPC on")
+	ttPath := fs.String("tasktracker-log", "", "path to the TaskTracker log file")
+	dnPath := fs.String("datanode-log", "", "path to the DataNode log file")
+	poll := fs.Duration("poll", 500*time.Millisecond, "log tail poll interval")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ttPath == "" && *dnPath == "" {
+		fmt.Fprintln(os.Stderr, "hadoop-log-rpcd: need -tasktracker-log and/or -datanode-log")
+		return 2
+	}
+
+	ttBuf := hadooplog.NewBuffer(0)
+	dnBuf := hadooplog.NewBuffer(0)
+	var tails []*hadooplog.Tailer
+	if *ttPath != "" {
+		tails = append(tails, hadooplog.NewTailer(*ttPath, ttBuf, *poll))
+	}
+	if *dnPath != "" {
+		tails = append(tails, hadooplog.NewTailer(*dnPath, dnBuf, *poll))
+	}
+
+	srv := rpc.NewServer(modules.ServiceHadoopLog)
+	modules.RegisterHadoopLogServer(srv, ttBuf, dnBuf, time.Now)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadoop-log-rpcd: %v\n", err)
+		return 1
+	}
+	log.Printf("hadoop-log-rpcd: serving on %s (tt=%q dn=%q)", addr, *ttPath, *dnPath)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, tl := range tails {
+		tl.Stop()
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hadoop-log-rpcd: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunFlagValidation(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run(nil); code != 2 {
+		t.Errorf("no logs exit = %d, want 2", code)
+	}
+	if code := run([]string{"-tasktracker-log", "tt.log", "-listen", "256.256.256.256:99999"}); code != 1 {
+		t.Errorf("bad listen exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,184 @@
+// Command hadoop-sim runs the simulated Hadoop cluster as a live system:
+// virtual time advances in real time (optionally accelerated), every slave
+// exposes a sadc-rpcd and a hadoop-log-rpcd endpoint, and a fault can be
+// injected after a delay — a self-contained testbed for the asdf control
+// node, standing in for the paper's 50-node EC2 deployment.
+//
+// Usage:
+//
+//	hadoop-sim -slaves 10 -base-port 7500 -fault CPUHog -fault-node 3 -inject-after 5m
+//	hadoop-sim -slaves 10 -emit-config fpt.conf -model model.json
+//
+// With -emit-config, the matching control-node configuration (the paper's
+// Figure 4 pipelines, wired to this cluster's RPC endpoints) is written
+// before the cluster starts; point `asdf -config` at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/eval"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("hadoop-sim", flag.ContinueOnError)
+	slaves := fs.Int("slaves", 8, "number of slave nodes")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	basePort := fs.Int("base-port", 7500, "first RPC port; slave i uses base+2i (sadc) and base+2i+1 (hadoop_log)")
+	speed := fs.Float64("speed", 1, "virtual seconds per wall second")
+	faultName := fs.String("fault", "", "fault to inject: CPUHog, DiskHog, PacketLoss, HADOOP-1036, HADOOP-1152, HADOOP-2080")
+	faultNode := fs.Int("fault-node", 2, "slave index to inject the fault on")
+	injectAfter := fs.Duration("inject-after", 5*time.Minute, "virtual delay before injection")
+	emitConfig := fs.String("emit-config", "", "write a matching asdf control-node configuration to this path")
+	modelPath := fs.String("model", "model.json", "model path referenced by the emitted configuration")
+	trainSecs := fs.Int("train", 300, "fault-free virtual seconds used to train the model written to -model")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var fault hadoopsim.FaultKind
+	if *faultName != "" {
+		found := false
+		for _, f := range hadoopsim.AllFaults {
+			if strings.EqualFold(f.String(), *faultName) {
+				fault = f
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "hadoop-sim: unknown fault %q\n", *faultName)
+			return 2
+		}
+	}
+
+	cluster, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(*slaves, *seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadoop-sim: %v\n", err)
+		return 1
+	}
+
+	if *emitConfig != "" {
+		if err := writeControlConfig(cluster, *emitConfig, *modelPath, *basePort, *trainSecs, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "hadoop-sim: %v\n", err)
+			return 1
+		}
+		log.Printf("hadoop-sim: wrote control-node configuration to %s and model to %s", *emitConfig, *modelPath)
+	}
+
+	var servers []*rpc.Server
+	defer func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}()
+	for i, n := range cluster.Slaves() {
+		sadcSrv := rpc.NewServer(modules.ServiceSadc)
+		modules.RegisterSadcServer(sadcSrv, n)
+		addr := fmt.Sprintf(":%d", *basePort+2*i)
+		if _, err := sadcSrv.Listen(addr); err != nil {
+			fmt.Fprintf(os.Stderr, "hadoop-sim: %v\n", err)
+			return 1
+		}
+		servers = append(servers, sadcSrv)
+
+		hlSrv := rpc.NewServer(modules.ServiceHadoopLog)
+		modules.RegisterHadoopLogServer(hlSrv, n.TaskTrackerLog(), n.DataNodeLog(), cluster.Now)
+		addr = fmt.Sprintf(":%d", *basePort+2*i+1)
+		if _, err := hlSrv.Listen(addr); err != nil {
+			fmt.Fprintf(os.Stderr, "hadoop-sim: %v\n", err)
+			return 1
+		}
+		servers = append(servers, hlSrv)
+		log.Printf("hadoop-sim: %s on ports %d (sadc) and %d (hadoop_log)",
+			n.Name, *basePort+2*i, *basePort+2*i+1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	interval := time.Duration(float64(time.Second) / *speed)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	injected := false
+	start := cluster.Now()
+	log.Printf("hadoop-sim: %d slaves running GridMix at %.1fx; interrupt to stop", *slaves, *speed)
+	for {
+		select {
+		case <-sig:
+			log.Printf("hadoop-sim: %d jobs completed, %d tasks", cluster.JobsCompleted(), cluster.TasksCompleted())
+			return 0
+		case <-ticker.C:
+			cluster.Tick()
+			if fault != hadoopsim.FaultNone && !injected && cluster.Now().Sub(start) >= *injectAfter {
+				if err := cluster.InjectFault(*faultNode, fault); err != nil {
+					fmt.Fprintf(os.Stderr, "hadoop-sim: %v\n", err)
+					return 1
+				}
+				injected = true
+				log.Printf("hadoop-sim: injected %s on slave %d", fault, *faultNode)
+			}
+		}
+	}
+}
+
+// writeControlConfig trains a model on a separate fault-free cluster and
+// writes the paper's two-pipeline configuration wired to this cluster's
+// RPC endpoints.
+func writeControlConfig(cluster *hadoopsim.Cluster, path, modelPath string, basePort, trainSecs int, seed int64) error {
+	slaves := len(cluster.Slaves())
+	model, err := eval.TrainDefaultModel(slaves, seed+10000, trainSecs, 4)
+	if err != nil {
+		return err
+	}
+	if err := model.Save(modelPath); err != nil {
+		return err
+	}
+	names := make([]string, slaves)
+	for i, n := range cluster.Slaves() {
+		names[i] = n.Name
+	}
+	params := eval.DefaultParams(model.NumStates())
+
+	var b strings.Builder
+	for i, n := range names {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nmode = rpc\naddr = 127.0.0.1:%d\nperiod = 1\n\n",
+			i, n, basePort+2*i)
+		fmt.Fprintf(&b, "[knn]\nid = onenn%d\nmodel_file = %s\ninput[in] = sadc%d.output0\n\n", i, modelPath, i)
+		fmt.Fprintf(&b, "[ibuffer]\nid = buf%d\nsize = 10\ninput[input] = onenn%d.output0\n\n", i, i)
+	}
+	fmt.Fprintf(&b, "[analysis_bb]\nid = bb\nthreshold = %g\nwindow = %d\nslide = %d\nstates = %d\n",
+		params.BBThreshold, params.WindowSize, params.WindowSlide, model.NumStates())
+	for i := range names {
+		fmt.Fprintf(&b, "input[l%d] = @buf%d\n", i, i)
+	}
+	b.WriteString("\n[print]\nid = BlackBoxAlarm\nlabel = BB\ninput[a] = @bb\n\n")
+
+	addrs := make([]string, slaves)
+	for i := range names {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+2*i+1)
+	}
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_tt\nkind = tasktracker\nnodes = %s\nmode = rpc\naddrs = %s\nperiod = 1\n\n",
+		strings.Join(names, ","), strings.Join(addrs, ","))
+	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nk = %g\nwindow = %d\nslide = %d\n",
+		params.WBK, params.WindowSize, params.WindowSlide)
+	for i := range names {
+		fmt.Fprintf(&b, "input[s%d] = hl_tt.%s\n", i, names[i])
+	}
+	b.WriteString("\n[print]\nid = TaskTrackerAlarm\nlabel = WB\ninput[a] = @wb\n")
+
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

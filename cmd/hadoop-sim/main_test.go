@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-fault", "NoSuchFault"}); code != 2 {
+		t.Errorf("unknown fault exit = %d, want 2", code)
+	}
+	if code := run([]string{"-slaves", "0"}); code != 1 {
+		t.Errorf("zero slaves exit = %d, want 1", code)
+	}
+}
+
+func TestWriteControlConfig(t *testing.T) {
+	cluster, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "fpt.conf")
+	modelPath := filepath.Join(dir, "model.json")
+	if err := writeControlConfig(cluster, cfgPath, modelPath, 7500, 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The model must exist and the configuration must parse with the
+	// expected instances.
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	f, err := config.ParseFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]bool)
+	for _, in := range f.Instances {
+		ids[in.ID] = true
+	}
+	for _, want := range []string{"sadc0", "sadc2", "onenn1", "buf0", "bb", "BlackBoxAlarm", "hl_tt", "wb", "TaskTrackerAlarm"} {
+		if !ids[want] {
+			t.Errorf("emitted configuration missing instance %q", want)
+		}
+	}
+	// RPC endpoints must follow the base-port layout.
+	sadc0, _ := f.Instance("sadc0")
+	if got := sadc0.StringParam("addr", ""); got != "127.0.0.1:7500" {
+		t.Errorf("sadc0 addr = %q", got)
+	}
+	hl, _ := f.Instance("hl_tt")
+	if addrs := hl.StringParam("addrs", ""); !strings.Contains(addrs, "127.0.0.1:7501") {
+		t.Errorf("hl_tt addrs = %q", addrs)
+	}
+}

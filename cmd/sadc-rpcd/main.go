@@ -1,0 +1,69 @@
+// Command sadc-rpcd is the per-node black-box collection daemon (§3.5): it
+// reads OS performance counters from /proc and serves rate-converted metric
+// records to the ASDF control node over RPC.
+//
+// Usage:
+//
+//	sadc-rpcd -listen :7401 [-proc /proc] [-pids 1234,5678]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/procfs"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sadc-rpcd", flag.ContinueOnError)
+	listen := fs.String("listen", ":7401", "address to serve RPC on")
+	procRoot := fs.String("proc", "/proc", "procfs root to read")
+	pids := fs.String("pids", "", "comma-separated pids for per-process metrics")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	provider := procfs.NewFS(*procRoot)
+	for _, p := range strings.Split(*pids, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		pid, err := strconv.Atoi(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sadc-rpcd: bad pid %q: %v\n", p, err)
+			return 2
+		}
+		provider.PIDs = append(provider.PIDs, pid)
+	}
+
+	srv := rpc.NewServer(modules.ServiceSadc)
+	modules.RegisterSadcServer(srv, provider)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sadc-rpcd: %v\n", err)
+		return 1
+	}
+	log.Printf("sadc-rpcd: serving %s metrics on %s", *procRoot, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sadc-rpcd: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-pids", "notanumber"}); code != 2 {
+		t.Errorf("bad pid exit = %d, want 2", code)
+	}
+}
+
+func TestRunBadListenAddress(t *testing.T) {
+	if code := run([]string{"-listen", "256.256.256.256:99999"}); code != 1 {
+		t.Errorf("bad listen exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,188 @@
+// Black-box fingerpointing: the paper's sadc -> knn -> ibuffer ->
+// analysis_bb pipeline (Figure 3/4) localizes a CPU hog on a simulated
+// Hadoop cluster without any application knowledge.
+//
+// The example first trains the workload-state model on fault-free data
+// (offline k-means, §4.5 of the paper), then monitors a second cluster in
+// which slave04 starts running a rogue 70%-CPU process mid-run.
+//
+// Run with:
+//
+//	go run ./examples/blackbox
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	asdf "github.com/asdf-project/asdf"
+	"github.com/asdf-project/asdf/sim"
+)
+
+const (
+	slaves     = 8
+	trainSecs  = 300
+	warmupSecs = 180
+	faultSecs  = 360
+	culprit    = 3 // slave04
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "blackbox:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain() error {
+	// Phase 1: train the black-box model on a fault-free cluster.
+	fmt.Printf("training on %d fault-free seconds from %d slaves...\n", trainSecs, slaves)
+	training, err := sim.NewCluster(sim.DefaultConfig(slaves, 7))
+	if err != nil {
+		return err
+	}
+	model, err := trainModel(training)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "asdf-blackbox")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	modelPath := filepath.Join(dir, "model.json")
+	if err := model.Save(modelPath); err != nil {
+		return err
+	}
+
+	// Phase 2: monitor a fresh cluster and inject the CPU hog.
+	cluster, err := sim.NewCluster(sim.DefaultConfig(slaves, 99))
+	if err != nil {
+		return err
+	}
+	env := asdf.NewEnv()
+	names := make([]string, slaves)
+	for i, n := range cluster.Slaves() {
+		names[i] = n.Name
+		env.Procfs[n.Name] = n
+	}
+	env.Clock = cluster.Now
+	env.AlarmWriter = os.Stdout
+
+	cfg, err := asdf.ParseConfigString(pipelineConfig(names, modelPath, model.NumStates()))
+	if err != nil {
+		return err
+	}
+	engine, err := asdf.NewEngine(asdf.NewRegistry(env), cfg)
+	if err != nil {
+		return err
+	}
+
+	step := func(seconds int) error {
+		for i := 0; i < seconds; i++ {
+			cluster.Tick()
+			if err := engine.Tick(cluster.Now()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fmt.Printf("monitoring %d slaves fault-free for %d s...\n", slaves, warmupSecs)
+	if err := step(warmupSecs); err != nil {
+		return err
+	}
+	fmt.Printf(">>> injecting CPUHog on %s <<<\n", names[culprit])
+	if err := cluster.InjectFault(culprit, sim.FaultCPUHog); err != nil {
+		return err
+	}
+	if err := step(faultSecs); err != nil {
+		return err
+	}
+	fmt.Printf("done; alarms above should name %s\n", names[culprit])
+	return nil
+}
+
+// trainModel runs the training cluster and fits log-scaling sigmas plus
+// k-means centroids over all slaves' metric vectors.
+func trainModel(c *sim.Cluster) (*asdf.Model, error) {
+	var series [][][]float64
+	collect, err := newFleetCollector(c)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < trainSecs; s++ {
+		c.Tick()
+		rows, err := collect()
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == len(c.Slaves()) {
+			series = append(series, rows)
+		}
+	}
+	return asdf.TrainValidatedModel(series, 4, 7)
+}
+
+// newFleetCollector builds per-slave collectors through a throwaway ASDF
+// engine so the example exercises the same public collection path the
+// monitoring phase uses.
+func newFleetCollector(c *sim.Cluster) (func() ([][]float64, error), error) {
+	env := asdf.NewEnv()
+	var b strings.Builder
+	for _, n := range c.Slaves() {
+		env.Procfs[n.Name] = n
+		fmt.Fprintf(&b, "[sadc]\nid = s_%s\nnode = %s\nperiod = 1\n\n", n.Name, n.Name)
+	}
+	env.Clock = c.Now
+	b.WriteString("[csv]\nid = sink\npath = " + os.DevNull + "\n")
+	for _, n := range c.Slaves() {
+		fmt.Fprintf(&b, "input[%s] = s_%s.output0\n", n.Name, n.Name)
+	}
+	cfg, err := asdf.ParseConfigString(b.String())
+	if err != nil {
+		return nil, err
+	}
+	engine, err := asdf.NewEngine(asdf.NewRegistry(env), cfg)
+	if err != nil {
+		return nil, err
+	}
+	slaves := c.Slaves()
+	return func() ([][]float64, error) {
+		if err := engine.Tick(c.Now()); err != nil {
+			return nil, err
+		}
+		rows := make([][]float64, 0, len(slaves))
+		for _, n := range slaves {
+			outs := engine.OutputPortsOf("s_" + n.Name)
+			if s, ok := outs[0].Last(); ok {
+				rows = append(rows, s.Values)
+			}
+		}
+		return rows, nil
+	}, nil
+}
+
+// pipelineConfig renders the paper's Figure 3 black-box configuration for
+// the given nodes.
+func pipelineConfig(nodes []string, modelPath string, states int) string {
+	var b strings.Builder
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nperiod = 1\n\n", i, n)
+		fmt.Fprintf(&b, "[knn]\nid = onenn%d\nmodel_file = %s\ninput[in] = sadc%d.output0\n\n", i, modelPath, i)
+		fmt.Fprintf(&b, "[ibuffer]\nid = buf%d\nsize = 10\ninput[input] = onenn%d.output0\n\n", i, i)
+	}
+	fmt.Fprintf(&b, "[analysis_bb]\nid = analysis\nthreshold = 55\nwindow = 60\nslide = 15\nstates = %d\n", states)
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[l%d] = @buf%d\n", i, i)
+	}
+	b.WriteString("\n[print]\nid = BlackBoxAlarm\nlabel = ALARM\ninput[a] = @analysis\n")
+	return b.String()
+}

@@ -1,0 +1,113 @@
+// Mitigation: the paper's §5 extension — ASDF not only fingerpoints the
+// faulty node but actively mitigates the problem. The white-box pipeline
+// detects reduces hanging on a HADOOP-2080-style bug, and an action module
+// blacklists the culprit at the jobtracker, after which the cluster routes
+// around it.
+//
+// Run with:
+//
+//	go run ./examples/mitigation
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	asdf "github.com/asdf-project/asdf"
+	"github.com/asdf-project/asdf/sim"
+)
+
+const (
+	slaves     = 8
+	warmupSecs = 240
+	faultSecs  = 600
+	culprit    = 6 // slave07
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "mitigation:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain() error {
+	cluster, err := sim.NewCluster(sim.DefaultConfig(slaves, 31337))
+	if err != nil {
+		return err
+	}
+
+	env := asdf.NewEnv()
+	names := make([]string, slaves)
+	for i, n := range cluster.Slaves() {
+		names[i] = n.Name
+		env.TTLogs[n.Name] = n.TaskTrackerLog()
+	}
+	env.Clock = cluster.Now
+	env.AlarmWriter = os.Stdout
+	// The mitigation the action module can invoke: exclude the node from
+	// all future scheduling at the jobtracker.
+	env.Actions["blacklist"] = func(node string) error {
+		fmt.Printf(">>> MITIGATION: blacklisting %s at the jobtracker <<<\n", node)
+		return cluster.BlacklistByName(node)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n",
+		strings.Join(names, ","))
+	b.WriteString("[analysis_wb]\nid = wb\nk = 3\nwindow = 60\nslide = 15\n")
+	for i, n := range names {
+		fmt.Fprintf(&b, "input[s%d] = hl.%s\n", i, n)
+	}
+	b.WriteString("\n[print]\nid = Alarm\nlabel = ALARM\ninput[a] = @wb\n")
+	b.WriteString("\n[action]\nid = mitigate\naction = blacklist\nconsecutive = 3\ninput[a] = @wb\n")
+	b.WriteString("\n[print]\nid = Mitigated\nlabel = ACTED\ninput[a] = @mitigate\n")
+
+	cfg, err := asdf.ParseConfigString(b.String())
+	if err != nil {
+		return err
+	}
+	engine, err := asdf.NewEngine(asdf.NewRegistry(env), cfg)
+	if err != nil {
+		return err
+	}
+
+	step := func(seconds int) error {
+		for i := 0; i < seconds; i++ {
+			cluster.Tick()
+			if err := engine.Tick(cluster.Now()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fmt.Printf("monitoring %d slaves for %d s...\n", slaves, warmupSecs)
+	if err := step(warmupSecs); err != nil {
+		return err
+	}
+	fmt.Printf(">>> injecting HADOOP-2080 (reduce hangs at sort) on %s <<<\n", names[culprit])
+	if err := cluster.InjectFault(culprit, sim.FaultHang2080); err != nil {
+		return err
+	}
+	if err := step(faultSecs); err != nil {
+		return err
+	}
+
+	for i, n := range names {
+		if cluster.Blacklisted(i) {
+			fmt.Printf("result: %s is blacklisted; cluster completed %d jobs overall\n",
+				n, cluster.JobsCompleted())
+		}
+	}
+	if !cluster.Blacklisted(culprit) {
+		return fmt.Errorf("culprit %s was never mitigated", names[culprit])
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/asdf-project/asdf
+
+go 1.22

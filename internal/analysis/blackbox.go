@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/asdf-project/asdf/internal/stats"
+)
+
+// WindowResult is one fingerpointing verdict covering a window of samples.
+type WindowResult struct {
+	// EndIndex is the (0-based) index of the last sample in the window.
+	EndIndex int
+	// Scores holds the per-node anomaly scores: the L1 distance of the
+	// node's state vector from the median state vector (black-box), or
+	// the maximum metric deviation in threshold units (white-box).
+	Scores []float64
+	// Flagged marks the fingerpointed nodes.
+	Flagged []bool
+}
+
+// AnyFlagged reports whether any node was fingerpointed.
+func (r *WindowResult) AnyFlagged() bool {
+	for _, f := range r.Flagged {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// BlackBoxConfig parameterizes the black-box fingerpointer (§4.5).
+type BlackBoxConfig struct {
+	// Nodes is the number of peer slave nodes.
+	Nodes int
+	// NumStates is the number of trained centroids ("states").
+	NumStates int
+	// WindowSize is the number of per-second samples per window
+	// (the paper uses 60).
+	WindowSize int
+	// WindowSlide is how many samples consecutive windows are offset by;
+	// WindowSize-WindowSlide samples overlap. Defaults to WindowSize
+	// (non-overlapping) when zero.
+	WindowSlide int
+	// Threshold is the L1 distance above which a node is flagged
+	// (swept 0..70 in Figure 6(a); the paper picks 60).
+	Threshold float64
+}
+
+// BlackBox implements the black-box analysis: per node, the window's
+// samples are summarized as a StateVector — a histogram of 1-NN state
+// assignments — and a node is flagged when the L1 distance between its
+// StateVector and the component-wise median StateVector across nodes
+// exceeds the threshold.
+type BlackBox struct {
+	cfg BlackBoxConfig
+	// ring of per-sample state assignments: ring[i][n] is node n's state
+	// at sample i of the current window.
+	ring        [][]int
+	filled      int
+	next        int
+	samples     int
+	sinceWindow int
+}
+
+// NewBlackBox creates the analyzer. It returns an error for nonsensical
+// configurations.
+func NewBlackBox(cfg BlackBoxConfig) (*BlackBox, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("analysis: blackbox: Nodes must be positive")
+	}
+	if cfg.NumStates <= 0 {
+		return nil, fmt.Errorf("analysis: blackbox: NumStates must be positive")
+	}
+	if cfg.WindowSize <= 0 {
+		return nil, fmt.Errorf("analysis: blackbox: WindowSize must be positive")
+	}
+	if cfg.WindowSlide <= 0 {
+		cfg.WindowSlide = cfg.WindowSize
+	}
+	if cfg.WindowSlide > cfg.WindowSize {
+		return nil, fmt.Errorf("analysis: blackbox: WindowSlide %d exceeds WindowSize %d",
+			cfg.WindowSlide, cfg.WindowSize)
+	}
+	b := &BlackBox{cfg: cfg, ring: make([][]int, cfg.WindowSize)}
+	for i := range b.ring {
+		b.ring[i] = make([]int, cfg.Nodes)
+	}
+	return b, nil
+}
+
+// Config returns the analyzer's configuration.
+func (b *BlackBox) Config() BlackBoxConfig { return b.cfg }
+
+// Observe records one per-second round of state assignments (states[n] is
+// the 1-NN centroid index for node n) and returns a WindowResult when a
+// window completes, nil otherwise.
+func (b *BlackBox) Observe(states []int) (*WindowResult, error) {
+	if len(states) != b.cfg.Nodes {
+		return nil, fmt.Errorf("analysis: blackbox: got %d states, want %d", len(states), b.cfg.Nodes)
+	}
+	for n, s := range states {
+		if s < 0 || s >= b.cfg.NumStates {
+			return nil, fmt.Errorf("analysis: blackbox: node %d state %d out of range [0,%d)",
+				n, s, b.cfg.NumStates)
+		}
+	}
+	copy(b.ring[b.next], states)
+	b.next = (b.next + 1) % b.cfg.WindowSize
+	if b.filled < b.cfg.WindowSize {
+		b.filled++
+	}
+	b.samples++
+	b.sinceWindow++
+	if b.filled < b.cfg.WindowSize || b.sinceWindow < b.cfg.WindowSlide {
+		return nil, nil
+	}
+	b.sinceWindow = 0
+	return b.evaluate(), nil
+}
+
+// evaluate computes StateVectors, the median, and L1 flags for the current
+// full window.
+func (b *BlackBox) evaluate() *WindowResult {
+	vectors := make([][]float64, b.cfg.Nodes)
+	for n := range vectors {
+		vectors[n] = make([]float64, b.cfg.NumStates)
+	}
+	for i := 0; i < b.cfg.WindowSize; i++ {
+		for n, s := range b.ring[i] {
+			vectors[n][s]++
+		}
+	}
+	median, err := stats.MedianVector(vectors)
+	if err != nil {
+		// Unreachable: vectors is non-empty with equal dimensions.
+		panic(err)
+	}
+	res := &WindowResult{
+		EndIndex: b.samples - 1,
+		Scores:   make([]float64, b.cfg.Nodes),
+		Flagged:  make([]bool, b.cfg.Nodes),
+	}
+	for n, v := range vectors {
+		d, err := stats.L1(v, median)
+		if err != nil {
+			panic(err)
+		}
+		res.Scores[n] = d
+		res.Flagged[n] = d > b.cfg.Threshold
+	}
+	return res
+}

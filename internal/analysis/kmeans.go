@@ -1,0 +1,189 @@
+// Package analysis implements ASDF's diagnosis algorithms: offline k-means
+// training of workload-state centroids, 1-nearest-neighbour state
+// classification with log scaling (§4.5), the black-box windowed
+// peer-comparison fingerpointer (§4.5), and the white-box peer-comparison
+// fingerpointer over Hadoop log states (§4.4).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/asdf-project/asdf/internal/stats"
+)
+
+// LogScaler applies the paper's black-box metric transform: each raw metric
+// x becomes log(1+x)/sigma, where sigma is the standard deviation of
+// log(1+x) over fault-free training data (§4.5).
+type LogScaler struct {
+	// Sigma holds the per-dimension training standard deviations.
+	Sigma []float64
+}
+
+// TrainScaler computes a LogScaler from fault-free training points.
+func TrainScaler(points [][]float64) (*LogScaler, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("analysis: no training points for scaler")
+	}
+	dim := len(points[0])
+	accs := make([]stats.Welford, dim)
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("analysis: training point dimension %d, want %d", len(p), dim)
+		}
+		for d, x := range p {
+			accs[d].Add(math.Log1p(math.Max(x, 0)))
+		}
+	}
+	sigma := make([]float64, dim)
+	for d := range accs {
+		sigma[d] = accs[d].StdDev()
+	}
+	return &LogScaler{Sigma: sigma}, nil
+}
+
+// Apply transforms one raw metric vector.
+func (s *LogScaler) Apply(x []float64) ([]float64, error) {
+	return stats.LogScale(x, s.Sigma)
+}
+
+// ApplyAll transforms a batch of raw metric vectors.
+func (s *LogScaler) ApplyAll(points [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		v, err := s.Apply(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// KMeans clusters points into k centroids with Lloyd's algorithm and
+// k-means++-style seeding, deterministically from seed. Inputs should
+// already be scaled. It returns the centroids.
+func KMeans(points [][]float64, k int, seed int64, maxIters int) ([][]float64, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("analysis: kmeans: no points")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("analysis: kmeans: k must be positive, got %d", k)
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("analysis: kmeans: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding: first centroid uniform, the rest weighted by
+	// squared distance to the nearest chosen centroid.
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var sum float64
+		for i, p := range points {
+			_, dist := nearest(p, centroids)
+			d2[i] = dist * dist
+			sum += d2[i]
+		}
+		if sum == 0 {
+			// All points coincide with existing centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(len(points))]...))
+			continue
+		}
+		r := rng.Float64() * sum
+		pick := 0
+		for i, w := range d2 {
+			r -= w
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+
+	assign := make([]int, len(points))
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			a, _ := nearest(p, centroids)
+			if a != assign[i] {
+				assign[i] = a
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, len(centroids))
+		sums := make([][]float64, len(centroids))
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, x := range p {
+				sums[c][d] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centroids[c], points[rng.Intn(len(points))])
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	return centroids, nil
+}
+
+// nearest returns the index of and distance to the closest centroid.
+func nearest(p []float64, centroids [][]float64) (int, float64) {
+	best := 0
+	bestD := math.Inf(1)
+	for i, c := range centroids {
+		var s float64
+		for d := range p {
+			diff := p[d] - c[d]
+			s += diff * diff
+		}
+		if s < bestD {
+			bestD = s
+			best = i
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// NearestCentroid classifies a scaled point to its 1-NN centroid index
+// (the knn module with k=1, §3.6).
+func NearestCentroid(p []float64, centroids [][]float64) (int, error) {
+	if len(centroids) == 0 {
+		return 0, fmt.Errorf("analysis: no centroids")
+	}
+	for i, c := range centroids {
+		if len(c) != len(p) {
+			return 0, fmt.Errorf("analysis: centroid %d has dimension %d, point has %d", i, len(c), len(p))
+		}
+	}
+	idx, _ := nearest(p, centroids)
+	return idx, nil
+}

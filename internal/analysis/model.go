@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Model is the trained black-box model: the log-scaling sigmas and the
+// k-means centroids of fault-free workload states. It is produced offline
+// from problem-free traces (§4.5) and consumed by the knn module.
+type Model struct {
+	// Sigma holds per-metric standard deviations of log(1+x) on the
+	// training data (after metric selection, when MetricIndexes is set).
+	Sigma []float64 `json:"sigma"`
+	// Centroids holds the k-means centroids, in scaled space.
+	Centroids [][]float64 `json:"centroids"`
+	// MetricIndexes, when non-empty, selects which dimensions of a raw
+	// input vector the model was trained on; Classify projects its input
+	// accordingly. This carries the black-box metric selection (a la the
+	// authors' Ganesha work) inside the model file.
+	MetricIndexes []int `json:"metric_indexes,omitempty"`
+}
+
+// Project applies the model's metric selection to a raw vector; it returns
+// the input unchanged when no selection is set.
+func (m *Model) Project(raw []float64) ([]float64, error) {
+	if len(m.MetricIndexes) == 0 {
+		return raw, nil
+	}
+	out := make([]float64, len(m.MetricIndexes))
+	for i, idx := range m.MetricIndexes {
+		if idx < 0 || idx >= len(raw) {
+			return nil, fmt.Errorf("analysis: metric index %d out of range for %d-dim vector", idx, len(raw))
+		}
+		out[i] = raw[idx]
+	}
+	return out, nil
+}
+
+// TrainModel fits a Model on fault-free raw metric vectors: it trains the
+// scaler, scales the points, and clusters them into k centroids.
+func TrainModel(points [][]float64, k int, seed int64) (*Model, error) {
+	scaler, err := TrainScaler(points)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaler.ApplyAll(points)
+	if err != nil {
+		return nil, err
+	}
+	centroids, err := KMeans(scaled, k, seed, 100)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Sigma: scaler.Sigma, Centroids: centroids}, nil
+}
+
+// Classify scales a raw metric vector (after metric selection, when set)
+// and returns its 1-NN state index.
+func (m *Model) Classify(raw []float64) (int, error) {
+	projected, err := m.Project(raw)
+	if err != nil {
+		return 0, err
+	}
+	scaler := LogScaler{Sigma: m.Sigma}
+	scaled, err := scaler.Apply(projected)
+	if err != nil {
+		return 0, err
+	}
+	return NearestCentroid(scaled, m.Centroids)
+}
+
+// NumStates reports the number of centroids.
+func (m *Model) NumStates() int { return len(m.Centroids) }
+
+// Validate checks internal consistency.
+func (m *Model) Validate() error {
+	if len(m.Sigma) == 0 {
+		return fmt.Errorf("analysis: model has no sigma vector")
+	}
+	if len(m.Centroids) == 0 {
+		return fmt.Errorf("analysis: model has no centroids")
+	}
+	for i, c := range m.Centroids {
+		if len(c) != len(m.Sigma) {
+			return fmt.Errorf("analysis: centroid %d has dimension %d, sigma has %d",
+				i, len(c), len(m.Sigma))
+		}
+	}
+	return nil
+}
+
+// Save writes the model as JSON to path.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("analysis: marshal model: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("analysis: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model saved by Save and validates it.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: load model: %w", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("analysis: parse model %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TrainOptions parameterizes validated model training.
+type TrainOptions struct {
+	// K is the number of centroids.
+	K int
+	// Seed drives k-means restarts deterministically.
+	Seed int64
+	// Restarts is the number of k-means candidates (default 8).
+	Restarts int
+	// WindowSize and WindowSlide configure the validation replay
+	// (defaults 60 / WindowSize/4).
+	WindowSize  int
+	WindowSlide int
+	// MetricIndexes optionally selects which raw-vector dimensions to
+	// train on (the black-box metric selection); nil uses all.
+	MetricIndexes []int
+	// Perturb, when set, is the synthetic sensitivity probe: it maps one
+	// node's raw vector to a faulty-looking one (e.g. a CPU hog's). The
+	// winning candidate maximizes the margin between the perturbed node's
+	// anomaly score and the fault-free score tail, which rejects models
+	// that are quiet only because they are insensitive.
+	Perturb func(raw []float64) []float64
+}
+
+// TrainValidatedModel trains the black-box model with model selection in
+// the spirit of the paper's calibration (§4.9: parameters are "chosen to
+// minimize the false positive rate over fault-free training data"): k-means
+// is restarted several times, each candidate is validated by replaying the
+// fault-free training series through the black-box peer comparison, and —
+// when a perturbation probe is supplied — by checking that a synthetically
+// perturbed node separates from its peers. The candidate with the best
+// sensitivity-to-false-positive margin wins.
+//
+// series is the per-second, per-node training data: series[s][n] is node
+// n's raw metric vector at second s. All nodes are fault-free.
+func TrainValidatedModel(series [][][]float64, opts TrainOptions) (*Model, error) {
+	if len(series) == 0 || len(series[0]) == 0 {
+		return nil, fmt.Errorf("analysis: empty training series")
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("analysis: K must be positive")
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 8
+	}
+	if opts.WindowSize <= 0 {
+		opts.WindowSize = 60
+	}
+	if opts.WindowSlide <= 0 {
+		opts.WindowSlide = opts.WindowSize / 4
+	}
+	nodes := len(series[0])
+
+	// Flatten (projecting through the metric selection) for scaler and
+	// k-means training.
+	projector := &Model{MetricIndexes: opts.MetricIndexes}
+	var points [][]float64
+	for _, row := range series {
+		if len(row) != nodes {
+			return nil, fmt.Errorf("analysis: ragged training series")
+		}
+		for _, vec := range row {
+			p, err := projector.Project(vec)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	scaler, err := TrainScaler(points)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaler.ApplyAll(points)
+	if err != nil {
+		return nil, err
+	}
+
+	// Synthetic-fault copy of the series: node 0 perturbed.
+	var perturbed [][][]float64
+	if opts.Perturb != nil {
+		perturbed = make([][][]float64, len(series))
+		for s, row := range series {
+			prow := make([][]float64, len(row))
+			copy(prow, row)
+			prow[0] = opts.Perturb(append([]float64(nil), row[0]...))
+			perturbed[s] = prow
+		}
+	}
+
+	var best *Model
+	bestMargin := math.Inf(-1)
+	bestTail := math.Inf(1)
+	for r := 0; r < opts.Restarts; r++ {
+		centroids, err := KMeans(scaled, opts.K, opts.Seed+int64(r)*7919, 100)
+		if err != nil {
+			return nil, err
+		}
+		candidate := &Model{Sigma: scaler.Sigma, Centroids: centroids, MetricIndexes: opts.MetricIndexes}
+		tail, _, err := replayScores(series, candidate, nodes, opts.WindowSize, opts.WindowSlide)
+		if err != nil {
+			return nil, err
+		}
+		margin := -tail
+		if perturbed != nil {
+			_, victimMedian, err := replayScores(perturbed, candidate, nodes, opts.WindowSize, opts.WindowSlide)
+			if err != nil {
+				return nil, err
+			}
+			margin = victimMedian - tail
+		}
+		if margin > bestMargin || (margin == bestMargin && tail < bestTail) {
+			bestMargin = margin
+			bestTail = tail
+			best = candidate
+		}
+	}
+	return best, nil
+}
+
+// replayScores replays a series through the black-box analysis with an
+// infinite threshold and returns the 99th percentile over all nodes' window
+// scores plus the median of node 0's scores.
+func replayScores(series [][][]float64, m *Model, nodes, windowSize, windowSlide int) (tail, node0Median float64, err error) {
+	bb, err := NewBlackBox(BlackBoxConfig{
+		Nodes:       nodes,
+		NumStates:   m.NumStates(),
+		WindowSize:  windowSize,
+		WindowSlide: windowSlide,
+		Threshold:   math.Inf(1),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var all, node0 []float64
+	states := make([]int, nodes)
+	for _, row := range series {
+		for n, vec := range row {
+			s, err := m.Classify(vec)
+			if err != nil {
+				return 0, 0, err
+			}
+			states[n] = s
+		}
+		res, err := bb.Observe(states)
+		if err != nil {
+			return 0, 0, err
+		}
+		if res != nil {
+			all = append(all, res.Scores...)
+			node0 = append(node0, res.Scores[0])
+		}
+	}
+	if len(all) == 0 {
+		// Series shorter than one window: neutral scores.
+		return 0, 0, nil
+	}
+	sort.Float64s(all)
+	sort.Float64s(node0)
+	return all[int(0.99*float64(len(all)-1))], node0[len(node0)/2], nil
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticSeries builds a fault-free series of `seconds` x `nodes` vectors
+// drawn from `modes` cluster centers, all nodes sampling the same mode each
+// second (the homogeneity peer comparison needs).
+func syntheticSeries(seconds, nodes int, modes [][]float64, noise float64, seed int64) [][][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	series := make([][][]float64, seconds)
+	for s := range series {
+		mode := modes[rng.Intn(len(modes))]
+		row := make([][]float64, nodes)
+		for n := range row {
+			v := make([]float64, len(mode))
+			for d := range v {
+				v[d] = math.Max(0, mode[d]+rng.NormFloat64()*noise)
+			}
+			row[n] = v
+		}
+		series[s] = row
+	}
+	return series
+}
+
+func TestTrainValidatedModelBasics(t *testing.T) {
+	modes := [][]float64{{5, 100, 0}, {80, 10, 50}}
+	series := syntheticSeries(400, 4, modes, 1.0, 3)
+	m, err := TrainValidatedModel(series, TrainOptions{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 {
+		t.Fatalf("NumStates = %d", m.NumStates())
+	}
+	// The two modes must classify to different states, consistently.
+	s1, err := m.Classify(modes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Classify(modes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("distinct workload modes classified to the same state")
+	}
+}
+
+func TestTrainValidatedModelMetricSelection(t *testing.T) {
+	// Dimension 2 is pure noise; select only dims 0 and 1.
+	modes := [][]float64{{5, 100, 0}, {80, 10, 0}}
+	series := syntheticSeries(300, 4, modes, 1.0, 4)
+	rng := rand.New(rand.NewSource(9))
+	for s := range series {
+		for n := range series[s] {
+			series[s][n][2] = rng.Float64() * 1000
+		}
+	}
+	m, err := TrainValidatedModel(series, TrainOptions{
+		K: 2, Seed: 1, MetricIndexes: []int{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sigma) != 2 {
+		t.Fatalf("selected model sigma has %d dims, want 2", len(m.Sigma))
+	}
+	// Classify accepts full vectors and projects internally; the noisy
+	// dim must not affect the verdict.
+	a, err := m.Classify([]float64{5, 100, 999999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Classify([]float64{5, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("excluded metric changed classification")
+	}
+}
+
+func TestTrainValidatedModelSensitivityProbe(t *testing.T) {
+	// The selection rule: with a probe, the returned model must be the
+	// candidate maximizing (perturbed node's median score − fault-free
+	// score tail). Recompute every candidate's margin independently and
+	// check the winner matches.
+	modes := [][]float64{{5, 5}, {40, 50}, {95, 50}}
+	series := syntheticSeries(400, 4, modes, 2.0, 5)
+	probe := func(raw []float64) []float64 {
+		raw[0] += 55
+		return raw
+	}
+	const k, seed, restarts = 2, int64(2), 6
+	opts := TrainOptions{K: k, Seed: seed, Restarts: restarts, WindowSize: 60, WindowSlide: 15, Perturb: probe}
+	chosen, err := TrainValidatedModel(series, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute candidates exactly as TrainValidatedModel does.
+	var points [][]float64
+	for _, row := range series {
+		points = append(points, row...)
+	}
+	scaler, err := TrainScaler(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := scaler.ApplyAll(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := make([][][]float64, len(series))
+	for s, row := range series {
+		prow := make([][]float64, len(row))
+		copy(prow, row)
+		prow[0] = probe(append([]float64(nil), row[0]...))
+		perturbed[s] = prow
+	}
+	bestMargin := math.Inf(-1)
+	var bestCentroids [][]float64
+	chosenMargin := math.Inf(-1)
+	for r := 0; r < restarts; r++ {
+		cents, err := KMeans(scaled, k, seed+int64(r)*7919, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cand := &Model{Sigma: scaler.Sigma, Centroids: cents}
+		tail, _, err := replayScores(series, cand, 4, 60, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, victim, err := replayScores(perturbed, cand, 4, 60, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		margin := victim - tail
+		if margin > bestMargin {
+			bestMargin = margin
+			bestCentroids = cents
+		}
+		if sameCentroids(cents, chosen.Centroids) {
+			chosenMargin = margin
+		}
+	}
+	if chosenMargin == math.Inf(-1) {
+		t.Fatal("chosen model does not match any recomputed candidate")
+	}
+	if chosenMargin < bestMargin {
+		t.Errorf("chosen margin %.1f below best candidate margin %.1f (centroids %v vs %v)",
+			chosenMargin, bestMargin, chosen.Centroids, bestCentroids)
+	}
+}
+
+func sameCentroids(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTrainValidatedModelErrors(t *testing.T) {
+	if _, err := TrainValidatedModel(nil, TrainOptions{K: 2}); err == nil {
+		t.Error("empty series should error")
+	}
+	series := syntheticSeries(10, 2, [][]float64{{1, 2}}, 0.1, 1)
+	if _, err := TrainValidatedModel(series, TrainOptions{K: 0}); err == nil {
+		t.Error("K=0 should error")
+	}
+	ragged := syntheticSeries(10, 2, [][]float64{{1, 2}}, 0.1, 1)
+	ragged[5] = ragged[5][:1]
+	if _, err := TrainValidatedModel(ragged, TrainOptions{K: 2}); err == nil {
+		t.Error("ragged series should error")
+	}
+}
+
+func TestTrainValidatedModelShortSeries(t *testing.T) {
+	// Shorter than one window: falls back to the first candidate without
+	// crashing.
+	series := syntheticSeries(10, 3, [][]float64{{1, 2}, {50, 60}}, 0.5, 2)
+	m, err := TrainValidatedModel(series, TrainOptions{K: 2, Seed: 1, WindowSize: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.NumStates() != 2 {
+		t.Fatal("no model from short series")
+	}
+}
+
+func TestTrainValidatedModelDeterministic(t *testing.T) {
+	modes := [][]float64{{5, 100}, {80, 10}}
+	series := syntheticSeries(200, 3, modes, 1.0, 6)
+	m1, err := TrainValidatedModel(series, TrainOptions{K: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainValidatedModel(series, TrainOptions{K: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Centroids {
+		for d := range m1.Centroids[i] {
+			if m1.Centroids[i][d] != m2.Centroids[i][d] {
+				t.Fatal("same seed produced different models")
+			}
+		}
+	}
+}
+
+func TestModelProject(t *testing.T) {
+	m := &Model{MetricIndexes: []int{2, 0}}
+	out, err := m.Project([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 30 || out[1] != 10 {
+		t.Errorf("Project = %v, want [30 10]", out)
+	}
+	if _, err := m.Project([]float64{1}); err == nil {
+		t.Error("out-of-range index should error")
+	}
+	// No selection: identity (same slice).
+	m2 := &Model{}
+	in := []float64{1, 2}
+	out, err = m2.Project(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &in[0] {
+		t.Error("identity projection should not copy")
+	}
+}
+
+func TestModelSaveLoadWithSelection(t *testing.T) {
+	m := &Model{
+		Sigma:         []float64{1, 1},
+		Centroids:     [][]float64{{0, 0}, {5, 5}},
+		MetricIndexes: []int{3, 7},
+	}
+	path := t.TempDir() + "/m.json"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.MetricIndexes) != 2 || loaded.MetricIndexes[0] != 3 || loaded.MetricIndexes[1] != 7 {
+		t.Errorf("MetricIndexes lost in round trip: %v", loaded.MetricIndexes)
+	}
+}

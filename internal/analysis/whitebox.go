@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/asdf-project/asdf/internal/stats"
+)
+
+// WhiteBoxConfig parameterizes the white-box fingerpointer (§4.4).
+type WhiteBoxConfig struct {
+	// Nodes is the number of peer slave nodes.
+	Nodes int
+	// Metrics is the dimension of each node's state vector.
+	Metrics int
+	// WindowSize is the number of per-second samples per window (60 in
+	// the paper).
+	WindowSize int
+	// WindowSlide defaults to WindowSize (non-overlapping) when zero.
+	WindowSlide int
+	// K scales the threshold max(1, K*sigma_median) (swept 0..5 in
+	// Figure 6(b); the paper picks 3).
+	K float64
+}
+
+// WhiteBox implements the white-box analysis: for each state metric, each
+// node's window mean is compared against the median of the means across
+// nodes; the node is flagged when the difference exceeds
+// max(1, K*sigma_median), where sigma_median is the median across nodes of
+// the per-node window standard deviation. The max(1, ...) floor protects
+// against the common case of a metric that is constant on most nodes
+// (zero sigma) and differs by as little as 1 on one node (§4.4).
+type WhiteBox struct {
+	cfg WhiteBoxConfig
+	// ring[i][n] is node n's metric vector at window slot i.
+	ring        [][][]float64
+	filled      int
+	next        int
+	samples     int
+	sinceWindow int
+}
+
+// NewWhiteBox creates the analyzer.
+func NewWhiteBox(cfg WhiteBoxConfig) (*WhiteBox, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("analysis: whitebox: Nodes must be positive")
+	}
+	if cfg.Metrics <= 0 {
+		return nil, fmt.Errorf("analysis: whitebox: Metrics must be positive")
+	}
+	if cfg.WindowSize <= 0 {
+		return nil, fmt.Errorf("analysis: whitebox: WindowSize must be positive")
+	}
+	if cfg.WindowSlide <= 0 {
+		cfg.WindowSlide = cfg.WindowSize
+	}
+	if cfg.WindowSlide > cfg.WindowSize {
+		return nil, fmt.Errorf("analysis: whitebox: WindowSlide %d exceeds WindowSize %d",
+			cfg.WindowSlide, cfg.WindowSize)
+	}
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("analysis: whitebox: K must be non-negative")
+	}
+	w := &WhiteBox{cfg: cfg, ring: make([][][]float64, cfg.WindowSize)}
+	for i := range w.ring {
+		w.ring[i] = make([][]float64, cfg.Nodes)
+		for n := range w.ring[i] {
+			w.ring[i][n] = make([]float64, cfg.Metrics)
+		}
+	}
+	return w, nil
+}
+
+// Config returns the analyzer's configuration.
+func (w *WhiteBox) Config() WhiteBoxConfig { return w.cfg }
+
+// Observe records one per-second round of state vectors (vectors[n] is
+// node n's white-box metric vector) and returns a WindowResult when a
+// window completes, nil otherwise.
+func (w *WhiteBox) Observe(vectors [][]float64) (*WindowResult, error) {
+	if len(vectors) != w.cfg.Nodes {
+		return nil, fmt.Errorf("analysis: whitebox: got %d vectors, want %d", len(vectors), w.cfg.Nodes)
+	}
+	for n, v := range vectors {
+		if len(v) != w.cfg.Metrics {
+			return nil, fmt.Errorf("analysis: whitebox: node %d vector has %d metrics, want %d",
+				n, len(v), w.cfg.Metrics)
+		}
+		copy(w.ring[w.next][n], v)
+	}
+	w.next = (w.next + 1) % w.cfg.WindowSize
+	if w.filled < w.cfg.WindowSize {
+		w.filled++
+	}
+	w.samples++
+	w.sinceWindow++
+	if w.filled < w.cfg.WindowSize || w.sinceWindow < w.cfg.WindowSlide {
+		return nil, nil
+	}
+	w.sinceWindow = 0
+	return w.evaluate(), nil
+}
+
+// evaluate runs the peer comparison over the current full window.
+func (w *WhiteBox) evaluate() *WindowResult {
+	res := &WindowResult{
+		EndIndex: w.samples - 1,
+		Scores:   make([]float64, w.cfg.Nodes),
+		Flagged:  make([]bool, w.cfg.Nodes),
+	}
+	means := make([][]float64, w.cfg.Nodes) // [node][metric]
+	sds := make([][]float64, w.cfg.Nodes)
+	for n := 0; n < w.cfg.Nodes; n++ {
+		means[n] = make([]float64, w.cfg.Metrics)
+		sds[n] = make([]float64, w.cfg.Metrics)
+	}
+	col := make([]float64, w.cfg.WindowSize)
+	nodeMeans := make([]float64, w.cfg.Nodes)
+	nodeSDs := make([]float64, w.cfg.Nodes)
+	for m := 0; m < w.cfg.Metrics; m++ {
+		for n := 0; n < w.cfg.Nodes; n++ {
+			var acc stats.Welford
+			for i := 0; i < w.cfg.WindowSize; i++ {
+				col[i] = w.ring[i][n][m]
+				acc.Add(col[i])
+			}
+			means[n][m] = acc.Mean()
+			sds[n][m] = acc.StdDev()
+			nodeMeans[n] = means[n][m]
+			nodeSDs[n] = sds[n][m]
+		}
+		medianMean := stats.MustMedian(nodeMeans)
+		sigmaMedian := stats.MustMedian(nodeSDs)
+		threshold := math.Max(1, w.cfg.K*sigmaMedian)
+		for n := 0; n < w.cfg.Nodes; n++ {
+			dev := math.Abs(means[n][m] - medianMean)
+			// Score in threshold units, maximized over metrics.
+			if score := dev / threshold; score > res.Scores[n] {
+				res.Scores[n] = score
+			}
+			if dev > threshold {
+				res.Flagged[n] = true
+			}
+		}
+	}
+	return res
+}
+
+// Combine merges black-box and white-box verdicts for the same window by
+// union: a node is flagged when either approach flags it (the paper's
+// "combined" analysis, §4.9).
+func Combine(a, b *WindowResult) (*WindowResult, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("analysis: Combine requires two results")
+	}
+	if len(a.Flagged) != len(b.Flagged) {
+		return nil, fmt.Errorf("analysis: Combine node counts differ: %d vs %d",
+			len(a.Flagged), len(b.Flagged))
+	}
+	out := &WindowResult{
+		EndIndex: a.EndIndex,
+		Scores:   make([]float64, len(a.Scores)),
+		Flagged:  make([]bool, len(a.Flagged)),
+	}
+	for i := range a.Flagged {
+		out.Flagged[i] = a.Flagged[i] || b.Flagged[i]
+		out.Scores[i] = math.Max(a.Scores[i], b.Scores[i])
+	}
+	return out, nil
+}

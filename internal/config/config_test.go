@@ -1,0 +1,248 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// paperConfig is the Figure 3 snippet from the paper, lightly reflowed.
+const paperConfig = `
+[ibuffer]
+id = buf1
+input[input] = onenn0.output0
+size = 10
+
+[ibuffer]
+id = buf2
+input[input] = onenn1.output0
+size = 10
+
+[analysis_bb]
+id = analysis
+threshold = 5
+window = 15
+slide = 5
+input[l0] = @buf1
+input[l1] = @buf2
+
+[print]
+id = BlackBoxAlarm
+input[a] = @analysis
+`
+
+func TestParsePaperSnippet(t *testing.T) {
+	f, err := ParseString(paperConfig)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(f.Instances) != 4 {
+		t.Fatalf("got %d instances, want 4", len(f.Instances))
+	}
+
+	buf1, ok := f.Instance("buf1")
+	if !ok {
+		t.Fatal("instance buf1 missing")
+	}
+	if buf1.Module != "ibuffer" {
+		t.Errorf("buf1.Module = %q, want ibuffer", buf1.Module)
+	}
+	size, err := buf1.IntParam("size", 0)
+	if err != nil || size != 10 {
+		t.Errorf("buf1 size = %d (%v), want 10", size, err)
+	}
+	if len(buf1.Inputs) != 1 {
+		t.Fatalf("buf1 inputs = %v, want 1", buf1.Inputs)
+	}
+	in := buf1.Inputs[0]
+	if in.Name != "input" || in.Instance != "onenn0" || in.Output != "output0" || in.All {
+		t.Errorf("buf1 input ref = %+v", in)
+	}
+
+	an, ok := f.Instance("analysis")
+	if !ok {
+		t.Fatal("instance analysis missing")
+	}
+	if got := len(an.Inputs); got != 2 {
+		t.Fatalf("analysis inputs = %d, want 2", got)
+	}
+	if !an.Inputs[0].All || an.Inputs[0].Instance != "buf1" {
+		t.Errorf("analysis input[l0] = %+v, want @buf1", an.Inputs[0])
+	}
+	thr, err := an.FloatParam("threshold", 0)
+	if err != nil || thr != 5 {
+		t.Errorf("threshold = %v (%v), want 5", thr, err)
+	}
+}
+
+func TestParseDefaultID(t *testing.T) {
+	f, err := ParseString("[sadc]\nperiod = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Instance("sadc"); !ok {
+		t.Error("instance without id should default to module name")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	f, err := ParseString("# leading comment\n[m]\n; another\nx = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := f.Instances[0].StringParam("x", ""); v != "1" {
+		t.Errorf("x = %q, want 1", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		frag string
+	}{
+		{"assignment outside section", "x = 1\n", "outside any section"},
+		{"unterminated header", "[m\n", "unterminated"},
+		{"empty header", "[]\n", "empty section"},
+		{"missing equals", "[m]\nnope\n", "key = value"},
+		{"duplicate id", "[a]\nid = x\n[b]\nid = x\n", "duplicate instance id"},
+		{"duplicate param", "[m]\nk = 1\nk = 2\n", "duplicate parameter"},
+		{"duplicate id in section", "[m]\nid = a\nid = b\n", "duplicate id"},
+		{"empty input source", "[m]\ninput[x] =\n", "empty source"},
+		{"bare instance input", "[m]\ninput[x] = foo\n", "must be instance.output"},
+		{"empty input name", "[m]\ninput[] = a.b\n", "empty input name"},
+		{"empty at-instance", "[m]\ninput[x] = @\n", "empty instance"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.text)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tt.frag)
+			}
+			if !strings.Contains(err.Error(), tt.frag) {
+				t.Errorf("error %q does not contain %q", err, tt.frag)
+			}
+		})
+	}
+}
+
+func TestTypedParams(t *testing.T) {
+	f, err := ParseString(`[m]
+i = 42
+f = 2.5
+b = true
+d = 1500ms
+secs = 3
+list = 1, 2.5,3 ,
+missing_is_default = yes
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Instances[0]
+
+	if v, err := m.IntParam("i", 0); err != nil || v != 42 {
+		t.Errorf("IntParam = %d (%v)", v, err)
+	}
+	if v, err := m.IntParam("absent", 7); err != nil || v != 7 {
+		t.Errorf("IntParam default = %d (%v)", v, err)
+	}
+	if _, err := m.IntParam("f", 0); err == nil {
+		t.Error("IntParam on float should error")
+	}
+	if v, err := m.FloatParam("f", 0); err != nil || v != 2.5 {
+		t.Errorf("FloatParam = %v (%v)", v, err)
+	}
+	if v, err := m.BoolParam("b", false); err != nil || !v {
+		t.Errorf("BoolParam = %v (%v)", v, err)
+	}
+	if _, err := m.BoolParam("d", false); err == nil {
+		t.Error("BoolParam on junk should error")
+	}
+	if v, err := m.DurationParam("d", 0); err != nil || v != 1500*time.Millisecond {
+		t.Errorf("DurationParam = %v (%v)", v, err)
+	}
+	if v, err := m.DurationParam("secs", 0); err != nil || v != 3*time.Second {
+		t.Errorf("DurationParam bare seconds = %v (%v)", v, err)
+	}
+	if v, err := m.DurationParam("absent", time.Minute); err != nil || v != time.Minute {
+		t.Errorf("DurationParam default = %v (%v)", v, err)
+	}
+	list, err := m.FloatListParam("list", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 3}
+	if len(list) != len(want) {
+		t.Fatalf("FloatListParam = %v, want %v", list, want)
+	}
+	for i := range want {
+		if list[i] != want[i] {
+			t.Errorf("FloatListParam[%d] = %v, want %v", i, list[i], want[i])
+		}
+	}
+	if _, err := m.FloatListParam("missing_is_default", nil); err == nil {
+		t.Error("FloatListParam on junk should error")
+	}
+}
+
+func TestParamLookup(t *testing.T) {
+	f, err := ParseString("[m]\nx = hello world\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Instances[0]
+	if v, ok := m.Param("x"); !ok || v != "hello world" {
+		t.Errorf("Param(x) = %q, %v", v, ok)
+	}
+	if _, ok := m.Param("y"); ok {
+		t.Error("Param(y) should be absent")
+	}
+	if v := m.StringParam("y", "def"); v != "def" {
+		t.Errorf("StringParam default = %q", v)
+	}
+}
+
+func TestInputRefString(t *testing.T) {
+	r1 := InputRef{Name: "a", Instance: "x", Output: "out0"}
+	if r1.String() != "x.out0" {
+		t.Errorf("String() = %q", r1.String())
+	}
+	r2 := InputRef{Name: "a", Instance: "x", All: true}
+	if r2.String() != "@x" {
+		t.Errorf("String() = %q", r2.String())
+	}
+}
+
+func TestParseFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fpt.conf")
+	if err := os.WriteFile(path, []byte(paperConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Instances) != 4 {
+		t.Errorf("instances = %d, want 4", len(f.Instances))
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.conf")); err == nil {
+		t.Error("ParseFile on missing file should error")
+	}
+}
+
+func TestInstanceOrderPreserved(t *testing.T) {
+	f, err := ParseString("[b]\nid=one\n[a]\nid=two\n[c]\nid=three\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"one", "two", "three"}
+	for i, in := range f.Instances {
+		if in.ID != want[i] {
+			t.Errorf("instance %d = %q, want %q", i, in.ID, want[i])
+		}
+	}
+}

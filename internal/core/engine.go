@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+)
+
+// Engine is an fpt-core instance: a DAG of module instances plus a
+// scheduler. Construct with NewEngine, then drive it either with Tick/Flush
+// (step mode) or Run (real-time mode); the two modes must not be mixed on
+// one Engine.
+type Engine struct {
+	logger Logger
+	onErr  func(instanceID string, err error)
+
+	instances []*instanceState // in initialization (topological) order
+	byID      map[string]*instanceState
+
+	// step-mode state; also reused as the notification lock in
+	// real-time mode.
+	stepMu  chan struct{} // binary semaphore guarding dirty/pending
+	dirty   []*instanceState
+	started bool
+	realtim bool
+}
+
+// instanceState is the engine-side representation of one module instance:
+// a vertex of the DAG.
+type instanceState struct {
+	id     string
+	cfg    *config.Instance
+	module Module
+	engine *Engine
+
+	inputs  []*InputPort
+	outputs []*OutputPort
+
+	// scheduling
+	period  time.Duration // >0: periodic
+	trigger int           // >0: run after this many input updates
+	pending int           // accumulated input updates (guarded by stepMu)
+	queued  bool          // already on the dirty list (guarded by stepMu)
+	nextDue time.Time     // step mode: next periodic deadline
+
+	order   int            // topological index
+	mailbox chan RunReason // real-time mode
+}
+
+// Option customizes engine construction.
+type Option func(*Engine)
+
+// WithLogger sets the diagnostic logger.
+func WithLogger(l Logger) Option {
+	return func(e *Engine) { e.logger = l }
+}
+
+// WithErrorHandler sets the callback invoked when a module's Run returns an
+// error. The default logs and continues, matching the paper's
+// keep-monitoring-despite-module-errors behaviour.
+func WithErrorHandler(f func(instanceID string, err error)) Option {
+	return func(e *Engine) { e.onErr = f }
+}
+
+// NewEngine builds the module DAG from the parsed configuration, following
+// the paper's four-step construction (§3.3): create a vertex per instance,
+// count unsatisfied inputs, initialize instances whose inputs are satisfied
+// (their new outputs satisfying downstream inputs), and repeat to fixpoint.
+// Failure to reach the fixpoint — a dangling reference, a missing module, or
+// a dependency cycle — is a configuration error.
+func NewEngine(reg *Registry, file *config.File, opts ...Option) (*Engine, error) {
+	if reg == nil || file == nil {
+		return nil, fmt.Errorf("core: NewEngine requires a registry and a configuration")
+	}
+	e := &Engine{
+		byID:   make(map[string]*instanceState),
+		stepMu: make(chan struct{}, 1),
+	}
+	e.stepMu <- struct{}{}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.onErr == nil {
+		e.onErr = func(id string, err error) { e.logf("module %s: run error: %v", id, err) }
+	}
+
+	// Step 1: a vertex per configured instance.
+	all := make([]*instanceState, 0, len(file.Instances))
+	for _, ci := range file.Instances {
+		if _, ok := reg.Lookup(ci.Module); !ok {
+			return nil, fmt.Errorf("core: instance %q: unknown module %q (line %d)", ci.ID, ci.Module, ci.Line)
+		}
+		inst := &instanceState{id: ci.ID, cfg: ci, engine: e}
+		all = append(all, inst)
+		e.byID[ci.ID] = inst
+	}
+
+	// Step 2: count unsatisfied upstream dependencies.
+	unsat := make(map[*instanceState]map[string]bool)
+	dependents := make(map[string][]*instanceState)
+	for _, inst := range all {
+		deps := make(map[string]bool)
+		for _, ref := range inst.cfg.Inputs {
+			up, ok := e.byID[ref.Instance]
+			if !ok {
+				return nil, fmt.Errorf("core: instance %q: input[%s] references unknown instance %q",
+					inst.id, ref.Name, ref.Instance)
+			}
+			if up == inst {
+				return nil, fmt.Errorf("core: instance %q: input[%s] references itself", inst.id, ref.Name)
+			}
+			deps[ref.Instance] = true
+		}
+		unsat[inst] = deps
+		for d := range deps {
+			dependents[d] = append(dependents[d], inst)
+		}
+	}
+
+	// Steps 3–4: initialize in dependency order.
+	var queue []*instanceState
+	for _, inst := range all {
+		if len(unsat[inst]) == 0 {
+			queue = append(queue, inst)
+		}
+	}
+	initialized := 0
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		if err := e.initInstance(reg, inst); err != nil {
+			return nil, err
+		}
+		inst.order = initialized
+		initialized++
+		e.instances = append(e.instances, inst)
+		for _, down := range dependents[inst.id] {
+			delete(unsat[down], inst.id)
+			if len(unsat[down]) == 0 {
+				queue = append(queue, down)
+			}
+		}
+	}
+	if initialized != len(all) {
+		var blocked []string
+		for _, inst := range all {
+			if len(unsat[inst]) > 0 {
+				blocked = append(blocked, inst.id)
+			}
+		}
+		sort.Strings(blocked)
+		return nil, fmt.Errorf("core: could not satisfy inputs of instances %s (dependency cycle or missing outputs)",
+			strings.Join(blocked, ", "))
+	}
+	return e, nil
+}
+
+// initInstance creates the module, wires its input ports to upstream
+// outputs, and calls its Init.
+func (e *Engine) initInstance(reg *Registry, inst *instanceState) error {
+	factory, _ := reg.Lookup(inst.cfg.Module)
+	inst.module = factory()
+
+	for _, ref := range inst.cfg.Inputs {
+		up := e.byID[ref.Instance]
+		if ref.All {
+			if len(up.outputs) == 0 {
+				return fmt.Errorf("core: instance %q: input[%s] = @%s but %q created no outputs",
+					inst.id, ref.Name, ref.Instance, ref.Instance)
+			}
+			for _, o := range up.outputs {
+				e.wire(inst, ref.Name, o)
+			}
+			continue
+		}
+		var found *OutputPort
+		for _, o := range up.outputs {
+			if o.name == ref.Output {
+				found = o
+				break
+			}
+		}
+		if found == nil {
+			return fmt.Errorf("core: instance %q: input[%s] references missing output %s.%s",
+				inst.id, ref.Name, ref.Instance, ref.Output)
+		}
+		e.wire(inst, ref.Name, found)
+	}
+
+	ictx := &InitContext{inst: inst, engine: e}
+	if err := inst.module.Init(ictx); err != nil {
+		return fmt.Errorf("core: instance %q: init: %w", inst.id, err)
+	}
+	if len(inst.inputs) > 0 && inst.trigger == 0 {
+		inst.trigger = 1
+	}
+	if inst.period == 0 && len(inst.inputs) == 0 {
+		return fmt.Errorf("core: instance %q has no inputs and no periodic schedule; it would never run", inst.id)
+	}
+	return nil
+}
+
+func (e *Engine) wire(inst *instanceState, inputName string, from *OutputPort) {
+	port := &InputPort{name: inputName, source: from, owner: inst}
+	inst.inputs = append(inst.inputs, port)
+	from.subscribe(port)
+}
+
+// Instances returns the instance ids in initialization (topological) order.
+func (e *Engine) Instances() []string {
+	out := make([]string, len(e.instances))
+	for i, inst := range e.instances {
+		out[i] = inst.id
+	}
+	return out
+}
+
+// OutputPortsOf returns the output ports of the named instance, for
+// inspection by tests and tooling.
+func (e *Engine) OutputPortsOf(id string) []*OutputPort {
+	inst, ok := e.byID[id]
+	if !ok {
+		return nil
+	}
+	out := make([]*OutputPort, len(inst.outputs))
+	copy(out, inst.outputs)
+	return out
+}
+
+// InputPortsOf returns the input ports of the named instance.
+func (e *Engine) InputPortsOf(id string) []*InputPort {
+	inst, ok := e.byID[id]
+	if !ok {
+		return nil
+	}
+	out := make([]*InputPort, len(inst.inputs))
+	copy(out, inst.inputs)
+	return out
+}
+
+// ModuleOf returns the module implementation behind the named instance,
+// allowing callers (e.g. the evaluation harness) to read results off
+// concrete module types.
+func (e *Engine) ModuleOf(id string) (Module, bool) {
+	inst, ok := e.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return inst.module, true
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.logger != nil {
+		e.logger.Printf(format, args...)
+	}
+}
+
+// lock acquires the engine's notification lock.
+func (e *Engine) lock() { <-e.stepMu }
+
+// unlock releases the engine's notification lock.
+func (e *Engine) unlock() { e.stepMu <- struct{}{} }
+
+// notifyInput records an input update and schedules the owning instance
+// when its trigger threshold is reached.
+func (e *Engine) notifyInput(in *InputPort) {
+	inst := in.owner
+	e.lock()
+	inst.pending++
+	ready := inst.trigger > 0 && inst.pending >= inst.trigger
+	if ready {
+		inst.pending = 0
+	}
+	enqueue := ready && !inst.queued && !e.realtim
+	if enqueue {
+		inst.queued = true
+		e.dirty = append(e.dirty, inst)
+	}
+	e.unlock()
+
+	if ready && e.realtim {
+		select {
+		case inst.mailbox <- RunInputs:
+		default: // coalesce: a run is already pending
+		}
+	}
+}
+
+// runModule invokes Run once with the given reason, routing errors to the
+// error handler.
+func (e *Engine) runModule(inst *instanceState, reason RunReason, now time.Time) {
+	rctx := &RunContext{inst: inst, engine: e, Reason: reason, Now: now}
+	if err := inst.module.Run(rctx); err != nil {
+		e.onErr(inst.id, err)
+	}
+}

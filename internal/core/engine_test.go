@@ -1,0 +1,604 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+)
+
+// counterSource emits an incrementing scalar on each periodic run.
+type counterSource struct {
+	out  *OutputPort
+	next float64
+}
+
+func (m *counterSource) Init(ctx *InitContext) error {
+	period, err := ctx.Config().DurationParam("period", time.Second)
+	if err != nil {
+		return err
+	}
+	m.out, err = ctx.NewOutput("output0", Origin{Source: "counter", Node: ctx.Config().StringParam("node", "")})
+	if err != nil {
+		return err
+	}
+	return ctx.SchedulePeriodic(period)
+}
+
+func (m *counterSource) Run(ctx *RunContext) error {
+	if ctx.Reason != RunPeriodic {
+		return nil
+	}
+	m.out.Publish(NewScalar(ctx.Now, m.next))
+	m.next++
+	return nil
+}
+
+// recorder stores everything it receives on any input.
+type recorder struct {
+	mu      sync.Mutex
+	samples []Sample
+	reasons []RunReason
+	flushed bool
+}
+
+func (m *recorder) Init(ctx *InitContext) error {
+	if len(ctx.Inputs()) == 0 {
+		return fmt.Errorf("recorder requires at least one input")
+	}
+	n, err := ctx.Config().IntParam("trigger", 0)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		return ctx.TriggerOnInputs(n)
+	}
+	return nil
+}
+
+func (m *recorder) Run(ctx *RunContext) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reasons = append(m.reasons, ctx.Reason)
+	if ctx.Reason == RunFlush {
+		m.flushed = true
+	}
+	for _, in := range ctx.Inputs() {
+		m.samples = append(m.samples, in.Read()...)
+	}
+	return nil
+}
+
+func (m *recorder) all() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// doubler republishes each input scalar doubled; used for chain tests.
+type doubler struct {
+	out *OutputPort
+}
+
+func (m *doubler) Init(ctx *InitContext) error {
+	var err error
+	m.out, err = ctx.NewOutput("output0", Origin{Source: "doubler"})
+	return err
+}
+
+func (m *doubler) Run(ctx *RunContext) error {
+	for _, in := range ctx.Inputs() {
+		for _, s := range in.Read() {
+			m.out.Publish(NewScalar(s.Time, 2*s.Scalar()))
+		}
+	}
+	return nil
+}
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Register("counter", func() Module { return &counterSource{} })
+	reg.Register("recorder", func() Module { return &recorder{} })
+	reg.Register("doubler", func() Module { return &doubler{} })
+	return reg
+}
+
+func mustParse(t *testing.T, text string) *config.File {
+	t.Helper()
+	f, err := config.ParseString(text)
+	if err != nil {
+		t.Fatalf("parse config: %v", err)
+	}
+	return f
+}
+
+func t0() time.Time { return time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+func TestEngineStepPipeline(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 1
+
+[doubler]
+id = dbl
+input[in] = src.output0
+
+[recorder]
+id = rec
+input[in] = dbl.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := t0()
+	for i := 0; i < 5; i++ {
+		if err := e.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, ok := e.ModuleOf("rec")
+	if !ok {
+		t.Fatal("rec instance missing")
+	}
+	rec, ok := mod.(*recorder)
+	if !ok {
+		t.Fatalf("rec module has type %T", mod)
+	}
+	got := rec.all()
+	if len(got) != 5 {
+		t.Fatalf("recorder received %d samples, want 5", len(got))
+	}
+	for i, s := range got {
+		if want := float64(2 * i); s.Scalar() != want {
+			t.Errorf("sample %d = %v, want %v", i, s.Scalar(), want)
+		}
+	}
+}
+
+func TestEngineTopologicalInit(t *testing.T) {
+	// Declared out of order: downstream first.
+	cfg := mustParse(t, `
+[recorder]
+id = rec
+input[in] = src.output0
+
+[counter]
+id = src
+period = 1
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := e.Instances()
+	if ids[0] != "src" || ids[1] != "rec" {
+		t.Errorf("init order = %v, want [src rec]", ids)
+	}
+}
+
+func TestEngineAtExpansion(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = a
+period = 1
+
+[counter]
+id = b
+period = 1
+
+[recorder]
+id = rec
+input[x] = @a
+input[x] = @b
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := e.InputPortsOf("rec")
+	if len(ports) != 2 {
+		t.Fatalf("rec has %d input ports, want 2", len(ports))
+	}
+	if err := e.Tick(t0()); err != nil {
+		t.Fatal(err)
+	}
+	mod, _ := e.ModuleOf("rec")
+	if got := len(mod.(*recorder).all()); got != 2 {
+		t.Errorf("recorder received %d samples, want 2", got)
+	}
+}
+
+func TestEngineTriggerThreshold(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 1
+
+[recorder]
+id = rec
+trigger = 3
+input[in] = src.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := t0()
+	for i := 0; i < 7; i++ {
+		if err := e.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, _ := e.ModuleOf("rec")
+	rec := mod.(*recorder)
+	// 7 updates with trigger=3 -> runs after the 3rd and 6th.
+	runs := 0
+	for _, r := range rec.reasons {
+		if r == RunInputs {
+			runs++
+		}
+	}
+	if runs != 2 {
+		t.Errorf("recorder ran %d times, want 2", runs)
+	}
+	// All 7 samples should still be readable (6 at trigger points, the 7th pending).
+	if got := len(rec.all()); got != 6 {
+		t.Errorf("recorder consumed %d samples, want 6", got)
+	}
+}
+
+func TestEngineConstructionErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		frag string
+	}{
+		{
+			"unknown module",
+			"[nosuch]\nid = x\n",
+			"unknown module",
+		},
+		{
+			"unknown instance",
+			"[recorder]\nid = r\ninput[a] = ghost.output0\n",
+			"unknown instance",
+		},
+		{
+			"self reference",
+			"[recorder]\nid = r\ninput[a] = r.output0\n",
+			"references itself",
+		},
+		{
+			"missing output",
+			"[counter]\nid = c\nperiod = 1\n[recorder]\nid = r\ninput[a] = c.nope\n",
+			"missing output",
+		},
+		{
+			"cycle",
+			"[doubler]\nid = d1\ninput[a] = d2.output0\n[doubler]\nid = d2\ninput[a] = d1.output0\n",
+			"dependency cycle",
+		},
+		{
+			"never scheduled",
+			"[doubler]\nid = d\n",
+			"never run",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := mustParse(t, tt.text)
+			_, err := NewEngine(testRegistry(), cfg)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tt.frag)
+			}
+			if !strings.Contains(err.Error(), tt.frag) {
+				t.Errorf("error %q does not contain %q", err, tt.frag)
+			}
+		})
+	}
+}
+
+func TestEngineFlushReachesModules(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 1
+
+[recorder]
+id = rec
+input[in] = src.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tick(t0()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(t0().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	mod, _ := e.ModuleOf("rec")
+	if !mod.(*recorder).flushed {
+		t.Error("recorder did not observe RunFlush")
+	}
+}
+
+func TestEnginePeriodicCatchUp(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 1
+
+[recorder]
+id = rec
+input[in] = src.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jumping 3 seconds in one Tick should fire the periodic module for
+	// every elapsed period.
+	if err := e.Tick(t0()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tick(t0().Add(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	mod, _ := e.ModuleOf("rec")
+	if got := len(mod.(*recorder).all()); got != 4 {
+		t.Errorf("recorder received %d samples, want 4 (t=0,1,2,3)", got)
+	}
+}
+
+func TestEngineErrorHandler(t *testing.T) {
+	reg := testRegistry()
+	reg.Register("failing", func() Module { return failingModule{} })
+	cfg := mustParse(t, "[failing]\nid = f\nperiod = 1\n")
+	var gotID string
+	var gotErr error
+	e, err := NewEngine(reg, cfg, WithErrorHandler(func(id string, err error) {
+		gotID, gotErr = id, err
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tick(t0()); err != nil {
+		t.Fatal(err)
+	}
+	if gotID != "f" || gotErr == nil {
+		t.Errorf("error handler got (%q, %v), want (f, non-nil)", gotID, gotErr)
+	}
+}
+
+type failingModule struct{}
+
+func (failingModule) Init(ctx *InitContext) error { return ctx.SchedulePeriodic(time.Second) }
+func (failingModule) Run(*RunContext) error       { return fmt.Errorf("boom") }
+
+func TestEngineModeMixing(t *testing.T) {
+	cfg := mustParse(t, "[counter]\nid = src\nperiod = 1\n")
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tick(t0()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Run(ctx); err == nil || !strings.Contains(err.Error(), "already driven by Tick") {
+		t.Errorf("Run after Tick = %v, want mode error", err)
+	}
+}
+
+func TestEngineRealTimeMode(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 10ms
+
+[recorder]
+id = rec
+input[in] = src.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if err := e.Run(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Run = %v, want deadline exceeded", err)
+	}
+	mod, _ := e.ModuleOf("rec")
+	rec := mod.(*recorder)
+	if got := len(rec.all()); got < 3 {
+		t.Errorf("recorder received %d samples in real-time mode, want >= 3", got)
+	}
+	if !rec.flushed {
+		t.Error("recorder did not observe RunFlush on shutdown")
+	}
+}
+
+func TestInputPortDropOldest(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 1
+
+[recorder]
+id = rec
+trigger = 1000000
+input[in] = src.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := t0()
+	n := defaultQueueCap + 10
+	for i := 0; i < n; i++ {
+		if err := e.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	port := e.InputPortsOf("rec")[0]
+	if got := port.Dropped(); got != 10 {
+		t.Errorf("Dropped() = %d, want 10", got)
+	}
+	if got := port.Total(); got != uint64(n) {
+		t.Errorf("Total() = %d, want %d", got, n)
+	}
+	samples := port.Read()
+	if len(samples) != defaultQueueCap {
+		t.Fatalf("queued %d, want %d", len(samples), defaultQueueCap)
+	}
+	// The oldest surviving sample should be number 10.
+	if samples[0].Scalar() != 10 {
+		t.Errorf("oldest surviving sample = %v, want 10", samples[0].Scalar())
+	}
+}
+
+func TestInputPortLatest(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 1
+
+[recorder]
+id = rec
+trigger = 1000000
+input[in] = src.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.Tick(t0().Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	port := e.InputPortsOf("rec")[0]
+	s, ok := port.Latest()
+	if !ok || s.Scalar() != 2 {
+		t.Errorf("Latest() = %v, %v; want 2, true", s.Scalar(), ok)
+	}
+	if port.Pending() != 0 {
+		t.Error("Latest should clear the queue")
+	}
+	if _, ok := port.Latest(); ok {
+		t.Error("Latest on empty queue should report false")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("m", func() Module { return &recorder{} })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	reg.Register("m", func() Module { return &recorder{} })
+}
+
+func TestRegistryNames(t *testing.T) {
+	reg := testRegistry()
+	names := reg.Names()
+	want := []string{"counter", "doubler", "recorder"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestOutputPortIntrospection(t *testing.T) {
+	cfg := mustParse(t, "[counter]\nid = src\nperiod = 1\nnode = n1\n[recorder]\nid=r\ninput[a]=src.output0\n")
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.OutputPortsOf("src")[0]
+	if out.Name() != "output0" {
+		t.Errorf("Name() = %q", out.Name())
+	}
+	if out.Origin().Node != "n1" {
+		t.Errorf("Origin().Node = %q, want n1", out.Origin().Node)
+	}
+	if _, ok := out.Last(); ok {
+		t.Error("Last() before any publish should be false")
+	}
+	if err := e.Tick(t0()); err != nil {
+		t.Fatal(err)
+	}
+	if out.Published() != 1 {
+		t.Errorf("Published() = %d, want 1", out.Published())
+	}
+	if s, ok := out.Last(); !ok || s.Scalar() != 0 {
+		t.Errorf("Last() = %v, %v", s, ok)
+	}
+	ports := e.InputPortsOf("r")
+	if ports[0].Origin().Node != "n1" || ports[0].SourceOutput() != "output0" || ports[0].Name() != "a" {
+		t.Errorf("input port metadata wrong: %+v", ports[0])
+	}
+}
+
+func TestOutputEnableDisable(t *testing.T) {
+	cfg := mustParse(t, `
+[counter]
+id = src
+period = 1
+
+[recorder]
+id = rec
+input[in] = src.output0
+`)
+	e, err := NewEngine(testRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.OutputPortsOf("src")[0]
+	if !out.Enabled() {
+		t.Fatal("outputs should start enabled")
+	}
+	if err := e.Tick(t0()); err != nil {
+		t.Fatal(err)
+	}
+	out.SetEnabled(false)
+	for i := 1; i <= 3; i++ {
+		if err := e.Tick(t0().Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.SetEnabled(true)
+	if err := e.Tick(t0().Add(4 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	mod, _ := e.ModuleOf("rec")
+	got := mod.(*recorder).all()
+	// Samples at t=0 and t=4 delivered; t=1..3 suppressed.
+	if len(got) != 2 {
+		t.Fatalf("recorder received %d samples, want 2", len(got))
+	}
+	if out.Suppressed() != 3 {
+		t.Errorf("Suppressed = %d, want 3", out.Suppressed())
+	}
+	if out.Published() != 2 {
+		t.Errorf("Published = %d, want 2", out.Published())
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sync"
+)
+
+// defaultQueueCap bounds each input port's FIFO. When analyses are slower
+// than collectors the oldest samples are dropped, matching the paper's
+// rate-mismatch semantics (§3.7); the ibuffer module exists to absorb
+// bursts before slow analyses.
+const defaultQueueCap = 64
+
+// InputPort is the receiving end of a DAG edge. Each InputPort is fed by
+// exactly one OutputPort; an input *name* may map to several ports when the
+// configuration used the `@instance` (all-outputs) form.
+type InputPort struct {
+	name   string // the configured input name, e.g. "l0"
+	source *OutputPort
+	owner  *instanceState
+
+	mu      sync.Mutex
+	queue   []Sample
+	dropped uint64
+	total   uint64
+}
+
+// Name reports the configured input name.
+func (p *InputPort) Name() string { return p.name }
+
+// Origin reports the origin of the upstream output feeding this port.
+func (p *InputPort) Origin() Origin { return p.source.origin }
+
+// SourceOutput reports the name of the upstream output feeding this port.
+func (p *InputPort) SourceOutput() string { return p.source.name }
+
+// push enqueues a sample, dropping the oldest when the queue is full.
+func (p *InputPort) push(s Sample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) >= defaultQueueCap {
+		copy(p.queue, p.queue[1:])
+		p.queue = p.queue[:len(p.queue)-1]
+		p.dropped++
+	}
+	p.queue = append(p.queue, s)
+	p.total++
+}
+
+// Read drains and returns all queued samples (oldest first). It returns nil
+// when no data is pending.
+func (p *InputPort) Read() []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return nil
+	}
+	out := make([]Sample, len(p.queue))
+	copy(out, p.queue)
+	p.queue = p.queue[:0]
+	return out
+}
+
+// Latest returns the newest queued sample without draining older ones, and
+// whether any data was pending. The queue is cleared.
+func (p *InputPort) Latest() (Sample, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return Sample{}, false
+	}
+	s := p.queue[len(p.queue)-1]
+	p.queue = p.queue[:0]
+	return s, true
+}
+
+// Pending reports the number of queued samples.
+func (p *InputPort) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Dropped reports how many samples were discarded due to queue overflow.
+func (p *InputPort) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Total reports how many samples were ever pushed to this port.
+func (p *InputPort) Total() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// OutputPort is the emitting end of one or more DAG edges. Modules create
+// outputs during Init and publish samples from Run.
+type OutputPort struct {
+	name   string
+	origin Origin
+	owner  *instanceState
+
+	mu         sync.Mutex
+	subs       []*InputPort
+	published  uint64
+	suppressed uint64
+	disabled   bool
+	last       Sample
+	hasLast    bool
+}
+
+// Name reports the output name (e.g. "output0").
+func (o *OutputPort) Name() string { return o.name }
+
+// Origin reports the origin metadata set at creation.
+func (o *OutputPort) Origin() Origin { return o.origin }
+
+// Published reports how many samples have been published.
+func (o *OutputPort) Published() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.published
+}
+
+// Last returns the most recently published sample, if any.
+func (o *OutputPort) Last() (Sample, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.last, o.hasLast
+}
+
+// SetEnabled enables or disables the output (§3.7: fpt-core provides for
+// "back-propagating enable/disable state changes on outputs"). Samples
+// published while disabled are counted as suppressed and not delivered.
+func (o *OutputPort) SetEnabled(enabled bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.disabled = !enabled
+}
+
+// Enabled reports whether the output currently delivers samples.
+func (o *OutputPort) Enabled() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return !o.disabled
+}
+
+// Suppressed reports how many samples were dropped while disabled.
+func (o *OutputPort) Suppressed() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.suppressed
+}
+
+// Publish fans a sample out to every subscribed input port and notifies the
+// downstream modules' schedulers.
+func (o *OutputPort) Publish(s Sample) {
+	o.mu.Lock()
+	if o.disabled {
+		o.suppressed++
+		o.mu.Unlock()
+		return
+	}
+	o.published++
+	o.last = s
+	o.hasLast = true
+	subs := o.subs
+	o.mu.Unlock()
+
+	for _, in := range subs {
+		in.push(s)
+	}
+	// Notify after data is visible on every port so a triggered module
+	// observes its full fan-out.
+	eng := o.owner.engine
+	for _, in := range subs {
+		eng.notifyInput(in)
+	}
+}
+
+// subscribe attaches an input port; called only during DAG construction.
+func (o *OutputPort) subscribe(in *InputPort) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.subs = append(o.subs, in)
+}

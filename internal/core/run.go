@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tick advances the engine's virtual clock to now (step mode): every
+// periodic module whose deadline has passed runs, and input-triggered
+// modules run — in topological order — until no more triggers are pending.
+// Tick is deterministic and single-threaded; it must not be mixed with Run.
+func (e *Engine) Tick(now time.Time) error {
+	if e.realtim {
+		return fmt.Errorf("core: Tick called on an engine running in real-time mode")
+	}
+	e.started = true
+	for _, inst := range e.instances {
+		if inst.period <= 0 {
+			continue
+		}
+		if inst.nextDue.IsZero() {
+			inst.nextDue = now // first tick fires immediately
+		}
+		for !now.Before(inst.nextDue) {
+			e.runModule(inst, RunPeriodic, now)
+			inst.nextDue = inst.nextDue.Add(inst.period)
+		}
+	}
+	e.drainTriggers(now)
+	return nil
+}
+
+// Flush runs every module once with RunFlush (in topological order) and
+// drains resulting triggers, letting windowed analyses emit their final
+// results. Call after the last Tick of an offline run.
+func (e *Engine) Flush(now time.Time) error {
+	if e.realtim {
+		return fmt.Errorf("core: Flush called on an engine running in real-time mode")
+	}
+	for _, inst := range e.instances {
+		e.runModule(inst, RunFlush, now)
+		e.drainTriggers(now)
+	}
+	return nil
+}
+
+// drainTriggers repeatedly runs the lowest-topological-order dirty instance
+// until quiescence.
+func (e *Engine) drainTriggers(now time.Time) {
+	for {
+		e.lock()
+		if len(e.dirty) == 0 {
+			e.unlock()
+			return
+		}
+		sort.Slice(e.dirty, func(i, j int) bool { return e.dirty[i].order < e.dirty[j].order })
+		inst := e.dirty[0]
+		e.dirty = e.dirty[1:]
+		inst.queued = false
+		e.unlock()
+
+		e.runModule(inst, RunInputs, now)
+	}
+}
+
+// Run executes the engine in real-time mode until ctx is cancelled: one
+// worker goroutine per module instance, fed by wall-clock tickers (periodic
+// modules) and input notifications (§3.1: the fpt-core scheduler
+// "dispatches events to the various modules"). On cancellation each module
+// receives a final RunFlush, and Run returns after all workers exit.
+func (e *Engine) Run(ctx context.Context) error {
+	if e.started {
+		return fmt.Errorf("core: Run called on an engine already driven by Tick")
+	}
+	e.realtim = true
+	defer func() { e.realtim = false }()
+
+	var wg sync.WaitGroup
+	for _, inst := range e.instances {
+		inst.mailbox = make(chan RunReason, 1)
+	}
+
+	for _, inst := range e.instances {
+		wg.Add(1)
+		go func(inst *instanceState) {
+			defer wg.Done()
+			e.worker(ctx, inst)
+		}(inst)
+		if inst.period > 0 {
+			wg.Add(1)
+			go func(inst *instanceState) {
+				defer wg.Done()
+				ticker := time.NewTicker(inst.period)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-ticker.C:
+						select {
+						case inst.mailbox <- RunPeriodic:
+						default: // previous run still pending; coalesce
+						}
+					}
+				}
+			}(inst)
+		}
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// worker is the per-instance run loop in real-time mode.
+func (e *Engine) worker(ctx context.Context, inst *instanceState) {
+	for {
+		select {
+		case <-ctx.Done():
+			e.runModule(inst, RunFlush, time.Now())
+			return
+		case reason := <-inst.mailbox:
+			e.runModule(inst, reason, time.Now())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package core implements fpt-core, the ASDF fingerpointing engine (§3 of
+// the paper): a plug-in API for data-collection and analysis modules, a
+// configuration-driven DAG builder, and a scheduler that runs output-only
+// modules periodically and analysis modules when their inputs have fresh
+// data.
+//
+// The engine supports two execution modes sharing the same module API:
+//
+//   - Step mode (Engine.Tick): virtual-time, deterministic, single-threaded.
+//     Used for offline analysis and for the reproduction experiments.
+//   - Real-time mode (Engine.Run): one goroutine per module instance, with
+//     periodic scheduling driven by wall-clock tickers. Used for online
+//     fingerpointing, as in the paper's deployment.
+package core
+
+import (
+	"time"
+)
+
+// Origin describes the provenance of an output port's data, as set by the
+// producing module at initialization (§3.2 "Setting origin information").
+type Origin struct {
+	// Node is the monitored node the data pertains to (e.g. "slave03").
+	Node string
+	// Source is the data source kind (e.g. "sadc", "hadoop_log", "analysis_bb").
+	Source string
+	// Metric names the metric or state dimension(s) carried.
+	Metric string
+}
+
+// Sample is one timestamped data point flowing along a DAG edge. Values is
+// a vector; scalar outputs use a single element.
+type Sample struct {
+	// Time is the sample timestamp. In step mode this is virtual time; in
+	// real-time mode, black-box samples are stamped on the control node
+	// (§3.7) while white-box samples carry log timestamps.
+	Time time.Time
+	// Values is the numeric payload. Receivers must not mutate it.
+	Values []float64
+}
+
+// Scalar returns the first value, or 0 for an empty sample. Most alarm and
+// state outputs are scalar.
+func (s Sample) Scalar() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[0]
+}
+
+// NewScalar builds a scalar sample.
+func NewScalar(t time.Time, v float64) Sample {
+	return Sample{Time: t, Values: []float64{v}}
+}
+
+// RunReason tells a module's Run method why it was invoked (§3.2: "One of
+// the arguments to this function describes the reason why the module
+// instance was run").
+type RunReason int
+
+// Run reasons.
+const (
+	// RunPeriodic means the scheduler fired the module's periodic timer.
+	RunPeriodic RunReason = iota + 1
+	// RunInputs means enough of the module's inputs received new data.
+	RunInputs
+	// RunFlush means the engine is shutting down and the module should
+	// emit any buffered results.
+	RunFlush
+)
+
+// String renders the reason for diagnostics.
+func (r RunReason) String() string {
+	switch r {
+	case RunPeriodic:
+		return "periodic"
+	case RunInputs:
+		return "inputs"
+	case RunFlush:
+		return "flush"
+	default:
+		return "unknown"
+	}
+}

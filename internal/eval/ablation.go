@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// AblationRow is one variant's result: the mean balanced accuracy over the
+// six Table-2 faults and the any-alarm false-positive rate on a
+// problem-free run.
+type AblationRow struct {
+	Variant  string
+	MeanBA   float64
+	CleanFPR float64
+}
+
+// Ablation quantifies the design choices documented in DESIGN.md §5a by
+// re-running the Figure 7 experiment with each choice reverted:
+//
+//   - combined / black-box-only / white-box-only (the paper's own Figure 7
+//     comparison);
+//   - black-box without metric selection (all 64 node metrics);
+//   - black-box without validated training (single unvalidated k-means);
+//   - white-box without the derived stall/failure metrics (state counts
+//     only, the paper's literal text).
+func Ablation(opts Options, params AnalysisParams) ([]AblationRow, error) {
+	baseModel, err := TrainDefaultModel(opts.Slaves, opts.Seed, opts.TrainSeconds, opts.NumStates)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []AblationRow
+	appendVariant := func(name string, ba, fpr float64) {
+		rows = append(rows, AblationRow{Variant: name, MeanBA: ba, CleanFPR: fpr})
+	}
+
+	// Base traces drive the first four variants.
+	baseClean, baseFaults, err := collectAblationTraces(opts, baseModel)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, approach := range []Approach{ApproachCombined, ApproachBlackBox, ApproachWhiteBox} {
+		ba, fpr, err := scoreVariant(baseClean, baseFaults, approach, params)
+		if err != nil {
+			return nil, err
+		}
+		appendVariant("baseline "+approach.String(), ba, fpr)
+	}
+
+	// White-box with the derived stall/failure metrics masked out: only
+	// the raw per-second state counts remain (the paper's literal §4.4).
+	maskedClean := maskDerived(baseClean)
+	maskedFaults := make(map[hadoopsim.FaultKind]*Trace, len(baseFaults))
+	for f, tr := range baseFaults {
+		maskedFaults[f] = maskDerived(tr)
+	}
+	ba, fpr, err := scoreVariant(maskedClean, maskedFaults, ApproachWhiteBox, params)
+	if err != nil {
+		return nil, err
+	}
+	appendVariant("white-box, counts only (no stall metrics)", ba, fpr)
+
+	// Black-box on all 64 metrics (no selection), still validated.
+	fullModel, err := trainAblationModel(opts, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	ba, fpr, err = runBBVariant(opts, fullModel, params)
+	if err != nil {
+		return nil, err
+	}
+	appendVariant("black-box, all 64 metrics", ba, fpr)
+
+	// Black-box with a single unvalidated k-means run (selected metrics).
+	plainModel, err := trainAblationModel(opts, sadc.AnalysisMetricNames, false)
+	if err != nil {
+		return nil, err
+	}
+	ba, fpr, err = runBBVariant(opts, plainModel, params)
+	if err != nil {
+		return nil, err
+	}
+	appendVariant("black-box, unvalidated single k-means", ba, fpr)
+
+	return rows, nil
+}
+
+// trainAblationModel trains a model variant: metricNames selects metrics
+// (nil = all 64), validated toggles restart+probe selection.
+func trainAblationModel(opts Options, metricNames []string, validated bool) (*analysis.Model, error) {
+	series, err := CollectFaultFreeSeries(opts.Slaves, opts.Seed, opts.TrainSeconds)
+	if err != nil {
+		return nil, err
+	}
+	var indexes []int
+	if metricNames != nil {
+		if indexes, err = sadc.NodeMetricIndexes(metricNames); err != nil {
+			return nil, err
+		}
+	}
+	if validated {
+		return analysis.TrainValidatedModel(series, analysis.TrainOptions{
+			K: opts.NumStates, Seed: opts.Seed, Restarts: 8,
+			WindowSize: 60, WindowSlide: 15,
+			MetricIndexes: indexes, Perturb: sadc.CPUHogPerturbation(),
+		})
+	}
+	return analysis.TrainValidatedModel(series, analysis.TrainOptions{
+		K: opts.NumStates, Seed: opts.Seed, Restarts: 1,
+		WindowSize: 60, WindowSlide: 15, MetricIndexes: indexes,
+	})
+}
+
+func collectAblationTraces(opts Options, model *analysis.Model) (*Trace, map[hadoopsim.FaultKind]*Trace, error) {
+	clean, err := CollectTrace(TraceConfig{
+		Slaves: opts.Slaves, Seed: opts.Seed + 100, WarmupSec: opts.WarmupSec,
+		DurationSec: opts.CleanDuration, Fault: hadoopsim.FaultNone,
+	}, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	faults := make(map[hadoopsim.FaultKind]*Trace, len(hadoopsim.AllFaults))
+	for fi, fault := range hadoopsim.AllFaults {
+		faults[fault], err = CollectTrace(TraceConfig{
+			Slaves: opts.Slaves, Seed: opts.Seed + 200 + int64(fi),
+			WarmupSec: opts.WarmupSec, DurationSec: opts.FaultDuration,
+			Fault: fault, FaultNode: opts.FaultNode, InjectAtSec: opts.InjectAtSec,
+		}, model)
+		if err != nil {
+			return nil, nil, fmt.Errorf("eval: ablation trace %s: %w", fault, err)
+		}
+	}
+	return clean, faults, nil
+}
+
+func scoreVariant(clean *Trace, faults map[hadoopsim.FaultKind]*Trace, approach Approach, params AnalysisParams) (meanBA, cleanFPR float64, err error) {
+	var baSum float64
+	for _, tr := range faults {
+		verdicts, err := Verdicts(tr, approach, params)
+		if err != nil {
+			return 0, 0, err
+		}
+		baSum += Score(tr, verdicts, params).BalancedAccuracy
+	}
+	verdicts, err := Verdicts(clean, approach, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	o := Score(clean, verdicts, params)
+	return baSum / float64(len(faults)), o.FalsePositiveRate, nil
+}
+
+func runBBVariant(opts Options, model *analysis.Model, params AnalysisParams) (meanBA, cleanFPR float64, err error) {
+	clean, faults, err := collectAblationTraces(opts, model)
+	if err != nil {
+		return 0, 0, err
+	}
+	p := params
+	p.NumStates = model.NumStates()
+	return scoreVariantBB(clean, faults, p)
+}
+
+func scoreVariantBB(clean *Trace, faults map[hadoopsim.FaultKind]*Trace, params AnalysisParams) (meanBA, cleanFPR float64, err error) {
+	return scoreVariant(clean, faults, ApproachBlackBox, params)
+}
+
+// maskDerived returns a copy of the trace with the derived white-box
+// metrics (stall times, failure history) zeroed, leaving raw state counts.
+func maskDerived(tr *Trace) *Trace {
+	// Layout: TT = 5 states + 3 derived, DN = 3 states + 1 derived.
+	const ttStates, ttDims, dnStates = 5, 8, 3
+	out := *tr
+	out.WBVectors = make([][][]float64, len(tr.WBVectors))
+	for s := range tr.WBVectors {
+		out.WBVectors[s] = make([][]float64, len(tr.WBVectors[s]))
+		for n := range tr.WBVectors[s] {
+			v := append([]float64(nil), tr.WBVectors[s][n]...)
+			for d := ttStates; d < ttDims; d++ {
+				v[d] = 0
+			}
+			for d := ttDims + dnStates; d < len(v); d++ {
+				v[d] = 0
+			}
+			out.WBVectors[s][n] = v
+		}
+	}
+	return &out
+}

@@ -1,0 +1,44 @@
+package eval
+
+import "testing"
+
+func TestAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	opts := DefaultOptions()
+	m := sharedModel(t)
+	params := DefaultParams(m.NumStates())
+	rows, err := Ablation(opts, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]AblationRow, len(rows))
+	for _, r := range rows {
+		t.Logf("%-45s meanBA=%.2f cleanFPR=%.2f", r.Variant, r.MeanBA, r.CleanFPR)
+		byName[r.Variant] = r
+	}
+	base := byName["baseline combined"]
+	bb := byName["baseline black-box"]
+	wb := byName["baseline white-box"]
+	if base.MeanBA < bb.MeanBA-0.02 || base.MeanBA < wb.MeanBA-0.02 {
+		t.Errorf("combined BA %.2f should dominate bb %.2f / wb %.2f", base.MeanBA, bb.MeanBA, wb.MeanBA)
+	}
+	// Removing the stall metrics must hurt white-box detection materially.
+	counts := byName["white-box, counts only (no stall metrics)"]
+	if counts.MeanBA > wb.MeanBA-0.05 {
+		t.Errorf("stall metrics ablation: counts-only BA %.2f vs full %.2f — expected a clear drop",
+			counts.MeanBA, wb.MeanBA)
+	}
+	// The other ablations must not beat the baseline black-box by a wide
+	// margin (they are the configurations we rejected).
+	for _, name := range []string{"black-box, all 64 metrics", "black-box, unvalidated single k-means"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing variant %q", name)
+		}
+		if r.MeanBA > bb.MeanBA+0.10 {
+			t.Errorf("%s BA %.2f unexpectedly beats baseline %.2f", name, r.MeanBA, bb.MeanBA)
+		}
+	}
+}

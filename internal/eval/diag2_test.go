@@ -1,0 +1,34 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+func TestDiagnoseExampleScenario(t *testing.T) {
+	m := sharedModel(t)
+	tr, err := CollectTrace(TraceConfig{
+		Slaves: 8, Seed: 99, WarmupSec: 0,
+		DurationSec: 540, Fault: hadoopsim.FaultCPUHog, FaultNode: 3, InjectAtSec: 180,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(m.NumStates())
+	bb, err := EvaluateBB(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bb {
+		t.Logf("end=%3d scores=%v flagged=%v", v.EndIndex, fmtScores(v.Scores), v.Flagged)
+	}
+}
+
+func fmtScores(s []float64) []int {
+	out := make([]int, len(s))
+	for i, x := range s {
+		out[i] = int(x)
+	}
+	return out
+}

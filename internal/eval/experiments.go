@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// Options sizes the reproduction experiments. The paper ran 50-node EC2
+// clusters; the defaults here use a smaller cluster so the full suite runs
+// in seconds, and scale up cleanly via Slaves.
+type Options struct {
+	Slaves        int
+	Seed          int64
+	TrainSeconds  int // fault-free seconds used to train the model
+	NumStates     int // k-means centroids
+	WarmupSec     int
+	CleanDuration int // recorded seconds for problem-free runs (Fig 6)
+	FaultDuration int // recorded seconds for fault runs (Fig 7)
+	InjectAtSec   int // injection time within fault runs
+	FaultNode     int
+}
+
+// DefaultOptions returns the experiment sizing used by the test suite and
+// the default bench run.
+func DefaultOptions() Options {
+	return Options{
+		Slaves:        8,
+		Seed:          1,
+		TrainSeconds:  300,
+		NumStates:     4,
+		WarmupSec:     120,
+		CleanDuration: 1200,
+		FaultDuration: 1500,
+		InjectAtSec:   600,
+		FaultNode:     2,
+	}
+}
+
+// SweepPoint is one point of a Figure 6 curve.
+type SweepPoint struct {
+	Param float64 // threshold (6a) or k (6b)
+	FPR   float64 // per-window false-positive rate, in [0,1]
+}
+
+// Figure6aThresholds is the paper's sweep range for the black-box
+// threshold (0..70).
+func Figure6aThresholds() []float64 {
+	out := make([]float64, 0, 15)
+	for t := 0.0; t <= 70; t += 5 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Figure6bKs is the paper's sweep range for the white-box k (0..5).
+func Figure6bKs() []float64 {
+	return []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+}
+
+// Figure6a reproduces the black-box false-positive sweep: FPR on a
+// problem-free trace as a function of the L1 threshold.
+func Figure6a(opts Options, model *analysis.Model, thresholds []float64) ([]SweepPoint, error) {
+	tr, err := cleanTrace(opts, model)
+	if err != nil {
+		return nil, err
+	}
+	return sweepBB(tr, opts, model, thresholds)
+}
+
+// Figure6b reproduces the white-box false-positive sweep: FPR on a
+// problem-free trace as a function of k.
+func Figure6b(opts Options, model *analysis.Model, ks []float64) ([]SweepPoint, error) {
+	tr, err := cleanTrace(opts, model)
+	if err != nil {
+		return nil, err
+	}
+	return sweepWB(tr, opts, ks)
+}
+
+// Figure6 computes both sweeps over a single problem-free trace.
+func Figure6(opts Options, model *analysis.Model, thresholds, ks []float64) (bb, wb []SweepPoint, err error) {
+	tr, err := cleanTrace(opts, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bb, err = sweepBB(tr, opts, model, thresholds); err != nil {
+		return nil, nil, err
+	}
+	if wb, err = sweepWB(tr, opts, ks); err != nil {
+		return nil, nil, err
+	}
+	return bb, wb, nil
+}
+
+func cleanTrace(opts Options, model *analysis.Model) (*Trace, error) {
+	return CollectTrace(TraceConfig{
+		Slaves:      opts.Slaves,
+		Seed:        opts.Seed + 100,
+		WarmupSec:   opts.WarmupSec,
+		DurationSec: opts.CleanDuration,
+		Fault:       hadoopsim.FaultNone,
+	}, model)
+}
+
+func sweepBB(tr *Trace, opts Options, model *analysis.Model, thresholds []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		p := DefaultParams(model.NumStates())
+		p.BBThreshold = th
+		verdicts, err := EvaluateBB(tr, p)
+		if err != nil {
+			return nil, err
+		}
+		o := Score(tr, verdicts, p)
+		out = append(out, SweepPoint{Param: th, FPR: o.FalsePositiveRate})
+	}
+	return out, nil
+}
+
+func sweepWB(tr *Trace, opts Options, ks []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ks))
+	for _, k := range ks {
+		p := DefaultParams(1)
+		p.WBK = k
+		verdicts, err := EvaluateWB(tr, p)
+		if err != nil {
+			return nil, err
+		}
+		o := Score(tr, verdicts, p)
+		out = append(out, SweepPoint{Param: k, FPR: o.FalsePositiveRate})
+	}
+	return out, nil
+}
+
+// FaultResult is one fault's row of Figures 7(a) and 7(b): balanced
+// accuracy and fingerpointing latency per approach.
+type FaultResult struct {
+	Fault    hadoopsim.FaultKind
+	Outcomes map[Approach]Outcome
+}
+
+// Figure7 reproduces the fault-injection experiments: for each Table-2
+// fault, one monitored run with the fault injected mid-run, evaluated under
+// all three approaches at the chosen operating point.
+func Figure7(opts Options, model *analysis.Model, params AnalysisParams) ([]FaultResult, error) {
+	results := make([]FaultResult, 0, len(hadoopsim.AllFaults))
+	for fi, fault := range hadoopsim.AllFaults {
+		tr, err := CollectTrace(TraceConfig{
+			Slaves:      opts.Slaves,
+			Seed:        opts.Seed + 200 + int64(fi),
+			WarmupSec:   opts.WarmupSec,
+			DurationSec: opts.FaultDuration,
+			Fault:       fault,
+			FaultNode:   opts.FaultNode,
+			InjectAtSec: opts.InjectAtSec,
+		}, model)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fault %s: %w", fault, err)
+		}
+		fr := FaultResult{Fault: fault, Outcomes: make(map[Approach]Outcome, 3)}
+		bb, err := EvaluateBB(tr, params)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := EvaluateWB(tr, params)
+		if err != nil {
+			return nil, err
+		}
+		combined, err := CombineVerdicts(bb, wb)
+		if err != nil {
+			return nil, err
+		}
+		fr.Outcomes[ApproachBlackBox] = Score(tr, bb, params)
+		fr.Outcomes[ApproachWhiteBox] = Score(tr, wb, params)
+		fr.Outcomes[ApproachCombined] = Score(tr, combined, params)
+		results = append(results, fr)
+	}
+	return results, nil
+}
+
+// MeanBalancedAccuracy averages an approach's balanced accuracy over all
+// fault results (the paper's headline: BB 71%, WB 78%, combined 80%).
+func MeanBalancedAccuracy(results []FaultResult, a Approach) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Outcomes[a].BalancedAccuracy
+	}
+	return sum / float64(len(results))
+}

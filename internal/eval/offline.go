@@ -1,0 +1,278 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+)
+
+// CSVRow is one record written by the csv sink module
+// ("time,node,source,output,values" with semicolon-separated values).
+type CSVRow struct {
+	Time   time.Time
+	Node   string
+	Source string
+	Output string
+	Values []float64
+}
+
+// csvTimeLayout matches the csv module's timestamp format.
+const csvTimeLayout = "2006-01-02T15:04:05"
+
+// ReadCSV loads a csv-module file, supporting ASDF's offline role (§2.1):
+// data collected by a pure-logging configuration can be re-analyzed later
+// with any parameters.
+func ReadCSV(path string) ([]CSVRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	defer func() {
+		_ = f.Close() // read-only
+	}()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	var rows []CSVRow
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if lineNo == 1 || line == "" { // header
+			continue
+		}
+		parts := strings.SplitN(line, ",", 5)
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("eval: %s:%d: want 5 fields, got %d", path, lineNo, len(parts))
+		}
+		ts, err := time.Parse(csvTimeLayout, parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s:%d: %w", path, lineNo, err)
+		}
+		row := CSVRow{Time: ts, Node: parts[1], Source: parts[2], Output: parts[3]}
+		for _, v := range strings.Split(parts[4], ";") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s:%d: value %q: %w", path, lineNo, v, err)
+			}
+			row.Values = append(row.Values, x)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eval: reading %s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// AssembleSeries groups rows whose Source has the given prefix into a
+// per-second, per-node series: series[s][n] is node nodes[n]'s vector at
+// times[s]. Seconds missing a vector for some node are dropped (the same
+// all-nodes-or-nothing rule the hadoop_log module applies).
+func AssembleSeries(rows []CSVRow, sourcePrefix string) (times []time.Time, nodes []string, series [][][]float64, err error) {
+	bySec := make(map[int64]map[string][]float64)
+	nodeSet := make(map[string]bool)
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Source, sourcePrefix) {
+			continue
+		}
+		sec := r.Time.Unix()
+		if bySec[sec] == nil {
+			bySec[sec] = make(map[string][]float64)
+		}
+		bySec[sec][r.Node] = r.Values
+		nodeSet[r.Node] = true
+	}
+	if len(nodeSet) == 0 {
+		return nil, nil, nil, fmt.Errorf("eval: no rows with source prefix %q", sourcePrefix)
+	}
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	secs := make([]int64, 0, len(bySec))
+	for s := range bySec {
+		secs = append(secs, s)
+	}
+	sort.Slice(secs, func(i, j int) bool { return secs[i] < secs[j] })
+	for _, sec := range secs {
+		row := make([][]float64, len(nodes))
+		complete := true
+		for i, n := range nodes {
+			v, ok := bySec[sec][n]
+			if !ok {
+				complete = false
+				break
+			}
+			row[i] = v
+		}
+		if !complete {
+			continue
+		}
+		times = append(times, time.Unix(sec, 0).UTC())
+		series = append(series, row)
+	}
+	if len(series) == 0 {
+		return nil, nil, nil, fmt.Errorf("eval: no second has data from all %d nodes", len(nodes))
+	}
+	return times, nodes, series, nil
+}
+
+// OfflineAlarm is one offline fingerpointing verdict.
+type OfflineAlarm struct {
+	Time  time.Time
+	Node  string
+	Score float64
+}
+
+// OfflineBlackBox re-runs the black-box analysis over a csv file of raw
+// sadc vectors (source "sadc"), classifying with the given model.
+func OfflineBlackBox(path string, model *analysis.Model, params AnalysisParams) ([]OfflineAlarm, error) {
+	rows, err := ReadCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	times, nodes, series, err := AssembleSeries(rows, "sadc")
+	if err != nil {
+		return nil, err
+	}
+	bb, err := analysis.NewBlackBox(analysis.BlackBoxConfig{
+		Nodes:       len(nodes),
+		NumStates:   model.NumStates(),
+		WindowSize:  params.WindowSize,
+		WindowSlide: params.WindowSlide,
+		Threshold:   params.BBThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var alarms []OfflineAlarm
+	states := make([]int, len(nodes))
+	for s, row := range series {
+		for n, vec := range row {
+			if states[n], err = model.Classify(vec); err != nil {
+				return nil, err
+			}
+		}
+		res, err := bb.Observe(states)
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			continue
+		}
+		for n, flagged := range res.Flagged {
+			if flagged {
+				alarms = append(alarms, OfflineAlarm{Time: times[s], Node: nodes[n], Score: res.Scores[n]})
+			}
+		}
+	}
+	return alarms, nil
+}
+
+// OfflineWhiteBox re-runs the white-box analysis over a csv file of Hadoop
+// log state vectors (sources "hadoop_log_*"). TaskTracker and DataNode
+// vectors for the same node and second are concatenated when both are
+// present.
+func OfflineWhiteBox(path string, params AnalysisParams) ([]OfflineAlarm, error) {
+	rows, err := ReadCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	ttTimes, ttNodes, ttSeries, ttErr := AssembleSeries(rows, "hadoop_log_tasktracker")
+	dnTimes, dnNodes, dnSeries, dnErr := AssembleSeries(rows, "hadoop_log_datanode")
+	if ttErr != nil && dnErr != nil {
+		return nil, fmt.Errorf("eval: no hadoop_log rows: %v; %v", ttErr, dnErr)
+	}
+
+	times, nodes, series := ttTimes, ttNodes, ttSeries
+	if ttErr != nil {
+		times, nodes, series = dnTimes, dnNodes, dnSeries
+	} else if dnErr == nil {
+		times, nodes, series = concatSeries(ttTimes, ttNodes, ttSeries, dnTimes, dnNodes, dnSeries)
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("eval: no overlapping hadoop_log data")
+	}
+
+	wb, err := analysis.NewWhiteBox(analysis.WhiteBoxConfig{
+		Nodes:       len(nodes),
+		Metrics:     len(series[0][0]),
+		WindowSize:  params.WindowSize,
+		WindowSlide: params.WindowSlide,
+		K:           params.WBK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var alarms []OfflineAlarm
+	for s, row := range series {
+		res, err := wb.Observe(row)
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			continue
+		}
+		for n, flagged := range res.Flagged {
+			if flagged {
+				alarms = append(alarms, OfflineAlarm{Time: times[s], Node: nodes[n], Score: res.Scores[n]})
+			}
+		}
+	}
+	return alarms, nil
+}
+
+// concatSeries joins two aligned series on (time, node), keeping only
+// seconds present in both and nodes present in both.
+func concatSeries(
+	aTimes []time.Time, aNodes []string, aSeries [][][]float64,
+	bTimes []time.Time, bNodes []string, bSeries [][][]float64,
+) ([]time.Time, []string, [][][]float64) {
+	bIdxByTime := make(map[int64]int, len(bTimes))
+	for i, t := range bTimes {
+		bIdxByTime[t.Unix()] = i
+	}
+	bNodeIdx := make(map[string]int, len(bNodes))
+	for i, n := range bNodes {
+		bNodeIdx[n] = i
+	}
+	var nodes []string
+	var aKeep, bKeep []int
+	for i, n := range aNodes {
+		if j, ok := bNodeIdx[n]; ok {
+			nodes = append(nodes, n)
+			aKeep = append(aKeep, i)
+			bKeep = append(bKeep, j)
+		}
+	}
+	var times []time.Time
+	var series [][][]float64
+	for i, t := range aTimes {
+		j, ok := bIdxByTime[t.Unix()]
+		if !ok {
+			continue
+		}
+		row := make([][]float64, len(nodes))
+		for k := range nodes {
+			av := aSeries[i][aKeep[k]]
+			bv := bSeries[j][bKeep[k]]
+			v := make([]float64, 0, len(av)+len(bv))
+			v = append(v, av...)
+			v = append(v, bv...)
+			row[k] = v
+		}
+		times = append(times, t)
+		series = append(series, row)
+	}
+	return times, nodes, series
+}

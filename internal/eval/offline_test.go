@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/modules"
+)
+
+// collectOfflineCSVs runs a monitored cluster with a pure data-logging
+// configuration (the offline-collect example's shape) and returns the two
+// csv paths.
+func collectOfflineCSVs(t *testing.T, slaves int, seed int64, fault hadoopsim.FaultKind, faultNode, injectAt, duration int) (bbPath, wbPath string) {
+	t.Helper()
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := modules.NewEnv()
+	names := make([]string, slaves)
+	for i, n := range c.Slaves() {
+		names[i] = n.Name
+		env.Procfs[n.Name] = n
+		env.TTLogs[n.Name] = n.TaskTrackerLog()
+		env.DNLogs[n.Name] = n.DataNodeLog()
+	}
+	env.Clock = c.Now
+
+	dir := t.TempDir()
+	bbPath = filepath.Join(dir, "bb.csv")
+	wbPath = filepath.Join(dir, "wb.csv")
+	var b strings.Builder
+	for i, n := range names {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nperiod = 1\n\n", i, n)
+	}
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_tt\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n", strings.Join(names, ","))
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_dn\nkind = datanode\nnodes = %s\nperiod = 1\n\n", strings.Join(names, ","))
+	fmt.Fprintf(&b, "[csv]\nid = bbsink\npath = %s\n", bbPath)
+	for i := range names {
+		fmt.Fprintf(&b, "input[m%d] = sadc%d.output0\n", i, i)
+	}
+	fmt.Fprintf(&b, "\n[csv]\nid = wbsink\npath = %s\ninput[tt] = @hl_tt\ninput[dn] = @hl_dn\n", wbPath)
+
+	cfg, err := config.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(modules.NewRegistry(env), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < duration; i++ {
+		if fault != hadoopsim.FaultNone && i == injectAt {
+			if err := c.InjectFault(faultNode, fault); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Tick()
+		if err := e.Tick(c.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(c.Now()); err != nil {
+		t.Fatal(err)
+	}
+	return bbPath, wbPath
+}
+
+func TestReadCSVAndAssemble(t *testing.T) {
+	bbPath, _ := collectOfflineCSVs(t, 3, 5, hadoopsim.FaultNone, 0, 0, 90)
+	rows, err := ReadCSV(bbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	times, nodes, series, err := AssembleSeries(rows, "sadc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if len(times) != len(series) {
+		t.Fatal("times/series length mismatch")
+	}
+	for i := 1; i < len(times); i++ {
+		if !times[i].After(times[i-1]) {
+			t.Fatal("times not strictly increasing")
+		}
+	}
+	for _, row := range series {
+		for _, v := range row {
+			if len(v) != len(series[0][0]) {
+				t.Fatal("ragged series")
+			}
+		}
+	}
+}
+
+func TestAssembleSeriesErrors(t *testing.T) {
+	if _, _, _, err := AssembleSeries(nil, "sadc"); err == nil {
+		t.Error("empty rows should error")
+	}
+	rows := []CSVRow{
+		{Time: time.Unix(0, 0), Node: "a", Source: "sadc", Values: []float64{1}},
+		{Time: time.Unix(1, 0), Node: "b", Source: "sadc", Values: []float64{2}},
+	}
+	// Nodes never overlap in a second: no complete second exists.
+	if _, _, _, err := AssembleSeries(rows, "sadc"); err == nil {
+		t.Error("no complete second should error")
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"fields.csv": "time,node,source,output,values\nonly,four,fields,here\n",
+		"time.csv":   "time,node,source,output,values\nnot-a-time,a,s,o,1\n",
+		"value.csv":  "time,node,source,output,values\n2026-01-01T00:00:00,a,s,o,abc\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCSV(path); err == nil {
+			t.Errorf("%s should fail to parse", name)
+		}
+	}
+	if _, err := ReadCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestOfflineAnalysisFingerpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	m := sharedModel(t)
+	const culprit = 2
+	bbPath, wbPath := collectOfflineCSVs(t, 6, 77, hadoopsim.FaultHang1036, culprit, 240, 800)
+
+	params := DefaultParams(m.NumStates())
+	bbAlarms, err := OfflineBlackBox(bbPath, m, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbAlarms, err := OfflineWhiteBox(wbPath, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(alarms []OfflineAlarm, node string) int {
+		c := 0
+		for _, a := range alarms {
+			if a.Node == node {
+				c++
+			}
+		}
+		return c
+	}
+	culpritName := "slave03"
+	if n := count(wbAlarms, culpritName); n == 0 {
+		t.Errorf("offline white-box never flagged the culprit (alarms: %d total)", len(wbAlarms))
+	}
+	// The culprit must be the most-flagged node across both analyses.
+	all := append(append([]OfflineAlarm(nil), bbAlarms...), wbAlarms...)
+	perNode := make(map[string]int)
+	for _, a := range all {
+		perNode[a.Node]++
+	}
+	for node, c := range perNode {
+		if node != culpritName && c > perNode[culpritName] {
+			t.Errorf("node %s flagged %d times, culprit %s only %d", node, c, culpritName, perNode[culpritName])
+		}
+	}
+}
+
+func TestOfflineWhiteBoxTTOnly(t *testing.T) {
+	// A csv with only tasktracker rows still analyzes.
+	_, wbPath := collectOfflineCSVs(t, 3, 9, hadoopsim.FaultNone, 0, 0, 150)
+	rows, err := ReadCSV(wbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ttOnly []string
+	ttOnly = append(ttOnly, "time,node,source,output,values")
+	for _, r := range rows {
+		if strings.HasPrefix(r.Source, "hadoop_log_tasktracker") {
+			vals := make([]string, len(r.Values))
+			for i, v := range r.Values {
+				vals[i] = fmt.Sprintf("%g", v)
+			}
+			ttOnly = append(ttOnly, fmt.Sprintf("%s,%s,%s,%s,%s",
+				r.Time.Format("2006-01-02T15:04:05"), r.Node, r.Source, r.Output, strings.Join(vals, ";")))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "tt.csv")
+	if err := os.WriteFile(path, []byte(strings.Join(ttOnly, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(4)
+	if _, err := OfflineWhiteBox(path, params); err != nil {
+		t.Fatalf("tt-only analysis failed: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// BuildPipelineConfig renders the paper's full Figure-4 fpt-core
+// configuration for the given nodes: per-node sadc -> knn -> ibuffer chains
+// into analysis_bb, and a hadoop_log (tasktracker) instance into
+// analysis_wb, both terminating in print alarm instances.
+func BuildPipelineConfig(nodes []string, modelPath string, p AnalysisParams) string {
+	var b strings.Builder
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nperiod = 1\n\n", i, n)
+		fmt.Fprintf(&b, "[knn]\nid = onenn%d\nmodel_file = %s\ninput[in] = sadc%d.output0\n\n", i, modelPath, i)
+		fmt.Fprintf(&b, "[ibuffer]\nid = buf%d\nsize = 10\ninput[input] = onenn%d.output0\n\n", i, i)
+	}
+	fmt.Fprintf(&b, "[analysis_bb]\nid = bb\nthreshold = %g\nwindow = %d\nslide = %d\nstates = %d\n",
+		p.BBThreshold, p.WindowSize, p.WindowSlide, p.NumStates)
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[l%d] = @buf%d\n", i, i)
+	}
+	b.WriteString("\n[print]\nid = BlackBoxAlarm\nlabel = BB\ninput[a] = @bb\n\n")
+
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_tt\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n",
+		strings.Join(nodes, ","))
+	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nk = %g\nwindow = %d\nslide = %d\n",
+		p.WBK, p.WindowSize, p.WindowSlide)
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[s%d] = hl_tt.%s\n", i, nodes[i])
+	}
+	b.WriteString("\n[print]\nid = TaskTrackerAlarm\nlabel = WB\ninput[a] = @wb\n")
+	return b.String()
+}
+
+// SimEnv builds a module Env over a simulated cluster (local collection
+// mode with the cluster's virtual clock).
+func SimEnv(c *hadoopsim.Cluster) *modules.Env {
+	env := modules.NewEnv()
+	for _, n := range c.Slaves() {
+		env.Procfs[n.Name] = n
+		env.TTLogs[n.Name] = n.TaskTrackerLog()
+		env.DNLogs[n.Name] = n.DataNodeLog()
+	}
+	env.Clock = c.Now
+	return env
+}
+
+// newOverheadPipeline builds a small but complete fpt-core pipeline over
+// the cluster for the Table 3 fpt-core row.
+func newOverheadPipeline(c *hadoopsim.Cluster) (*core.Engine, error) {
+	points, err := quickTrainingPoints(c, 40)
+	if err != nil {
+		return nil, err
+	}
+	model, err := analysis.TrainModel(points, 8, 5)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "asdf-overhead")
+	if err != nil {
+		return nil, err
+	}
+	modelPath := filepath.Join(dir, "model.json")
+	if err := model.Save(modelPath); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(c.Slaves()))
+	for _, n := range c.Slaves() {
+		names = append(names, n.Name)
+	}
+	p := DefaultParams(model.NumStates())
+	cfg, err := config.ParseString(BuildPipelineConfig(names, modelPath, p))
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(modules.NewRegistry(SimEnv(c)), cfg)
+}
+
+// quickTrainingPoints collects a short burst of sadc vectors from every
+// slave of an already-running cluster.
+func quickTrainingPoints(c *hadoopsim.Cluster, seconds int) ([][]float64, error) {
+	slaves := c.Slaves()
+	collectors := make([]*sadc.Collector, len(slaves))
+	for i, n := range slaves {
+		collectors[i] = sadc.NewCollector(n)
+		if _, err := collectors[i].Collect(); err != nil {
+			return nil, err
+		}
+	}
+	var points [][]float64
+	for s := 0; s < seconds; s++ {
+		c.Tick()
+		for i := range collectors {
+			rec, err := collectors[i].Collect()
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, rec.Node)
+		}
+	}
+	return points, nil
+}

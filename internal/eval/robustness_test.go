@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestHeadlineRobustAcrossSeeds re-runs the Figure 7 experiment from
+// scratch — training included — under different seeds. The headline shape
+// (combined dominates, and beats the paper's 80% mean) must not depend on
+// seed luck; this is the regression test for the validated-training and
+// workload-texture decisions in DESIGN.md §5a.
+func TestHeadlineRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	for _, seed := range []int64{1, 7, 5555} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultOptions()
+			opts.Seed = seed
+			model, err := TrainDefaultModel(opts.Slaves, opts.Seed, opts.TrainSeconds, opts.NumStates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := DefaultParams(model.NumStates())
+			results, err := Figure7(opts, model, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb := MeanBalancedAccuracy(results, ApproachBlackBox)
+			wb := MeanBalancedAccuracy(results, ApproachWhiteBox)
+			cb := MeanBalancedAccuracy(results, ApproachCombined)
+			t.Logf("seed %d: bb=%.2f wb=%.2f combined=%.2f", seed, bb, wb, cb)
+			if cb < 0.75 {
+				t.Errorf("seed %d: combined mean BA %.2f below 0.75 (paper: 0.80)", seed, cb)
+			}
+			if cb < bb-0.02 || cb < wb-0.02 {
+				t.Errorf("seed %d: combined %.2f does not dominate bb %.2f / wb %.2f", seed, cb, bb, wb)
+			}
+		})
+	}
+}

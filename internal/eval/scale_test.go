@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// TestPaperScaleFiftyNodes runs the localization experiment at the paper's
+// actual cluster size (50 slaves, §4.7) for two representative faults —
+// one black-box-dominant (CPUHog), one white-box-dominant (HADOOP-2080) —
+// verifying that peer comparison improves rather than degrades with more
+// peers, and that the experiment stays tractable.
+func TestPaperScaleFiftyNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment")
+	}
+	const slaves = 50
+	start := time.Now()
+	model, err := TrainDefaultModel(slaves, 2, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(model.NumStates())
+
+	for _, tc := range []struct {
+		fault    hadoopsim.FaultKind
+		approach Approach
+		minBA    float64
+	}{
+		{hadoopsim.FaultCPUHog, ApproachBlackBox, 0.70},
+		{hadoopsim.FaultHang2080, ApproachWhiteBox, 0.75},
+	} {
+		tr, err := CollectTrace(TraceConfig{
+			Slaves: slaves, Seed: 3, WarmupSec: 120, DurationSec: 900,
+			Fault: tc.fault, FaultNode: 17, InjectAtSec: 300,
+		}, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts, err := Verdicts(tr, tc.approach, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Score(tr, verdicts, params)
+		t.Logf("%s via %s at 50 nodes: BA=%.2f TPR=%.2f TNR=%.2f latency=%.0fs",
+			tc.fault, tc.approach, o.BalancedAccuracy, o.TruePositiveRate, o.TrueNegativeRate, o.LatencySec)
+		if o.BalancedAccuracy < tc.minBA {
+			t.Errorf("%s at 50 nodes: BA %.2f below %.2f", tc.fault, o.BalancedAccuracy, tc.minBA)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Minute {
+		t.Errorf("paper-scale run took %v; the simulator should stay tractable", elapsed)
+	}
+}

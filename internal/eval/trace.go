@@ -1,0 +1,319 @@
+// Package eval is the reproduction harness for the paper's evaluation
+// (§4.6–§4.9): it collects monitoring traces from simulated clusters,
+// replays them through the black-box and white-box analyses under swept
+// parameters, and computes the paper's metrics — false-positive rate,
+// balanced accuracy, and fingerpointing latency — for every figure, plus
+// the monitoring-overhead and RPC-bandwidth tables.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// TraceConfig describes one monitored cluster run.
+type TraceConfig struct {
+	// Slaves is the cluster size (the paper used 50; tests use fewer).
+	Slaves int
+	// Seed drives the simulation.
+	Seed int64
+	// WarmupSec runs the cluster before recording starts, so the workload
+	// is in steady state and every node has begun logging.
+	WarmupSec int
+	// DurationSec is the recorded length.
+	DurationSec int
+	// Fault and FaultNode select the injection; Fault = FaultNone means a
+	// problem-free run (used for Figure 6).
+	Fault     hadoopsim.FaultKind
+	FaultNode int
+	// InjectAtSec is when (relative to recording start) the fault is
+	// injected.
+	InjectAtSec int
+	// Phases optionally changes the GridMix composition at given times
+	// (relative to recording start; a phase with AtSec < 0 applies from
+	// the beginning of warmup). Empty means the full five-type mix.
+	Phases []WorkloadPhase
+	// RecordRaw additionally retains the raw sadc node vectors in
+	// Trace.RawNode (needed by baseline analyses that work on raw
+	// metrics rather than classified states).
+	RecordRaw bool
+}
+
+// WorkloadPhase is one segment of a workload-change schedule.
+type WorkloadPhase struct {
+	// AtSec is when the phase begins, relative to recording start.
+	AtSec int
+	// Classes are GridMix job-type names; empty restores the full mix.
+	Classes []string
+}
+
+// Trace is the recorded monitoring data of one run: per second and node,
+// the black-box workload state (1-NN centroid index) and the white-box
+// Hadoop log state vector (TaskTracker states followed by DataNode states).
+type Trace struct {
+	Config    TraceConfig
+	Nodes     int
+	Seconds   int
+	WBMetrics int
+	// BBStates[s][n] is node n's 1-NN state at recorded second s.
+	BBStates [][]int
+	// WBVectors[s][n] is node n's white-box state vector at second s.
+	WBVectors [][][]float64
+	// FaultActive[s] is the per-second ground truth: whether the injected
+	// fault was still perturbing the culprit at recorded second s (a
+	// DiskHog, for example, ends once its 20 GB are written).
+	FaultActive []bool
+	// RawNode[s][n] is node n's raw sadc vector at second s; nil unless
+	// TraceConfig.RecordRaw was set.
+	RawNode [][][]float64
+}
+
+// wbDims is the white-box vector layout: TaskTracker then DataNode states.
+func wbDims() int {
+	return hadooplog.MetricDims(hadooplog.KindTaskTracker) + hadooplog.MetricDims(hadooplog.KindDataNode)
+}
+
+// CollectFaultFreeSeries runs a problem-free cluster and returns the raw
+// per-second, per-node sadc vectors — the training set for the black-box
+// model (§4.5: "offline k-Means clustering using fault-free training
+// data"). The result is indexed series[second][node][metric].
+func CollectFaultFreeSeries(slaves int, seed int64, seconds int) ([][][]float64, error) {
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, seed))
+	if err != nil {
+		return nil, err
+	}
+	collectors := make([]*sadc.Collector, slaves)
+	for i, n := range c.Slaves() {
+		collectors[i] = sadc.NewCollector(n)
+		if _, err := collectors[i].Collect(); err != nil {
+			return nil, err
+		}
+	}
+	series := make([][][]float64, 0, seconds)
+	for s := 0; s < seconds; s++ {
+		c.Tick()
+		row := make([][]float64, slaves)
+		for i := range collectors {
+			rec, err := collectors[i].Collect()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = rec.Node
+		}
+		series = append(series, row)
+	}
+	return series, nil
+}
+
+// CollectFaultFreePoints flattens CollectFaultFreeSeries for callers that
+// only need the unordered training points.
+func CollectFaultFreePoints(slaves int, seed int64, seconds int) ([][]float64, error) {
+	series, err := CollectFaultFreeSeries(slaves, seed, seconds)
+	if err != nil {
+		return nil, err
+	}
+	points := make([][]float64, 0, slaves*seconds)
+	for _, row := range series {
+		points = append(points, row...)
+	}
+	return points, nil
+}
+
+// TrainDefaultModel trains the black-box model used across experiments:
+// the Ganesha-style resource-metric selection, restarted k-means, and model
+// selection by fault-free peer-comparison tail.
+func TrainDefaultModel(slaves int, seed int64, seconds, k int) (*analysis.Model, error) {
+	series, err := CollectFaultFreeSeries(slaves, seed, seconds)
+	if err != nil {
+		return nil, err
+	}
+	return TrainDefaultModelFromSeries(series, k, seed)
+}
+
+// CollectTrace runs one monitored experiment and records the per-second
+// black-box states and white-box vectors for offline parameter sweeps.
+func CollectTrace(cfg TraceConfig, model *analysis.Model) (*Trace, error) {
+	if cfg.Slaves <= 0 || cfg.DurationSec <= 0 {
+		return nil, fmt.Errorf("eval: Slaves and DurationSec must be positive")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("eval: nil model")
+	}
+	if cfg.Fault != hadoopsim.FaultNone {
+		if cfg.FaultNode < 0 || cfg.FaultNode >= cfg.Slaves {
+			return nil, fmt.Errorf("eval: FaultNode %d out of range", cfg.FaultNode)
+		}
+		if cfg.InjectAtSec < 0 || cfg.InjectAtSec >= cfg.DurationSec {
+			return nil, fmt.Errorf("eval: InjectAtSec %d outside run", cfg.InjectAtSec)
+		}
+	}
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(cfg.Slaves, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, ph := range cfg.Phases {
+		if ph.AtSec < 0 {
+			if err := c.SetWorkload(ph.Classes...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	collectors := make([]*sadc.Collector, cfg.Slaves)
+	ttSrc := make([]modules.LogSource, cfg.Slaves)
+	dnSrc := make([]modules.LogSource, cfg.Slaves)
+	for i, n := range c.Slaves() {
+		collectors[i] = sadc.NewCollector(n)
+		ttSrc[i] = modules.NewBufferLogSource(hadooplog.KindTaskTracker, n.TaskTrackerLog())
+		dnSrc[i] = modules.NewBufferLogSource(hadooplog.KindDataNode, n.DataNodeLog())
+	}
+
+	// Per-node white-box buckets keyed by unix second.
+	ttBySec := make([]map[int64][]float64, cfg.Slaves)
+	dnBySec := make([]map[int64][]float64, cfg.Slaves)
+	for i := range ttBySec {
+		ttBySec[i] = make(map[int64][]float64)
+		dnBySec[i] = make(map[int64][]float64)
+	}
+	pump := func() error {
+		now := c.Now()
+		for i := range ttSrc {
+			vecs, err := ttSrc[i].Fetch(now)
+			if err != nil {
+				return err
+			}
+			for _, v := range vecs {
+				ttBySec[i][v.Time.Unix()] = v.Counts
+			}
+			vecs, err = dnSrc[i].Fetch(now)
+			if err != nil {
+				return err
+			}
+			for _, v := range vecs {
+				dnBySec[i][v.Time.Unix()] = v.Counts
+			}
+		}
+		return nil
+	}
+
+	// Warmup: run and discard, but keep collectors and parsers primed.
+	for s := 0; s < cfg.WarmupSec; s++ {
+		c.Tick()
+		for i := range collectors {
+			if _, err := collectors[i].Collect(); err != nil {
+				return nil, err
+			}
+		}
+		if err := pump(); err != nil {
+			return nil, err
+		}
+	}
+
+	tr := &Trace{
+		Config:      cfg,
+		Nodes:       cfg.Slaves,
+		Seconds:     cfg.DurationSec,
+		WBMetrics:   wbDims(),
+		BBStates:    make([][]int, cfg.DurationSec),
+		WBVectors:   make([][][]float64, cfg.DurationSec),
+		FaultActive: make([]bool, cfg.DurationSec),
+	}
+	ttDim := hadooplog.MetricDims(hadooplog.KindTaskTracker)
+
+	if cfg.RecordRaw {
+		tr.RawNode = make([][][]float64, cfg.DurationSec)
+	}
+
+	for s := 0; s < cfg.DurationSec; s++ {
+		if cfg.Fault != hadoopsim.FaultNone && s == cfg.InjectAtSec {
+			if err := c.InjectFault(cfg.FaultNode, cfg.Fault); err != nil {
+				return nil, err
+			}
+		}
+		for _, ph := range cfg.Phases {
+			if ph.AtSec == s {
+				if err := c.SetWorkload(ph.Classes...); err != nil {
+					return nil, err
+				}
+			}
+		}
+		c.Tick()
+		if cfg.Fault != hadoopsim.FaultNone {
+			tr.FaultActive[s] = c.Slave(cfg.FaultNode).FaultActive()
+		}
+		tr.BBStates[s] = make([]int, cfg.Slaves)
+		if cfg.RecordRaw {
+			tr.RawNode[s] = make([][]float64, cfg.Slaves)
+		}
+		for i := range collectors {
+			rec, err := collectors[i].Collect()
+			if err != nil {
+				return nil, err
+			}
+			state, err := model.Classify(rec.Node)
+			if err != nil {
+				return nil, err
+			}
+			tr.BBStates[s][i] = state
+			if cfg.RecordRaw {
+				tr.RawNode[s][i] = rec.Node
+			}
+		}
+		if err := pump(); err != nil {
+			return nil, err
+		}
+		// The newest finalized log bucket is the previous second.
+		sec := c.Now().Add(-time.Second).Unix()
+		tr.WBVectors[s] = make([][]float64, cfg.Slaves)
+		for i := 0; i < cfg.Slaves; i++ {
+			vec := make([]float64, tr.WBMetrics)
+			if tt, ok := ttBySec[i][sec]; ok {
+				copy(vec, tt)
+				delete(ttBySec[i], sec)
+			}
+			if dn, ok := dnBySec[i][sec]; ok {
+				copy(vec[ttDim:], dn)
+				delete(dnBySec[i], sec)
+			}
+			tr.WBVectors[s][i] = vec
+		}
+		// Old buckets (from nodes that lagged) are dropped to bound memory.
+		for i := 0; i < cfg.Slaves; i++ {
+			for k := range ttBySec[i] {
+				if k < sec {
+					delete(ttBySec[i], k)
+				}
+			}
+			for k := range dnBySec[i] {
+				if k < sec {
+					delete(dnBySec[i], k)
+				}
+			}
+		}
+	}
+	return tr, nil
+}
+
+// TrainDefaultModelFromSeries is TrainDefaultModel for an already-collected
+// fault-free series.
+func TrainDefaultModelFromSeries(series [][][]float64, k int, seed int64) (*analysis.Model, error) {
+	indexes, err := sadc.NodeMetricIndexes(sadc.AnalysisMetricNames)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.TrainValidatedModel(series, analysis.TrainOptions{
+		K:             k,
+		Seed:          seed,
+		Restarts:      8,
+		WindowSize:    60,
+		WindowSlide:   15,
+		MetricIndexes: indexes,
+		Perturb:       sadc.CPUHogPerturbation(),
+	})
+}

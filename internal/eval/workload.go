@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// WorkloadChangeResult quantifies §2.1's core argument: workload changes
+// "can often be mistaken for anomalous behavior" by threshold-based
+// detection, while peer comparison is immune because all slaves change
+// together. Both analyses run over the same problem-free trace whose
+// GridMix composition switches mid-run.
+type WorkloadChangeResult struct {
+	// SwitchAtSec is when the workload composition changed.
+	SwitchAtSec int
+	// PeerFPRBefore/After: ASDF's black-box peer comparison.
+	PeerFPRBefore, PeerFPRAfter float64
+	// RuleFPRBefore/After: the static-threshold baseline (the Table-1
+	// Nagios/Ganglia-style status quo), calibrated on the first phase.
+	RuleFPRBefore, RuleFPRAfter float64
+}
+
+// ruleHeadroom is the slack a conservative operator leaves above the
+// observed calibration maximum when configuring static alert thresholds.
+const ruleHeadroom = 1.25
+
+// WorkloadChange runs the workload-change experiment: phase 1 is a
+// light/interactive mix (webdataScan + combiner), phase 2 a heavy mix
+// (javaSort + monsterQuery). The static baseline's per-metric thresholds
+// are calibrated to the phase-1 maxima (plus headroom); ASDF's black-box
+// analysis runs with the standard trained model and threshold.
+func WorkloadChange(opts Options, model *analysis.Model, params AnalysisParams) (*WorkloadChangeResult, error) {
+	switchAt := opts.CleanDuration / 2
+	tr, err := CollectTrace(TraceConfig{
+		Slaves:      opts.Slaves,
+		Seed:        opts.Seed + 900,
+		WarmupSec:   opts.WarmupSec,
+		DurationSec: opts.CleanDuration,
+		RecordRaw:   true,
+		Phases: []WorkloadPhase{
+			{AtSec: -1, Classes: []string{"webdataScan", "combiner"}},
+			{AtSec: switchAt, Classes: []string{"javaSort", "monsterQuery"}},
+		},
+	}, model)
+	if err != nil {
+		return nil, err
+	}
+	res := &WorkloadChangeResult{SwitchAtSec: switchAt}
+
+	// ASDF's peer comparison over the whole trace, split at the switch.
+	verdicts, err := EvaluateBB(tr, params)
+	if err != nil {
+		return nil, err
+	}
+	var beforeFP, beforeN, afterFP, afterN int
+	for _, v := range verdicts {
+		start := v.EndIndex - params.WindowSize + 1
+		switch {
+		case v.EndIndex < switchAt:
+			beforeN++
+			if v.AnyFlagged() {
+				beforeFP++
+			}
+		case start >= switchAt:
+			afterN++
+			if v.AnyFlagged() {
+				afterFP++
+			}
+		}
+	}
+	if beforeN == 0 || afterN == 0 {
+		return nil, fmt.Errorf("eval: workload change run too short for both phases")
+	}
+	res.PeerFPRBefore = float64(beforeFP) / float64(beforeN)
+	res.PeerFPRAfter = float64(afterFP) / float64(afterN)
+
+	// Static-threshold baseline: calibrate per-metric maxima on phase 1
+	// (excluding the first window, which may carry warmup transients).
+	indexes, err := sadc.NodeMetricIndexes(sadc.AnalysisMetricNames)
+	if err != nil {
+		return nil, err
+	}
+	limits := make([]float64, len(indexes))
+	for s := params.WindowSize; s < switchAt; s++ {
+		for n := range tr.RawNode[s] {
+			for j, idx := range indexes {
+				if v := tr.RawNode[s][n][idx]; v > limits[j] {
+					limits[j] = v
+				}
+			}
+		}
+	}
+	for j := range limits {
+		limits[j] *= ruleHeadroom
+	}
+	ruleFPR := func(from, to int) float64 {
+		windows, alarms := 0, 0
+		for end := from + params.WindowSize - 1; end < to; end += params.WindowSlide {
+			windows++
+			fired := false
+			for s := end - params.WindowSize + 1; s <= end && !fired; s++ {
+				for n := range tr.RawNode[s] {
+					for j, idx := range indexes {
+						if tr.RawNode[s][n][idx] > limits[j] {
+							fired = true
+							break
+						}
+					}
+					if fired {
+						break
+					}
+				}
+			}
+			if fired {
+				alarms++
+			}
+		}
+		if windows == 0 {
+			return 0
+		}
+		return float64(alarms) / float64(windows)
+	}
+	// The calibration interval is excluded from "before" scoring; a static
+	// threshold calibrated on its own data trivially never fires there, so
+	// score the remainder of phase 1.
+	res.RuleFPRBefore = ruleFPR(params.WindowSize, switchAt)
+	res.RuleFPRAfter = ruleFPR(switchAt, tr.Seconds)
+	return res, nil
+}

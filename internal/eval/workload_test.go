@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestWorkloadChangeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	opts := DefaultOptions()
+	m := sharedModel(t)
+	params := DefaultParams(m.NumStates())
+	res, err := WorkloadChange(opts, m, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("peer FPR before/after = %.2f / %.2f; rule FPR before/after = %.2f / %.2f",
+		res.PeerFPRBefore, res.PeerFPRAfter, res.RuleFPRBefore, res.RuleFPRAfter)
+
+	// §2.1's claim, quantified: peer comparison tolerates the workload
+	// change...
+	if res.PeerFPRAfter > 0.15 {
+		t.Errorf("peer-comparison FPR after workload change = %.2f, expected near zero", res.PeerFPRAfter)
+	}
+	// ...while the static-threshold baseline, calibrated on the light
+	// phase, fires persistently once the heavy mix arrives.
+	if res.RuleFPRAfter < res.RuleFPRBefore+0.3 {
+		t.Errorf("rule-baseline FPR did not spike after the change: %.2f -> %.2f",
+			res.RuleFPRBefore, res.RuleFPRAfter)
+	}
+	if res.RuleFPRAfter < res.PeerFPRAfter+0.3 {
+		t.Errorf("rule baseline (%.2f) should be far worse than peer comparison (%.2f) after the change",
+			res.RuleFPRAfter, res.PeerFPRAfter)
+	}
+}
+
+func TestWorkloadChangeUnknownClass(t *testing.T) {
+	m := sharedModel(t)
+	_, err := CollectTrace(TraceConfig{
+		Slaves: 2, Seed: 1, DurationSec: 10,
+		Phases: []WorkloadPhase{{AtSec: -1, Classes: []string{"noSuchJob"}}},
+	}, m)
+	if err == nil {
+		t.Error("unknown workload class should error")
+	}
+}

@@ -1,0 +1,67 @@
+package hadooplog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkParserLine(b *testing.B) {
+	p := NewParser(KindTaskTracker)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	lines := make([]string, 0, 100)
+	buf := NewBuffer(0)
+	w := NewWriter(KindTaskTracker, buf)
+	for i := 0; i < 50; i++ {
+		_ = w.LaunchTask(base.Add(time.Duration(i)*time.Second), TaskID(1, true, i, 0))
+		_ = w.ReduceProgress(base.Add(time.Duration(i)*time.Second), TaskID(1, false, i, 0), 10, PhaseCopy)
+	}
+	lines, _ = buf.ReadFrom(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.ParseLine(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkWriterLaunchTask(b *testing.B) {
+	buf := NewBuffer(1024)
+	w := NewWriter(KindTaskTracker, buf)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.LaunchTask(base, "task_0001_m_000001_0")
+	}
+}
+
+func BenchmarkBufferWrite(b *testing.B) {
+	buf := NewBuffer(4096)
+	line := []byte("2026-01-01 00:00:00,000 INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_m_000001_0\n")
+	b.SetBytes(int64(len(line)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = buf.Write(line)
+	}
+}
+
+func BenchmarkParserFlushBusy(b *testing.B) {
+	// A parser tracking 8 live tasks, flushing one bucket per op.
+	p := NewParser(KindTaskTracker)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	buf := NewBuffer(0)
+	w := NewWriter(KindTaskTracker, buf)
+	for i := 0; i < 8; i++ {
+		_ = w.LaunchTask(base, TaskID(1, i%2 == 0, i, 0))
+	}
+	lines, _ := buf.ReadFrom(0)
+	for _, l := range lines {
+		if err := p.ParseLine(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Flush(base.Add(time.Duration(i+1) * time.Second))
+		p.Drain()
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,84 @@
+package hadooplog
+
+import (
+	"sync"
+)
+
+// Buffer is a thread-safe, append-only log sink with cursor-based reads.
+// The cluster simulator's Writers append formatted lines to a Buffer, and
+// the hadoop_log collection daemon reads newly appended lines on each
+// iteration — the moral equivalent of tailing a log file on disk, without
+// the paper's NFS/disk dependency. A maximum retained-line count bounds
+// memory; readers that fall behind the eviction horizon resume at the
+// oldest retained line.
+type Buffer struct {
+	mu      sync.Mutex
+	lines   []string
+	start   uint64 // absolute index of lines[0]
+	maxKeep int
+	partial []byte // bytes of an unterminated trailing line
+}
+
+// NewBuffer creates a buffer retaining at most maxKeep lines (default 65536
+// when maxKeep <= 0).
+func NewBuffer(maxKeep int) *Buffer {
+	if maxKeep <= 0 {
+		maxKeep = 65536
+	}
+	return &Buffer{maxKeep: maxKeep}
+}
+
+// Write implements io.Writer so a Buffer can back a Writer. Input is split
+// on newlines; an unterminated final fragment is held until completed.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(p)
+	for len(p) > 0 {
+		nl := -1
+		for i, c := range p {
+			if c == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			b.partial = append(b.partial, p...)
+			break
+		}
+		line := string(append(b.partial, p[:nl]...))
+		b.partial = b.partial[:0]
+		b.lines = append(b.lines, line)
+		p = p[nl+1:]
+	}
+	if over := len(b.lines) - b.maxKeep; over > 0 {
+		b.lines = append(b.lines[:0:0], b.lines[over:]...)
+		b.start += uint64(over)
+	}
+	return n, nil
+}
+
+// ReadFrom returns the lines at absolute index >= cursor and the cursor to
+// use on the next call. A cursor older than the retention horizon resumes
+// at the oldest retained line.
+func (b *Buffer) ReadFrom(cursor uint64) (lines []string, next uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cursor < b.start {
+		cursor = b.start
+	}
+	end := b.start + uint64(len(b.lines))
+	if cursor >= end {
+		return nil, end
+	}
+	out := make([]string, end-cursor)
+	copy(out, b.lines[cursor-b.start:])
+	return out, end
+}
+
+// Len reports the number of retained lines.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lines)
+}

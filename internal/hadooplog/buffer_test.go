@@ -1,0 +1,132 @@
+package hadooplog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferBasicReadFrom(t *testing.T) {
+	b := NewBuffer(10)
+	fmt.Fprintf(b, "line1\nline2\n")
+	lines, next := b.ReadFrom(0)
+	if len(lines) != 2 || lines[0] != "line1" || lines[1] != "line2" {
+		t.Fatalf("lines = %v", lines)
+	}
+	if next != 2 {
+		t.Errorf("next = %d, want 2", next)
+	}
+	// No new data.
+	lines, next = b.ReadFrom(next)
+	if lines != nil || next != 2 {
+		t.Errorf("empty read = %v, %d", lines, next)
+	}
+	fmt.Fprintf(b, "line3\n")
+	lines, next = b.ReadFrom(next)
+	if len(lines) != 1 || lines[0] != "line3" || next != 3 {
+		t.Errorf("incremental read = %v, %d", lines, next)
+	}
+}
+
+func TestBufferPartialLines(t *testing.T) {
+	b := NewBuffer(10)
+	fmt.Fprintf(b, "par")
+	if b.Len() != 0 {
+		t.Error("unterminated line should not be visible")
+	}
+	fmt.Fprintf(b, "tial\nnext")
+	lines, _ := b.ReadFrom(0)
+	if len(lines) != 1 || lines[0] != "partial" {
+		t.Errorf("lines = %v", lines)
+	}
+	fmt.Fprintf(b, "\n")
+	lines, _ = b.ReadFrom(1)
+	if len(lines) != 1 || lines[0] != "next" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestBufferEviction(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(b, "line%d\n", i)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	// A cursor older than the horizon resumes at the oldest retained line.
+	lines, next := b.ReadFrom(0)
+	if len(lines) != 3 || lines[0] != "line7" {
+		t.Errorf("lines = %v", lines)
+	}
+	if next != 10 {
+		t.Errorf("next = %d, want 10", next)
+	}
+}
+
+func TestBufferConcurrentWriters(t *testing.T) {
+	b := NewBuffer(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fmt.Fprintf(b, "g%d-%d\n", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines, _ := b.ReadFrom(0)
+	if len(lines) != 800 {
+		t.Errorf("got %d lines, want 800", len(lines))
+	}
+}
+
+// Property: for any sequence of writes, reading from cursor 0 returns the
+// suffix of all complete lines bounded by maxKeep, in order.
+func TestBufferRetentionProperty(t *testing.T) {
+	f := func(chunks []string, keepRaw uint8) bool {
+		keep := int(keepRaw%20) + 1
+		b := NewBuffer(keep)
+		var joined string
+		for _, c := range chunks {
+			fmt.Fprintf(b, "%s", c)
+			joined += c
+		}
+		var complete []string
+		for {
+			i := -1
+			for j := 0; j < len(joined); j++ {
+				if joined[j] == '\n' {
+					i = j
+					break
+				}
+			}
+			if i < 0 {
+				break
+			}
+			complete = append(complete, joined[:i])
+			joined = joined[i+1:]
+		}
+		start := 0
+		if len(complete) > keep {
+			start = len(complete) - keep
+		}
+		want := complete[start:]
+		got, _ := b.ReadFrom(0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+package hadooplog
+
+import (
+	"testing"
+	"time"
+)
+
+func ts(sec int) time.Time {
+	return time.Date(2026, 4, 15, 14, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+// feedWriter runs a script of writer calls into a buffer and returns lines.
+func parserFor(t *testing.T, kind Kind) (*Writer, *Parser, *Buffer) {
+	t.Helper()
+	buf := NewBuffer(0)
+	return NewWriter(kind, buf), NewParser(kind), buf
+}
+
+func feed(t *testing.T, p *Parser, buf *Buffer) {
+	t.Helper()
+	lines, _ := buf.ReadFrom(0)
+	for _, line := range lines {
+		if err := p.ParseLine(line); err != nil {
+			t.Fatalf("ParseLine(%q): %v", line, err)
+		}
+	}
+}
+
+func stateIdx(t *testing.T, kind Kind, s State) int {
+	t.Helper()
+	for i, st := range StatesFor(kind) {
+		if st == s {
+			return i
+		}
+	}
+	t.Fatalf("state %v not in %v layout", s, kind)
+	return -1
+}
+
+func TestPaperFigure5Snippet(t *testing.T) {
+	// The exact scenario of Figure 5: a map launch at 14:23:15 and a
+	// reduce launch at 14:23:16 produce state vectors (MapTask=1,
+	// ReduceTask=0) then (MapTask=1, ReduceTask=1).
+	p := NewParser(KindTaskTracker)
+	lines := []string{
+		"2008-04-15 14:23:15,324 INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_m_000096_0",
+		"2008-04-15 14:23:16,375 INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_r_000003_0",
+	}
+	for _, l := range lines {
+		if err := p.ParseLine(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush(time.Date(2008, 4, 15, 14, 23, 17, 0, time.UTC))
+	vecs := p.Drain()
+	if len(vecs) != 2 {
+		t.Fatalf("got %d vectors, want 2", len(vecs))
+	}
+	mi := stateIdx(t, KindTaskTracker, StateMapTask)
+	ri := stateIdx(t, KindTaskTracker, StateReduceTask)
+	if vecs[0].Counts[mi] != 1 || vecs[0].Counts[ri] != 0 {
+		t.Errorf("t=15 vector = %v, want Map=1 Reduce=0", vecs[0].Counts)
+	}
+	if vecs[1].Counts[mi] != 1 || vecs[1].Counts[ri] != 1 {
+		t.Errorf("t=16 vector = %v, want Map=1 Reduce=1", vecs[1].Counts)
+	}
+}
+
+func TestWriterParserRoundTripMapLifecycle(t *testing.T) {
+	w, p, buf := parserFor(t, KindTaskTracker)
+	id := TaskID(1, true, 7, 0)
+	if id != "task_0001_m_000007_0" {
+		t.Fatalf("TaskID = %q", id)
+	}
+	mustNoErr(t, w.LaunchTask(ts(0), id))
+	mustNoErr(t, w.TaskDone(ts(10), id))
+	feed(t, p, buf)
+	p.Flush(ts(11))
+	vecs := p.Drain()
+	if len(vecs) != 11 {
+		t.Fatalf("got %d vectors, want 11", len(vecs))
+	}
+	mi := stateIdx(t, KindTaskTracker, StateMapTask)
+	for i := 0; i <= 9; i++ {
+		if vecs[i].Counts[mi] != 1 {
+			t.Errorf("second %d: MapTask = %v, want 1", i, vecs[i].Counts[mi])
+		}
+	}
+	// The task exited at t=10, so the t=10 bucket no longer counts it.
+	if vecs[10].Counts[mi] != 0 {
+		t.Errorf("second 10: MapTask = %v, want 0", vecs[10].Counts[mi])
+	}
+	if p.LiveTasks() != 0 {
+		t.Errorf("LiveTasks = %d, want 0", p.LiveTasks())
+	}
+}
+
+func TestReducePhaseTransitions(t *testing.T) {
+	w, p, buf := parserFor(t, KindTaskTracker)
+	id := TaskID(2, false, 1, 0)
+	mustNoErr(t, w.LaunchTask(ts(0), id))
+	mustNoErr(t, w.ReduceProgress(ts(1), id, 5, PhaseCopy))
+	mustNoErr(t, w.ReduceProgress(ts(2), id, 20, PhaseCopy))
+	mustNoErr(t, w.ReduceProgress(ts(3), id, 70, PhaseSort))
+	mustNoErr(t, w.ReduceProgress(ts(5), id, 90, PhaseReduce))
+	mustNoErr(t, w.TaskDone(ts(7), id))
+	feed(t, p, buf)
+	p.Flush(ts(8))
+	vecs := p.Drain()
+
+	ri := stateIdx(t, KindTaskTracker, StateReduceTask)
+	ci := stateIdx(t, KindTaskTracker, StateReduceCopy)
+	si := stateIdx(t, KindTaskTracker, StateReduceSort)
+	rri := stateIdx(t, KindTaskTracker, StateReduceReduce)
+
+	type want struct{ r, c, s, rr float64 }
+	wants := []want{
+		{1, 0, 0, 0}, // t0: launched, no phase yet
+		{1, 1, 0, 0}, // t1: copy
+		{1, 1, 0, 0}, // t2: copy
+		{1, 0, 1, 0}, // t3: sort
+		{1, 0, 1, 0}, // t4: sort persists
+		{1, 0, 0, 1}, // t5: reduce
+		{1, 0, 0, 1}, // t6: reduce
+		{0, 0, 0, 0}, // t7: done
+	}
+	if len(vecs) != len(wants) {
+		t.Fatalf("got %d vectors, want %d", len(vecs), len(wants))
+	}
+	for i, wv := range wants {
+		c := vecs[i].Counts
+		if c[ri] != wv.r || c[ci] != wv.c || c[si] != wv.s || c[rri] != wv.rr {
+			t.Errorf("t%d: vector = %v, want r=%v c=%v s=%v rr=%v", i, c, wv.r, wv.c, wv.s, wv.rr)
+		}
+	}
+}
+
+func TestShortLivedTaskCountedOnce(t *testing.T) {
+	w, p, buf := parserFor(t, KindTaskTracker)
+	id := TaskID(3, true, 0, 0)
+	mustNoErr(t, w.LaunchTask(ts(0), id))
+	mustNoErr(t, w.TaskDone(ts(0).Add(500*time.Millisecond), id))
+	feed(t, p, buf)
+	p.Flush(ts(1))
+	vecs := p.Drain()
+	if len(vecs) != 1 {
+		t.Fatalf("got %d vectors", len(vecs))
+	}
+	mi := stateIdx(t, KindTaskTracker, StateMapTask)
+	if vecs[0].Counts[mi] != 1 {
+		t.Errorf("short-lived map count = %v, want 1", vecs[0].Counts[mi])
+	}
+}
+
+func TestTaskFailedExitsState(t *testing.T) {
+	w, p, buf := parserFor(t, KindTaskTracker)
+	id := TaskID(4, false, 2, 1)
+	mustNoErr(t, w.LaunchTask(ts(0), id))
+	mustNoErr(t, w.TaskFailed(ts(2), id, "java.io.IOException: rename failed"))
+	feed(t, p, buf)
+	p.Flush(ts(3))
+	vecs := p.Drain()
+	ri := stateIdx(t, KindTaskTracker, StateReduceTask)
+	if vecs[0].Counts[ri] != 1 || vecs[1].Counts[ri] != 1 {
+		t.Errorf("pre-failure counts wrong: %v %v", vecs[0].Counts, vecs[1].Counts)
+	}
+	if vecs[2].Counts[ri] != 0 {
+		t.Errorf("post-failure count = %v, want 0", vecs[2].Counts[ri])
+	}
+	if p.LiveTasks() != 0 {
+		t.Error("failed task still tracked")
+	}
+}
+
+func TestDataNodeBlockLifecycle(t *testing.T) {
+	w, p, buf := parserFor(t, KindDataNode)
+	blk := BlockID(12345)
+	mustNoErr(t, w.ReceivingBlock(ts(0), blk, "10.0.0.2:50010", "10.0.0.3:50010"))
+	mustNoErr(t, w.ServedBlock(ts(1), BlockID(999), "10.0.0.4"))
+	mustNoErr(t, w.ReceivedBlock(ts(2), blk, 67108864, "10.0.0.2"))
+	mustNoErr(t, w.DeletedBlock(ts(3), BlockID(777)))
+	feed(t, p, buf)
+	p.Flush(ts(4))
+	vecs := p.Drain()
+
+	wi := stateIdx(t, KindDataNode, StateWriteBlock)
+	rdi := stateIdx(t, KindDataNode, StateReadBlock)
+	di := stateIdx(t, KindDataNode, StateDeleteBlock)
+	if vecs[0].Counts[wi] != 1 || vecs[1].Counts[wi] != 1 {
+		t.Errorf("WriteBlock during transfer = %v, %v, want 1,1", vecs[0].Counts[wi], vecs[1].Counts[wi])
+	}
+	if vecs[2].Counts[wi] != 0 {
+		t.Errorf("WriteBlock after receipt = %v, want 0", vecs[2].Counts[wi])
+	}
+	if vecs[1].Counts[rdi] != 1 {
+		t.Errorf("ReadBlock = %v, want 1", vecs[1].Counts[rdi])
+	}
+	if vecs[3].Counts[di] != 1 {
+		t.Errorf("DeleteBlock = %v, want 1", vecs[3].Counts[di])
+	}
+}
+
+func TestInstantEventsAccumulateWithinBucket(t *testing.T) {
+	w, p, buf := parserFor(t, KindDataNode)
+	for i := 0; i < 5; i++ {
+		mustNoErr(t, w.ServedBlock(ts(0).Add(time.Duration(i*100)*time.Millisecond), BlockID(uint64(i)), "10.0.0.9"))
+	}
+	feed(t, p, buf)
+	p.Flush(ts(1))
+	vecs := p.Drain()
+	rdi := stateIdx(t, KindDataNode, StateReadBlock)
+	if vecs[0].Counts[rdi] != 5 {
+		t.Errorf("ReadBlock = %v, want 5", vecs[0].Counts[rdi])
+	}
+}
+
+func TestParserIgnoresUnknownLines(t *testing.T) {
+	p := NewParser(KindTaskTracker)
+	lines := []string{
+		"",
+		"garbage",
+		"2026-04-15 14:00:00,000 INFO org.apache.hadoop.mapred.TaskTracker: Some unrelated message",
+		"2026-04-15 14:00:01,000 WARN org.apache.hadoop.mapred.JobTracker: also unrelated",
+	}
+	for _, l := range lines {
+		if err := p.ParseLine(l); err != nil {
+			t.Errorf("ParseLine(%q) = %v, want nil", l, err)
+		}
+	}
+	if p.LinesParsed != 0 {
+		t.Errorf("LinesParsed = %d, want 0", p.LinesParsed)
+	}
+	if p.LinesSkipped != 4 {
+		t.Errorf("LinesSkipped = %d, want 4", p.LinesSkipped)
+	}
+}
+
+func TestParserRejectsTimeRegression(t *testing.T) {
+	p := NewParser(KindTaskTracker)
+	l1 := ts(5).Format(timeLayout) + " INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_m_000001_0"
+	l2 := ts(1).Format(timeLayout) + " INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_m_000002_0"
+	if err := p.ParseLine(l1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ParseLine(l2); err == nil {
+		t.Error("timestamp regression should error")
+	}
+}
+
+func TestParserToleratesUnknownTaskExit(t *testing.T) {
+	w, p, buf := parserFor(t, KindTaskTracker)
+	mustNoErr(t, w.TaskDone(ts(0), "task_0001_m_000001_0"))
+	feed(t, p, buf)
+	p.Flush(ts(1))
+	vecs := p.Drain()
+	for _, v := range vecs {
+		for _, c := range v.Counts {
+			if c != 0 {
+				t.Errorf("unknown-task exit produced nonzero vector %v", v.Counts)
+			}
+		}
+	}
+}
+
+func TestQuietPeriodStillEmitsVectors(t *testing.T) {
+	w, p, buf := parserFor(t, KindTaskTracker)
+	id := TaskID(9, true, 1, 0)
+	mustNoErr(t, w.LaunchTask(ts(0), id))
+	feed(t, p, buf)
+	// No log lines for 30 s; flushing must still emit one vector per
+	// second with the hung task counted — exactly how a hung map
+	// (HADOOP-1036) keeps showing up in the white-box metrics.
+	p.Flush(ts(30))
+	vecs := p.Drain()
+	if len(vecs) != 30 {
+		t.Fatalf("got %d vectors, want 30", len(vecs))
+	}
+	mi := stateIdx(t, KindTaskTracker, StateMapTask)
+	for i, v := range vecs {
+		if v.Counts[mi] != 1 {
+			t.Errorf("second %d: MapTask = %v, want 1", i, v.Counts[mi])
+		}
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	ttNames := StateNamesFor(KindTaskTracker)
+	want := []string{"MapTask", "ReduceTask", "ReduceCopy", "ReduceSort", "ReduceReduce"}
+	for i := range want {
+		if ttNames[i] != want[i] {
+			t.Errorf("tt state %d = %q, want %q", i, ttNames[i], want[i])
+		}
+	}
+	dnNames := StateNamesFor(KindDataNode)
+	wantDN := []string{"WriteBlock", "ReadBlock", "DeleteBlock"}
+	for i := range wantDN {
+		if dnNames[i] != wantDN[i] {
+			t.Errorf("dn state %d = %q, want %q", i, dnNames[i], wantDN[i])
+		}
+	}
+	if StatesFor(Kind(99)) != nil {
+		t.Error("unknown kind should return nil layout")
+	}
+	if State(99).String() != "Unknown" {
+		t.Error("unknown state name")
+	}
+	if KindTaskTracker.String() != "tasktracker" || KindDataNode.String() != "datanode" {
+		t.Error("kind names wrong")
+	}
+}
+
+func mustNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

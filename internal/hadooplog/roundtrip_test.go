@@ -1,0 +1,204 @@
+package hadooplog
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// scheduledTask is the ground truth for one task in the round-trip test.
+type scheduledTask struct {
+	id         string
+	isMap      bool
+	launchSec  int
+	doneSec    int // exclusive: the task exits at this second
+	phaseStart map[ReducePhase]int
+}
+
+// TestWriterParserRoundTripProperty generates random task schedules, writes
+// them through the Writer, parses them back, and compares every per-second
+// state count against ground truth computed directly from the schedule.
+func TestWriterParserRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		horizon := rng.Intn(120) + 30
+		nTasks := rng.Intn(12) + 1
+		var tasks []scheduledTask
+		for i := 0; i < nTasks; i++ {
+			launch := rng.Intn(horizon - 2)
+			done := launch + 1 + rng.Intn(horizon-launch-1)
+			st := scheduledTask{
+				id:        TaskID(trial+1, rng.Intn(2) == 0, i, 0),
+				launchSec: launch,
+				doneSec:   done,
+			}
+			st.isMap = st.id[len("task_0000_")] == 'm'
+			if !st.isMap && done-launch >= 3 {
+				// Split the reduce lifetime into copy/sort/reduce phases.
+				span := done - launch
+				c := launch + 1
+				s := c + 1 + rng.Intn(maxInt(1, span/3))
+				r := s + 1 + rng.Intn(maxInt(1, span/3))
+				if r < done {
+					st.phaseStart = map[ReducePhase]int{PhaseCopy: c, PhaseSort: s, PhaseReduce: r}
+				}
+			}
+			tasks = append(tasks, st)
+		}
+
+		// Emit events in timestamp order.
+		type event struct {
+			sec  int
+			emit func(w *Writer, t time.Time) error
+		}
+		var events []event
+		for i := range tasks {
+			st := tasks[i]
+			events = append(events, event{st.launchSec, func(w *Writer, ts time.Time) error {
+				return w.LaunchTask(ts, st.id)
+			}})
+			events = append(events, event{st.doneSec, func(w *Writer, ts time.Time) error {
+				return w.TaskDone(ts, st.id)
+			}})
+			for ph, sec := range st.phaseStart {
+				ph, sec := ph, sec
+				events = append(events, event{sec, func(w *Writer, ts time.Time) error {
+					return w.ReduceProgress(ts, st.id, 50, ph)
+				}})
+			}
+		}
+		// Stable sort by second (ties keep insertion order; launches were
+		// appended before phase/done events for the same task).
+		for i := 1; i < len(events); i++ {
+			for j := i; j > 0 && events[j].sec < events[j-1].sec; j-- {
+				events[j], events[j-1] = events[j-1], events[j]
+			}
+		}
+
+		buf := NewBuffer(0)
+		w := NewWriter(KindTaskTracker, buf)
+		base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+		for _, ev := range events {
+			if err := ev.emit(w, base.Add(time.Duration(ev.sec)*time.Second)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := NewParser(KindTaskTracker)
+		lines, _ := buf.ReadFrom(0)
+		for _, l := range lines {
+			if err := p.ParseLine(l); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		p.Flush(base.Add(time.Duration(horizon) * time.Second))
+		vecs := p.Drain()
+
+		// Ground truth per second.
+		mi := stateIdx(t, KindTaskTracker, StateMapTask)
+		ri := stateIdx(t, KindTaskTracker, StateReduceTask)
+		for _, v := range vecs {
+			sec := int(v.Time.Sub(base) / time.Second)
+			var wantMap, wantRed float64
+			for _, st := range tasks {
+				live := sec >= st.launchSec && sec < st.doneSec
+				// A task entered and exited within one second still counts
+				// in that second (the short-lived rule).
+				shortLived := st.launchSec == st.doneSec && sec == st.launchSec
+				if !live && !shortLived {
+					continue
+				}
+				if st.isMap {
+					wantMap++
+				} else {
+					wantRed++
+				}
+			}
+			if v.Counts[mi] != wantMap || v.Counts[ri] != wantRed {
+				t.Fatalf("trial %d second %d: got map=%v red=%v, want map=%v red=%v",
+					trial, sec, v.Counts[mi], v.Counts[ri], wantMap, wantRed)
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestDataNodeRoundTripProperty does the same for block writes and reads.
+func TestDataNodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		horizon := rng.Intn(80) + 20
+		nBlocks := rng.Intn(10) + 1
+		type blk struct{ start, end int }
+		var blocks []blk
+		reads := make(map[int]int) // second -> served count
+		for i := 0; i < nBlocks; i++ {
+			s := rng.Intn(horizon - 1)
+			e := s + 1 + rng.Intn(horizon-s-1)
+			blocks = append(blocks, blk{s, e})
+			reads[rng.Intn(horizon)]++
+		}
+
+		buf := NewBuffer(0)
+		w := NewWriter(KindDataNode, buf)
+		base := time.Date(2026, 7, 2, 0, 0, 0, 0, time.UTC)
+		// Emit in time order.
+		for sec := 0; sec <= horizon; sec++ {
+			for i, b := range blocks {
+				if b.start == sec {
+					if err := w.ReceivingBlock(base.Add(time.Duration(sec)*time.Second),
+						BlockID(uint64(trial*100+i)), "10.0.0.1:50010", "10.0.0.2:50010"); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for n := 0; n < reads[sec]; n++ {
+				if err := w.ServedBlock(base.Add(time.Duration(sec)*time.Second),
+					BlockID(uint64(9000+sec*10+n)), "10.0.0.3"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, b := range blocks {
+				if b.end == sec {
+					if err := w.ReceivedBlock(base.Add(time.Duration(sec)*time.Second),
+						BlockID(uint64(trial*100+i)), 1<<24, "10.0.0.1"); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+
+		p := NewParser(KindDataNode)
+		lines, _ := buf.ReadFrom(0)
+		for _, l := range lines {
+			if err := p.ParseLine(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Flush(base.Add(time.Duration(horizon+1) * time.Second))
+		vecs := p.Drain()
+
+		wi := stateIdx(t, KindDataNode, StateWriteBlock)
+		rdi := stateIdx(t, KindDataNode, StateReadBlock)
+		for _, v := range vecs {
+			sec := int(v.Time.Sub(base) / time.Second)
+			var wantWrite float64
+			for _, b := range blocks {
+				if sec >= b.start && sec < b.end {
+					wantWrite++
+				}
+			}
+			if v.Counts[wi] != wantWrite {
+				t.Fatalf("trial %d second %d: WriteBlock = %v, want %v", trial, sec, v.Counts[wi], wantWrite)
+			}
+			if v.Counts[rdi] != float64(reads[sec]) {
+				t.Fatalf("trial %d second %d: ReadBlock = %v, want %d", trial, sec, v.Counts[rdi], reads[sec])
+			}
+		}
+	}
+}

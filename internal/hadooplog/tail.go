@@ -1,0 +1,98 @@
+package hadooplog
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// Tailer follows a log file on disk, copying appended bytes into a Buffer —
+// the deployment-side input path of hadoop_log_rpcd, which tails the log
+// files Hadoop daemons natively write. It survives files that do not exist
+// yet (waiting for them to appear) and files that are truncated or rotated
+// (reopening from the start).
+type Tailer struct {
+	path string
+	buf  *Buffer
+	poll time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTailer starts tailing path into buf, polling at the given interval
+// (default 500ms when non-positive). Call Stop to end the goroutine.
+func NewTailer(path string, buf *Buffer, poll time.Duration) *Tailer {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	t := &Tailer{
+		path: path,
+		buf:  buf,
+		poll: poll,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go t.run()
+	return t
+}
+
+// Stop ends the tail and waits for its goroutine to exit.
+func (t *Tailer) Stop() {
+	close(t.stop)
+	<-t.done
+}
+
+func (t *Tailer) run() {
+	defer close(t.done)
+	var f *os.File
+	var offset int64
+	defer func() {
+		if f != nil {
+			_ = f.Close()
+		}
+	}()
+	chunk := make([]byte, 64*1024)
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-time.After(t.poll):
+		}
+		if f == nil {
+			var err error
+			f, err = os.Open(t.path)
+			if err != nil {
+				continue // not created yet
+			}
+			offset = 0
+		}
+		info, err := f.Stat()
+		if err != nil {
+			_ = f.Close()
+			f = nil
+			continue
+		}
+		if info.Size() < offset {
+			// Truncated or rotated in place: start over. (A rename-style
+			// rotation is caught below when reads fail or the file
+			// shrinks on the next cycle.)
+			offset = 0
+		}
+		for offset < info.Size() {
+			n, err := f.ReadAt(chunk, offset)
+			if n > 0 {
+				offset += int64(n)
+				_, _ = t.buf.Write(chunk[:n])
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				_ = f.Close()
+				f = nil
+				break
+			}
+		}
+	}
+}

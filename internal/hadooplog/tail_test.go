@@ -1,0 +1,111 @@
+package hadooplog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func waitLines(t *testing.T, buf *Buffer, want int) []string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lines, _ := buf.ReadFrom(0)
+		if len(lines) >= want {
+			return lines
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("buffer has %d lines, want %d", len(lines), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTailerFollowsAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tt.log")
+	if err := os.WriteFile(path, []byte("line1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(0)
+	tail := NewTailer(path, buf, 10*time.Millisecond)
+	defer tail.Stop()
+
+	waitLines(t, buf, 1)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "line2")
+	fmt.Fprintln(f, "line3")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := waitLines(t, buf, 3)
+	if lines[0] != "line1" || lines[1] != "line2" || lines[2] != "line3" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestTailerWaitsForCreation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "late.log")
+	buf := NewBuffer(0)
+	tail := NewTailer(path, buf, 10*time.Millisecond)
+	defer tail.Stop()
+
+	time.Sleep(50 * time.Millisecond)
+	if buf.Len() != 0 {
+		t.Fatal("buffer should be empty before the file exists")
+	}
+	if err := os.WriteFile(path, []byte("born\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines := waitLines(t, buf, 1)
+	if lines[0] != "born" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestTailerHandlesTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rot.log")
+	if err := os.WriteFile(path, []byte("old1\nold2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(0)
+	tail := NewTailer(path, buf, 10*time.Millisecond)
+	defer tail.Stop()
+	waitLines(t, buf, 2)
+
+	// Truncate (log rotation copytruncate-style) and write fresh content.
+	if err := os.WriteFile(path, []byte("new1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines := waitLines(t, buf, 3)
+	if lines[2] != "new1" {
+		t.Errorf("post-truncation line = %q", lines[2])
+	}
+}
+
+func TestTailerStopIsPrompt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.log")
+	if err := os.WriteFile(path, []byte("a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(0)
+	tail := NewTailer(path, buf, 10*time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		tail.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+}

@@ -1,0 +1,119 @@
+package hadooplog
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// timeLayout is the log4j timestamp format Hadoop 0.18 emits.
+const timeLayout = "2006-01-02 15:04:05,000"
+
+// Log4j class names, as in Hadoop 0.18.
+const (
+	classTaskTracker = "org.apache.hadoop.mapred.TaskTracker"
+	classDataNode    = "org.apache.hadoop.dfs.DataNode"
+)
+
+// Writer emits Hadoop-0.18-format log lines for one daemon. It is the
+// counterpart of the Parser: the cluster simulator writes its logs through
+// a Writer, and ASDF parses them back with a Parser — the same path a real
+// deployment's natively generated logs take (§4.3: "we decided to collect
+// state data from Hadoop's logs instead of instrumenting Hadoop itself").
+type Writer struct {
+	kind Kind
+
+	mu  sync.Mutex
+	dst io.Writer
+}
+
+// NewWriter creates a Writer for the given daemon kind writing to dst.
+func NewWriter(kind Kind, dst io.Writer) *Writer {
+	return &Writer{kind: kind, dst: dst}
+}
+
+// Kind reports the daemon kind this writer emits logs for.
+func (w *Writer) Kind() Kind { return w.kind }
+
+func (w *Writer) emit(t time.Time, level, class, msg string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := fmt.Fprintf(w.dst, "%s %s %s: %s\n", t.Format(timeLayout), level, class, msg)
+	if err != nil {
+		return fmt.Errorf("hadooplog: write: %w", err)
+	}
+	return nil
+}
+
+// TaskID formats a Hadoop 0.18 task attempt id, e.g.
+// "task_0001_m_000096_0".
+func TaskID(jobID int, isMap bool, taskNum, attempt int) string {
+	kind := "r"
+	if isMap {
+		kind = "m"
+	}
+	return fmt.Sprintf("task_%04d_%s_%06d_%d", jobID, kind, taskNum, attempt)
+}
+
+// LaunchTask logs a LaunchTaskAction, the entrance event for the MapTask or
+// ReduceTask state (Figure 5 of the paper).
+func (w *Writer) LaunchTask(t time.Time, taskID string) error {
+	return w.emit(t, "INFO", classTaskTracker, "LaunchTaskAction: "+taskID)
+}
+
+// TaskDone logs task completion, the exit event for MapTask/ReduceTask.
+func (w *Writer) TaskDone(t time.Time, taskID string) error {
+	return w.emit(t, "INFO", classTaskTracker, "Task "+taskID+" is done.")
+}
+
+// TaskFailed logs task failure, which also exits the task's states.
+func (w *Writer) TaskFailed(t time.Time, taskID, reason string) error {
+	return w.emit(t, "WARN", classTaskTracker, fmt.Sprintf("Task %s failed: %s", taskID, reason))
+}
+
+// ReducePhase names the shuffle sub-phase for progress lines.
+type ReducePhase string
+
+// Reduce sub-phases as printed in TaskTracker progress lines.
+const (
+	PhaseCopy   ReducePhase = "copy"
+	PhaseSort   ReducePhase = "sort"
+	PhaseReduce ReducePhase = "reduce"
+)
+
+// ReduceProgress logs a reduce-task progress line
+// ("task_..._r_... 0.23% reduce > copy"), which drives the
+// ReduceCopy/ReduceSort/ReduceReduce sub-states.
+func (w *Writer) ReduceProgress(t time.Time, taskID string, pct float64, phase ReducePhase) error {
+	return w.emit(t, "INFO", classTaskTracker,
+		fmt.Sprintf("%s %.2f%% reduce > %s", taskID, pct, phase))
+}
+
+// BlockID formats an HDFS block id.
+func BlockID(id uint64) string { return fmt.Sprintf("blk_%d", id) }
+
+// ReceivingBlock logs the start of a block write on a DataNode (entrance of
+// WriteBlock).
+func (w *Writer) ReceivingBlock(t time.Time, blockID, srcAddr, dstAddr string) error {
+	return w.emit(t, "INFO", classDataNode,
+		fmt.Sprintf("Receiving block %s src: /%s dest: /%s", blockID, srcAddr, dstAddr))
+}
+
+// ReceivedBlock logs the completion of a block write (exit of WriteBlock).
+func (w *Writer) ReceivedBlock(t time.Time, blockID string, size int64, srcAddr string) error {
+	return w.emit(t, "INFO", classDataNode,
+		fmt.Sprintf("Received block %s of size %d from /%s", blockID, size, srcAddr))
+}
+
+// ServedBlock logs a block read served to a client (instant ReadBlock).
+func (w *Writer) ServedBlock(t time.Time, blockID, dstAddr string) error {
+	return w.emit(t, "INFO", classDataNode,
+		fmt.Sprintf("Served block %s to /%s", blockID, dstAddr))
+}
+
+// DeletedBlock logs a block deletion (instant DeleteBlock).
+func (w *Writer) DeletedBlock(t time.Time, blockID string) error {
+	return w.emit(t, "INFO", classDataNode,
+		fmt.Sprintf("Deleting block %s file /data/dfs/current/%s", blockID, blockID))
+}

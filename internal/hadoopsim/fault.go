@@ -1,0 +1,146 @@
+package hadoopsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind enumerates the injectable faults, one per row of Table 2 of the
+// paper.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNone: healthy node.
+	FaultNone FaultKind = iota
+	// FaultCPUHog emulates a CPU-intensive task consuming 70% CPU
+	// (resource contention; Hadoop mailing list, Sep 13 2007).
+	FaultCPUHog
+	// FaultDiskHog emulates a sequential disk workload writing 20 GB
+	// (excessive logging; Hadoop mailing list, Sep 26 2007).
+	FaultDiskHog
+	// FaultPacketLoss induces 50% packet loss, collapsing effective
+	// network goodput (HADOOP-2956).
+	FaultPacketLoss
+	// FaultHang1036: maps on the node enter an infinite loop after an
+	// unhandled exception — no progress, one core burned (HADOOP-1036).
+	FaultHang1036
+	// FaultHang1152: reduces on the node fail mid-copy when renaming a
+	// deleted file — the attempt dies and is retried (HADOOP-1152).
+	FaultHang1152
+	// FaultHang2080: reduces on the node hang during the sort/merge on a
+	// miscomputed checksum — no progress, no CPU burn (HADOOP-2080).
+	FaultHang2080
+)
+
+// String names the fault as in the paper's figures.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "None"
+	case FaultCPUHog:
+		return "CPUHog"
+	case FaultDiskHog:
+		return "DiskHog"
+	case FaultPacketLoss:
+		return "PacketLoss"
+	case FaultHang1036:
+		return "HADOOP-1036"
+	case FaultHang1152:
+		return "HADOOP-1152"
+	case FaultHang2080:
+		return "HADOOP-2080"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// AllFaults lists the six injectable faults, in Table 2 order.
+var AllFaults = []FaultKind{
+	FaultCPUHog, FaultDiskHog, FaultPacketLoss,
+	FaultHang1036, FaultHang1152, FaultHang2080,
+}
+
+// diskHogTotalMB is the DiskHog's sequential write volume (Table 2: 20 GB).
+const diskHogTotalMB = 20 * 1024
+
+// InjectFault activates a fault on slave nodeIndex starting at the next
+// tick. Injecting FaultNone clears any active fault. Only one fault is
+// active per node, matching the paper's one-fault-per-run methodology.
+func (c *Cluster) InjectFault(nodeIndex int, kind FaultKind) error {
+	if nodeIndex < 0 || nodeIndex >= len(c.slaves) {
+		return fmt.Errorf("hadoopsim: no slave %d (cluster has %d)", nodeIndex, len(c.slaves))
+	}
+	n := c.slaves[nodeIndex]
+	n.fault = kind
+	n.faultSince = c.now
+	n.packetLoss = 0
+	n.diskHogLeft = 0
+	switch kind {
+	case FaultPacketLoss:
+		n.packetLoss = 0.5
+	case FaultDiskHog:
+		n.diskHogLeft = diskHogTotalMB
+	}
+	return nil
+}
+
+// Blacklist excludes a slave from all future task scheduling — the
+// mitigation the ASDF action module drives once a node is fingerpointed
+// (§5 of the paper: active mitigation). Pass exclude=false to reinstate.
+func (c *Cluster) Blacklist(nodeIndex int, exclude bool) error {
+	if nodeIndex < 0 || nodeIndex >= len(c.slaves) {
+		return fmt.Errorf("hadoopsim: no slave %d (cluster has %d)", nodeIndex, len(c.slaves))
+	}
+	if exclude {
+		c.jt.blacklisted[nodeIndex] = true
+	} else {
+		delete(c.jt.blacklisted, nodeIndex)
+	}
+	return nil
+}
+
+// Blacklisted reports whether a slave is excluded from scheduling.
+func (c *Cluster) Blacklisted(nodeIndex int) bool {
+	return c.jt.blacklisted[nodeIndex]
+}
+
+// BlacklistByName blacklists the slave with the given Name; it is the
+// natural Env action for the ASDF action module, which identifies nodes by
+// name.
+func (c *Cluster) BlacklistByName(name string) error {
+	for _, n := range c.slaves {
+		if n.Name == name {
+			return c.Blacklist(n.Index, true)
+		}
+	}
+	return fmt.Errorf("hadoopsim: no slave named %q", name)
+}
+
+// FaultyNodes returns the indexes of slaves with an active fault.
+func (c *Cluster) FaultyNodes() []int {
+	var out []int
+	for i, n := range c.slaves {
+		if n.fault != FaultNone {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FaultSince reports when the node's fault was injected; used by tests and
+// the evaluation harness for ground truth.
+func (n *Node) FaultSince() time.Time { return n.faultSince }
+
+// FaultActive reports whether the injected fault is still perturbing the
+// node. A DiskHog deactivates once its 20 GB are written; every other fault
+// persists until cleared.
+func (n *Node) FaultActive() bool {
+	if n.fault == FaultNone {
+		return false
+	}
+	if n.fault == FaultDiskHog {
+		return n.diskHogLeft > 0
+	}
+	return true
+}

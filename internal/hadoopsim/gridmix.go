@@ -1,0 +1,146 @@
+package hadoopsim
+
+import "fmt"
+
+// jobClass describes one GridMix job type. GridMix (§4.7) mixes five job
+// types, "ranging from an interactive workload that samples a large
+// dataset, to a large sort of uncompressed data"; these classes model that
+// spectrum with per-MB CPU costs and data ratios. Map/reduce counts scale
+// with cluster size: map counts exceed the cluster's map slots so each job
+// runs as a wave that loads every slave near-uniformly (the homogeneity
+// peer comparison relies on, §4.5), while reduce counts stay below the
+// cluster's reduce slots (so per-node reduce occupancy differs by the
+// "small amount (typically 1)" the white-box threshold floor max(1, k*sigma)
+// was designed to tolerate, §4.4) while keeping per-reducer inputs small —
+// the scaled-down dataset means short sort/reduce phases that interleave
+// finely across nodes instead of pinning minute-long regimes to whichever
+// nodes hold reduces.
+type jobClass struct {
+	name string
+	// Task counts as multiples of the slave count.
+	mapsPerSlaveMin, mapsPerSlaveMax float64
+	redsPerSlaveMin, redsPerSlaveMax float64
+	// Data volumes and costs.
+	inputMBPerMap  float64
+	mapCPUPerMB    float64 // cpu-seconds per input MB in the map
+	mapOutputRatio float64 // map output / map input
+	sortCPUPerMB   float64 // cpu-seconds per MB in the reduce merge
+	reduceCPUPerMB float64 // cpu-seconds per MB in the reduce function
+	outputRatio    float64 // reduce output / reduce input
+}
+
+// gridMixClasses are the five GridMix job types.
+var gridMixClasses = []jobClass{
+	{
+		name:            "webdataScan", // interactive sampling of a large dataset
+		mapsPerSlaveMin: 1.0, mapsPerSlaveMax: 1.8,
+		redsPerSlaveMin: 0.5, redsPerSlaveMax: 0.8,
+		inputMBPerMap: 16, mapCPUPerMB: 0.35, mapOutputRatio: 0.08,
+		sortCPUPerMB: 0.1, reduceCPUPerMB: 0.3, outputRatio: 0.5,
+	},
+	{
+		name:            "streamSort", // pipe sort of uncompressed data
+		mapsPerSlaveMin: 1.0, mapsPerSlaveMax: 1.8,
+		redsPerSlaveMin: 0.8, redsPerSlaveMax: 1.2,
+		inputMBPerMap: 16, mapCPUPerMB: 0.7, mapOutputRatio: 1.0,
+		sortCPUPerMB: 0.25, reduceCPUPerMB: 0.5, outputRatio: 1.0,
+	},
+	{
+		name:            "javaSort",
+		mapsPerSlaveMin: 1.0, mapsPerSlaveMax: 1.8,
+		redsPerSlaveMin: 0.8, redsPerSlaveMax: 1.2,
+		inputMBPerMap: 16, mapCPUPerMB: 1.1, mapOutputRatio: 1.0,
+		sortCPUPerMB: 0.3, reduceCPUPerMB: 0.6, outputRatio: 1.0,
+	},
+	{
+		name:            "combiner", // aggregation with combiners
+		mapsPerSlaveMin: 0.8, mapsPerSlaveMax: 1.4,
+		redsPerSlaveMin: 0.5, redsPerSlaveMax: 0.8,
+		inputMBPerMap: 16, mapCPUPerMB: 0.9, mapOutputRatio: 0.25,
+		sortCPUPerMB: 0.2, reduceCPUPerMB: 0.5, outputRatio: 0.7,
+	},
+	{
+		name:            "monsterQuery", // multi-stage heavy query
+		mapsPerSlaveMin: 1.2, mapsPerSlaveMax: 2.2,
+		redsPerSlaveMin: 0.8, redsPerSlaveMax: 1.2,
+		inputMBPerMap: 16, mapCPUPerMB: 1.8, mapOutputRatio: 0.5,
+		sortCPUPerMB: 0.3, reduceCPUPerMB: 0.9, outputRatio: 0.3,
+	},
+}
+
+// gridMix submits jobs to keep the configured number running, drawing job
+// types uniformly and sizes uniformly within each class, which also gives
+// the workload *changes* the analyses must tolerate (§2.1).
+type gridMix struct {
+	c *Cluster
+	// allowed restricts the classes drawn from (nil = all five).
+	allowed []int
+	// JobsSubmitted counts submissions, exposed for tests.
+	jobsSubmitted int
+}
+
+func newGridMix(c *Cluster) *gridMix {
+	return &gridMix{c: c}
+}
+
+func (g *gridMix) step() {
+	for len(g.c.jt.jobs) < g.c.cfg.TargetJobs {
+		var class *jobClass
+		if len(g.allowed) > 0 {
+			class = &gridMixClasses[g.allowed[g.c.rng.Intn(len(g.allowed))]]
+		} else {
+			class = &gridMixClasses[g.c.rng.Intn(len(gridMixClasses))]
+		}
+		slaves := float64(g.c.cfg.Slaves)
+		nMaps := scaledCount(g.c, class.mapsPerSlaveMin, class.mapsPerSlaveMax, slaves)
+		nReds := scaledCount(g.c, class.redsPerSlaveMin, class.redsPerSlaveMax, slaves)
+		g.c.jt.submit(class, nMaps, nReds)
+		g.jobsSubmitted++
+	}
+}
+
+// GridMixClassNames lists the five job-type names, in definition order.
+func GridMixClassNames() []string {
+	out := make([]string, len(gridMixClasses))
+	for i, c := range gridMixClasses {
+		out[i] = c.name
+	}
+	return out
+}
+
+// SetWorkload restricts which GridMix job types future submissions draw
+// from; an empty call restores the full five-type mix. Running jobs are
+// unaffected, so the cluster transitions gradually — a realistic runtime
+// workload change (§2.1: detection must tolerate "workload changes at
+// runtime").
+func (c *Cluster) SetWorkload(classNames ...string) error {
+	if len(classNames) == 0 {
+		c.gridmix.allowed = nil
+		return nil
+	}
+	var allowed []int
+	for _, want := range classNames {
+		found := -1
+		for i, class := range gridMixClasses {
+			if class.name == want {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("hadoopsim: unknown GridMix class %q (have %v)", want, GridMixClassNames())
+		}
+		allowed = append(allowed, found)
+	}
+	c.gridmix.allowed = allowed
+	return nil
+}
+
+func scaledCount(c *Cluster, lo, hi, slaves float64) int {
+	f := lo + c.rng.Float64()*(hi-lo)
+	n := int(f * slaves)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package hadoopsim
+
+// nameNode tracks HDFS block placement: which slaves hold a replica of each
+// block. Block contents are never materialized; only placement and size
+// matter to the simulation.
+type nameNode struct {
+	nextBlockID uint64
+	blocks      map[uint64]*blockInfo
+}
+
+// blockInfo records one HDFS block's replicas and size.
+type blockInfo struct {
+	id       uint64
+	sizeMB   float64
+	replicas []int // slave indexes
+}
+
+func newNameNode() *nameNode {
+	return &nameNode{nextBlockID: 1000000000, blocks: make(map[uint64]*blockInfo)}
+}
+
+// allocate creates a block of sizeMB with replicas placed on distinct
+// slaves: primary first (caller chooses; -1 for random), the rest random.
+func (nn *nameNode) allocate(c *Cluster, sizeMB float64, primary int) *blockInfo {
+	nn.nextBlockID++
+	b := &blockInfo{id: nn.nextBlockID, sizeMB: sizeMB}
+	want := c.cfg.Replication
+	used := make(map[int]bool, want)
+	if primary >= 0 && primary < len(c.slaves) {
+		b.replicas = append(b.replicas, primary)
+		used[primary] = true
+	}
+	for len(b.replicas) < want {
+		idx := c.rng.Intn(len(c.slaves))
+		if used[idx] {
+			continue
+		}
+		used[idx] = true
+		b.replicas = append(b.replicas, idx)
+	}
+	nn.blocks[b.id] = b
+	return b
+}
+
+// delete removes a block from the namespace, returning its replicas so the
+// datanodes can log the deletions.
+func (nn *nameNode) delete(id uint64) *blockInfo {
+	b, ok := nn.blocks[id]
+	if !ok {
+		return nil
+	}
+	delete(nn.blocks, id)
+	return b
+}
+
+// hasReplica reports whether slave idx holds a replica of the block.
+func (b *blockInfo) hasReplica(idx int) bool {
+	for _, r := range b.replicas {
+		if r == idx {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package hadoopsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHDFSPlacementInvariants(t *testing.T) {
+	c := testCluster(t, 5, 61)
+	for i := 0; i < 200; i++ {
+		b := c.nn.allocate(c, 16, i%5)
+		if len(b.replicas) != c.cfg.Replication {
+			t.Fatalf("block has %d replicas, want %d", len(b.replicas), c.cfg.Replication)
+		}
+		seen := make(map[int]bool)
+		for _, r := range b.replicas {
+			if r < 0 || r >= 5 {
+				t.Fatalf("replica index %d out of range", r)
+			}
+			if seen[r] {
+				t.Fatalf("duplicate replica on slave %d", r)
+			}
+			seen[r] = true
+		}
+		if b.replicas[0] != i%5 {
+			t.Fatalf("primary replica = %d, want %d", b.replicas[0], i%5)
+		}
+		if !b.hasReplica(i % 5) {
+			t.Fatal("hasReplica(primary) = false")
+		}
+	}
+}
+
+func TestHDFSDeleteIdempotent(t *testing.T) {
+	c := testCluster(t, 3, 62)
+	b := c.nn.allocate(c, 8, -1)
+	if got := c.nn.delete(b.id); got == nil {
+		t.Fatal("first delete should return the block")
+	}
+	if got := c.nn.delete(b.id); got != nil {
+		t.Fatal("second delete should return nil")
+	}
+}
+
+func TestResourceConservation(t *testing.T) {
+	// Per tick, granted resources never exceed node capacity.
+	c := testCluster(t, 5, 63)
+	for i := 0; i < 300; i++ {
+		c.Tick()
+		for _, n := range c.slaves {
+			if used := n.cpuDemand * n.cpuGrant; used > n.cfg.Cores*1.0001 {
+				t.Fatalf("tick %d: node %s cpu grant %.2f exceeds %.0f cores", i, n.Name, used, n.cfg.Cores)
+			}
+			if used := n.diskDemand * n.diskScale; used > n.cfg.DiskMBps*1.0001 {
+				t.Fatalf("tick %d: node %s disk grant %.2f exceeds %.0f MB/s", i, n.Name, used, n.cfg.DiskMBps)
+			}
+			net := n.effectiveNetMBps()
+			if used := n.txDemand * n.txScale; used > net*1.0001 {
+				t.Fatalf("tick %d: node %s tx grant %.2f exceeds %.0f MB/s", i, n.Name, used, net)
+			}
+			if used := n.rxDemand * n.rxScale; used > net*1.0001 {
+				t.Fatalf("tick %d: node %s rx grant %.2f exceeds %.0f MB/s", i, n.Name, used, net)
+			}
+		}
+	}
+}
+
+func TestSlotInvariants(t *testing.T) {
+	c := testCluster(t, 5, 64)
+	for i := 0; i < 600; i++ {
+		c.Tick()
+		for _, n := range c.slaves {
+			if len(n.mapAttempts) > c.cfg.MapSlots {
+				t.Fatalf("node %s has %d map attempts, slots %d", n.Name, len(n.mapAttempts), c.cfg.MapSlots)
+			}
+			if len(n.reduceAttempts) > c.cfg.ReduceSlots {
+				t.Fatalf("node %s has %d reduce attempts, slots %d", n.Name, len(n.reduceAttempts), c.cfg.ReduceSlots)
+			}
+			for _, a := range append(append([]*attempt(nil), n.mapAttempts...), n.reduceAttempts...) {
+				if a.finished {
+					t.Fatalf("finished attempt still occupies a slot on %s", n.Name)
+				}
+				if a.node != n {
+					t.Fatal("attempt node pointer inconsistent")
+				}
+			}
+		}
+	}
+}
+
+func TestJobAccountingConsistency(t *testing.T) {
+	c := testCluster(t, 5, 65)
+	c.RunFor(10 * time.Minute)
+	for _, j := range c.jt.jobs {
+		if j.mapsDone > len(j.maps) {
+			t.Fatalf("job %d: mapsDone %d > maps %d", j.id, j.mapsDone, len(j.maps))
+		}
+		if j.redsDone > len(j.reduces) {
+			t.Fatalf("job %d: redsDone %d > reduces %d", j.id, j.redsDone, len(j.reduces))
+		}
+		done := 0
+		for _, tk := range j.maps {
+			if tk.done {
+				done++
+			}
+		}
+		if done != j.mapsDone {
+			t.Fatalf("job %d: counted %d done maps, recorded %d", j.id, done, j.mapsDone)
+		}
+	}
+}
+
+func TestGridMixScalesWithClusterSize(t *testing.T) {
+	small := testCluster(t, 4, 66)
+	large := testCluster(t, 16, 66)
+	small.Tick()
+	large.Tick()
+	var smallTasks, largeTasks int
+	for _, j := range small.jt.jobs {
+		smallTasks += len(j.maps) + len(j.reduces)
+	}
+	for _, j := range large.jt.jobs {
+		largeTasks += len(j.maps) + len(j.reduces)
+	}
+	if largeTasks <= smallTasks {
+		t.Errorf("16-slave cluster jobs have %d tasks, 4-slave %d; workload should scale", largeTasks, smallTasks)
+	}
+}
+
+func TestGridMixClassSanity(t *testing.T) {
+	for _, class := range gridMixClasses {
+		if class.mapsPerSlaveMin <= 0 || class.mapsPerSlaveMax < class.mapsPerSlaveMin {
+			t.Errorf("%s: bad map range", class.name)
+		}
+		if class.redsPerSlaveMin <= 0 || class.redsPerSlaveMax < class.redsPerSlaveMin {
+			t.Errorf("%s: bad reduce range", class.name)
+		}
+		if class.inputMBPerMap <= 0 || class.mapCPUPerMB <= 0 {
+			t.Errorf("%s: bad cost model", class.name)
+		}
+		if class.mapOutputRatio < 0 || class.outputRatio < 0 {
+			t.Errorf("%s: negative data ratio", class.name)
+		}
+	}
+	if len(gridMixClasses) != 5 {
+		t.Errorf("GridMix has %d job types, the paper says 5", len(gridMixClasses))
+	}
+}
+
+func TestTaskTimeoutFailsHungAttempt(t *testing.T) {
+	cfg := DefaultConfig(4, 67)
+	cfg.SpeculativeLagSec = 1 << 30 // disable speculation to isolate timeout
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Minute)
+	if err := c.InjectFault(0, FaultHang1036); err != nil {
+		t.Fatal(err)
+	}
+	// Run past the 600 s task timeout.
+	c.RunFor(time.Duration(cfg.TaskTimeoutSec+180) * time.Second)
+	lines, _ := c.Slave(0).TaskTrackerLog().ReadFrom(0)
+	timeouts := 0
+	for _, l := range lines {
+		if contains(l, "failed to report status") {
+			timeouts++
+		}
+	}
+	if timeouts == 0 {
+		t.Error("hung attempts should hit the task timeout")
+	}
+}
+
+func TestBlacklistStopsScheduling(t *testing.T) {
+	c := testCluster(t, 4, 68)
+	c.RunFor(time.Minute)
+	if err := c.Blacklist(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Blacklisted(1) {
+		t.Fatal("Blacklisted(1) = false after Blacklist")
+	}
+	before := countLaunches(c.Slave(1))
+	c.RunFor(5 * time.Minute)
+	// Existing tasks drain; no NEW launches appear.
+	if got := countLaunches(c.Slave(1)); got != before {
+		t.Errorf("blacklisted node received %d new launches", got-before)
+	}
+	// Reinstate and verify scheduling resumes.
+	if err := c.Blacklist(1, false); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Minute)
+	if got := countLaunches(c.Slave(1)); got <= before {
+		t.Error("reinstated node never received tasks")
+	}
+	if err := c.Blacklist(99, true); err == nil {
+		t.Error("out-of-range blacklist should error")
+	}
+	if err := c.BlacklistByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestCountersFiniteAndSane(t *testing.T) {
+	c := testCluster(t, 3, 69)
+	c.RunFor(5 * time.Minute)
+	for _, n := range c.Slaves() {
+		snap, err := n.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Mem.MemFree > snap.Mem.MemTotal {
+			t.Errorf("%s: MemFree %d > MemTotal %d", n.Name, snap.Mem.MemFree, snap.Mem.MemTotal)
+		}
+		if snap.Load.Load1 < 0 || math.IsNaN(snap.Load.Load1) || math.IsInf(snap.Load.Load1, 0) {
+			t.Errorf("%s: Load1 = %v", n.Name, snap.Load.Load1)
+		}
+		total := snap.Stat.CPUTotal.Total()
+		expected := uint64(5*60) * uint64(c.cfg.Cores) * 100
+		if total < expected*8/10 || total > expected*12/10 {
+			t.Errorf("%s: total jiffies %d far from expected %d", n.Name, total, expected)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+package hadoopsim
+
+import (
+	"time"
+
+	"github.com/asdf-project/asdf/internal/hadooplog"
+)
+
+// Per-task resource caps: one task attempt cannot saturate a whole node by
+// itself (it is one JVM with one main thread plus I/O threads).
+const (
+	taskDiskCapMBps = 30
+	taskNetCapMBps  = 25
+	mapPhaseCPU     = 0.7 // a map JVM interleaves I/O and compute
+	copyPhaseCPU    = 0.15
+	sortPhaseCPU    = 0.6
+	reducePhaseCPU  = 0.8
+	reduceSlowstart = 0.05 // fraction of maps done before reduces launch
+)
+
+// phaseID tracks an attempt's position in its lifecycle.
+type phaseID int
+
+const (
+	phaseMapRun phaseID = iota + 1
+	phaseCopy
+	phaseSort
+	phaseReduce
+)
+
+// task is one logical map or reduce task of a job; it may have several
+// attempts (retries, speculative duplicates).
+type task struct {
+	job      *job
+	index    int
+	isMap    bool
+	block    *blockInfo // map input block
+	done     bool
+	failures int
+	attempts int // attempt ids issued
+	running  []*attempt
+}
+
+// attempt is one execution of a task on a node.
+type attempt struct {
+	task      *task
+	attemptNo int
+	node      *Node
+
+	phase        phaseID
+	launchedAt   time.Time
+	lastProgress time.Time
+
+	// Remaining work per component in the current phase.
+	cpuNeed, cpuLeft   float64
+	diskNeed, diskLeft float64
+	flows              []*flow
+
+	// Reduce shuffle accounting.
+	copyExpected float64
+	copyFetched  float64
+	copyAvail    map[int]float64 // per-source-node MB available to fetch
+
+	// Reduce output block (allocated at reduce-phase start).
+	outBlock *blockInfo
+
+	// Fault-driven behaviour.
+	hang        bool // no progress ever
+	hangBurnCPU bool // the hang is a busy loop (HADOOP-1036)
+	failMidCopy bool // dies at 50% of copy (HADOOP-1152)
+	hangAtSort  bool // hangs when entering sort (HADOOP-2080)
+
+	finished  bool
+	loggedPct float64
+	lastLogAt time.Time
+}
+
+// flow is one network transfer: shuffle fetch, remote block read, or
+// replication write.
+type flow struct {
+	src, dst  int
+	left      float64
+	want      float64 // request this tick
+	diskAtSrc bool    // transfer reads from the source's disk
+	diskAtDst bool    // transfer writes to the destination's disk
+	// onDone logging context.
+	kind    flowKind
+	blockID uint64
+}
+
+type flowKind int
+
+const (
+	flowShuffle flowKind = iota + 1
+	flowBlockRead
+	flowReplicate
+)
+
+// job is one GridMix job.
+type job struct {
+	id       int
+	class    *jobClass
+	maps     []*task
+	reduces  []*task
+	mapsDone int
+	redsDone int
+
+	inputMBPerMap    float64
+	mapOutputMB      float64 // per map
+	totalMapOutputMB float64
+	reduceInputMB    float64 // per reduce
+	reduceOutputMB   float64 // per reduce
+
+	mapOutputPerNode map[int]float64 // completed map output MB by node
+	outputBlocks     []uint64
+	submitted        time.Time
+}
+
+func (j *job) complete() bool {
+	return j.mapsDone >= len(j.maps) && j.redsDone >= len(j.reduces)
+}
+
+// jobTracker schedules tasks onto slaves and tracks job lifecycles.
+type jobTracker struct {
+	c    *Cluster
+	jobs []*job
+
+	// blacklisted slaves receive no new tasks (the mitigation hook the
+	// ASDF action module drives).
+	blacklisted map[int]bool
+
+	nextJobID      int
+	jobsCompleted  int
+	tasksCompleted int
+
+	// Completions and failures recorded while advancing a tick, processed
+	// by reap.
+	doneAttempts   []*attempt
+	failedAttempts []*failedAttempt
+
+	pendingDeletes []pendingDelete
+}
+
+type failedAttempt struct {
+	a      *attempt
+	reason string
+}
+
+type pendingDelete struct {
+	at      time.Time
+	blockID uint64
+}
+
+func newJobTracker(c *Cluster) *jobTracker {
+	return &jobTracker{c: c, nextJobID: 1, blacklisted: make(map[int]bool)}
+}
+
+// submit registers a new job: its input blocks are placed in HDFS (the
+// dataset pre-exists; GridMix generates it before the measured runs).
+func (jt *jobTracker) submit(class *jobClass, nMaps, nReduces int) *job {
+	j := &job{
+		id:               jt.nextJobID,
+		class:            class,
+		inputMBPerMap:    class.inputMBPerMap,
+		mapOutputPerNode: make(map[int]float64),
+		submitted:        jt.c.now,
+	}
+	jt.nextJobID++
+	j.mapOutputMB = j.inputMBPerMap * class.mapOutputRatio
+	j.totalMapOutputMB = j.mapOutputMB * float64(nMaps)
+	if nReduces > 0 {
+		j.reduceInputMB = j.totalMapOutputMB / float64(nReduces)
+		j.reduceOutputMB = j.reduceInputMB * class.outputRatio
+	}
+	for i := 0; i < nMaps; i++ {
+		blk := jt.c.nn.allocate(jt.c, j.inputMBPerMap, -1)
+		j.maps = append(j.maps, &task{job: j, index: i, isMap: true, block: blk})
+	}
+	for i := 0; i < nReduces; i++ {
+		j.reduces = append(j.reduces, &task{job: j, index: i})
+	}
+	jt.jobs = append(jt.jobs, j)
+	return j
+}
+
+// step runs the per-tick scheduling pass. As in Hadoop 0.18, a tasktracker
+// receives at most one map and one reduce per heartbeat, which spreads
+// long-lived tasks evenly across slaves — the across-node homogeneity that
+// peer comparison relies on (§4.5). Reduces additionally prefer slaves not
+// already running one. Afterwards, laggards are scanned for speculation and
+// hung attempts for timeout.
+func (jt *jobTracker) step() {
+	for _, n := range jt.c.slaves {
+		jt.deliverHeartbeat(n)
+	}
+	order := jt.c.rng.Perm(len(jt.c.slaves))
+	for _, si := range order {
+		n := jt.c.slaves[si]
+		if !n.hbOK || jt.blacklisted[n.Index] {
+			continue // heartbeat lost, or the node is blacklisted
+		}
+		if n.freeMapSlots() > 0 {
+			if t := jt.pickMap(n); t != nil {
+				jt.launch(t, n)
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, si := range order {
+			n := jt.c.slaves[si]
+			if pass == 0 && len(n.reduceAttempts) > 0 {
+				continue // first pass: only slaves with no running reduce
+			}
+			if !n.hbOK || jt.blacklisted[n.Index] {
+				continue
+			}
+			if n.freeReduceSlots() > 0 {
+				if t := jt.pickReduce(); t != nil {
+					jt.launch(t, n)
+				}
+			}
+		}
+	}
+	jt.scanLaggards()
+}
+
+// deliverHeartbeat models induced packet loss hitting the tasktracker's
+// control traffic (HADOOP-2956). A heartbeat is an RPC spanning several
+// packet exchanges; at 50% packet loss most fail outright
+// (1-(1-loss)^3 ≈ 88%), and each failure leaves the TT's connection in TCP
+// retransmission backoff for tens of seconds. The consequences are exactly
+// Hadoop's: the lossy node misses scheduling rounds, its progress reports
+// go stale at the jobtracker (triggering speculation and "failed to report
+// status" kills), and it accumulates work far more slowly than its peers.
+func (jt *jobTracker) deliverHeartbeat(n *Node) {
+	now := jt.c.now
+	if n.lastHeartbeatOK.IsZero() {
+		n.lastHeartbeatOK = now
+	}
+	if n.packetLoss <= 0 {
+		n.hbOK = true
+		n.lastHeartbeatOK = now
+		return
+	}
+	if now.Before(n.hbBackoffUntil) {
+		n.hbOK = false
+		return
+	}
+	ok := 1 - n.packetLoss
+	if jt.c.rng.Float64() > ok*ok*ok {
+		// Heartbeat RPC failed; connection backs off.
+		backoff := 10 + jt.c.rng.Float64()*110
+		n.hbBackoffUntil = now.Add(time.Duration(backoff * float64(time.Second)))
+		n.hbOK = false
+		return
+	}
+	n.hbOK = true
+	n.lastHeartbeatOK = now
+}
+
+// pickMap chooses a pending map for node n, preferring data-local tasks.
+func (jt *jobTracker) pickMap(n *Node) *task {
+	var fallback *task
+	for _, j := range jt.jobs {
+		for _, t := range j.maps {
+			if t.done || len(t.running) > 0 || t.failures >= jt.c.cfg.MaxTaskFailures {
+				continue
+			}
+			if t.block.hasReplica(n.Index) {
+				return t
+			}
+			if fallback == nil {
+				fallback = t
+			}
+		}
+	}
+	return fallback
+}
+
+// pickReduce chooses a pending reduce whose job has passed slowstart.
+func (jt *jobTracker) pickReduce() *task {
+	for _, j := range jt.jobs {
+		if len(j.maps) > 0 && float64(j.mapsDone) < reduceSlowstart*float64(len(j.maps)) {
+			continue
+		}
+		for _, t := range j.reduces {
+			if t.done || len(t.running) > 0 || t.failures >= jt.c.cfg.MaxTaskFailures {
+				continue
+			}
+			return t
+		}
+	}
+	return nil
+}
+
+// launch starts an attempt of t on n, applying any node fault behaviour,
+// and logs the LaunchTaskAction.
+func (jt *jobTracker) launch(t *task, n *Node) *attempt {
+	a := &attempt{
+		task:         t,
+		attemptNo:    t.attempts,
+		node:         n,
+		launchedAt:   jt.c.now,
+		lastProgress: jt.c.now,
+		lastLogAt:    jt.c.now,
+	}
+	t.attempts++
+	t.running = append(t.running, a)
+
+	jitter := 0.9 + 0.2*jt.c.rng.Float64()
+	if t.isMap {
+		a.phase = phaseMapRun
+		j := t.job
+		a.cpuNeed = j.inputMBPerMap * j.class.mapCPUPerMB * jitter
+		a.cpuLeft = a.cpuNeed
+		a.diskNeed = j.mapOutputMB // write map output locally
+		a.diskLeft = a.diskNeed
+		if t.block.hasReplica(n.Index) {
+			// Local read.
+			a.diskNeed += j.inputMBPerMap
+			a.diskLeft += j.inputMBPerMap
+			a.flows = append(a.flows, &flow{
+				src: n.Index, dst: n.Index, left: 0,
+				kind: flowBlockRead, blockID: t.block.id,
+			})
+		} else {
+			src := t.block.replicas[jt.c.rng.Intn(len(t.block.replicas))]
+			a.flows = append(a.flows, &flow{
+				src: src, dst: n.Index, left: j.inputMBPerMap,
+				diskAtSrc: true, kind: flowBlockRead, blockID: t.block.id,
+			})
+		}
+		if n.fault == FaultHang1036 {
+			a.hang = true
+			a.hangBurnCPU = true
+		}
+		n.mapAttempts = append(n.mapAttempts, a)
+	} else {
+		a.phase = phaseCopy
+		j := t.job
+		a.copyExpected = j.reduceInputMB
+		a.copyAvail = make(map[int]float64, len(j.mapOutputPerNode))
+		perReduce := 1.0 / float64(len(j.reduces))
+		for node, mb := range j.mapOutputPerNode {
+			a.copyAvail[node] = mb * perReduce
+		}
+		switch n.fault {
+		case FaultHang1152:
+			a.failMidCopy = true
+		case FaultHang2080:
+			a.hangAtSort = true
+		}
+		n.reduceAttempts = append(n.reduceAttempts, a)
+	}
+	_ = n.ttLog.LaunchTask(jt.c.now, taskIDOf(a))
+	return a
+}
+
+func taskIDOf(a *attempt) string {
+	return hadooplog.TaskID(a.task.job.id, a.task.isMap, a.task.index, a.attemptNo)
+}
+
+// scanLaggards schedules speculative duplicates for stalled attempts and
+// fails attempts that exceeded the task timeout.
+func (jt *jobTracker) scanLaggards() {
+	now := jt.c.now
+	lag := time.Duration(jt.c.cfg.SpeculativeLagSec) * time.Second
+	timeout := time.Duration(jt.c.cfg.TaskTimeoutSec) * time.Second
+	for _, j := range jt.jobs {
+		for _, tasks := range [][]*task{j.maps, j.reduces} {
+			for _, t := range tasks {
+				for _, a := range t.running {
+					if a.finished {
+						continue
+					}
+					// The jobtracker sees progress only through heartbeats:
+					// a node whose heartbeats are not getting through looks
+					// stalled regardless of local progress.
+					lastSeen := a.lastProgress
+					if a.node.lastHeartbeatOK.Before(lastSeen) {
+						lastSeen = a.node.lastHeartbeatOK
+					}
+					stalled := now.Sub(lastSeen)
+					if stalled >= timeout {
+						jt.failedAttempts = append(jt.failedAttempts, &failedAttempt{
+							a: a, reason: "Task attempt failed to report status; killing",
+						})
+						continue
+					}
+					if stalled >= lag && len(t.running) == 1 {
+						jt.speculate(t, a.node)
+					}
+				}
+			}
+		}
+	}
+}
+
+// speculate launches a duplicate attempt on some node other than avoid.
+func (jt *jobTracker) speculate(t *task, avoid *Node) {
+	order := jt.c.rng.Perm(len(jt.c.slaves))
+	for _, si := range order {
+		n := jt.c.slaves[si]
+		if n == avoid || jt.blacklisted[n.Index] {
+			continue
+		}
+		if t.isMap && n.freeMapSlots() > 0 {
+			jt.launch(t, n)
+			return
+		}
+		if !t.isMap && n.freeReduceSlots() > 0 {
+			jt.launch(t, n)
+			return
+		}
+	}
+}
+
+// reap processes the completions and failures recorded while advancing the
+// tick, and performs deferred output-block deletions.
+func (jt *jobTracker) reap() {
+	now := jt.c.now
+	for _, fa := range jt.failedAttempts {
+		a := fa.a
+		if a.finished {
+			continue
+		}
+		a.finished = true
+		removeAttempt(a)
+		a.task.failures++
+		_ = a.node.ttLog.TaskFailed(now, taskIDOf(a), fa.reason)
+		if a.task.failures >= jt.c.cfg.MaxTaskFailures && !a.task.done {
+			// Task abandoned: Hadoop would fail the job; GridMix restarts
+			// it. We mark the task done so the workload keeps flowing.
+			jt.markDone(a.task, nil)
+		}
+	}
+	jt.failedAttempts = nil
+
+	for _, a := range jt.doneAttempts {
+		if a.task.done {
+			// A twin already finished; treat as killed duplicate.
+			if !a.finished {
+				a.finished = true
+				removeAttempt(a)
+				_ = a.node.ttLog.TaskFailed(now, taskIDOf(a), "KillTaskAction: duplicate attempt")
+			}
+			continue
+		}
+		a.finished = true
+		removeAttempt(a)
+		_ = a.node.ttLog.TaskDone(now, taskIDOf(a))
+		jt.tasksCompleted++
+		jt.markDone(a.task, a)
+	}
+	jt.doneAttempts = nil
+
+	// Finished jobs leave the running list; their output blocks are
+	// deleted a minute later (GridMix cleanup), producing DeleteBlock
+	// events.
+	kept := jt.jobs[:0]
+	for _, j := range jt.jobs {
+		if j.complete() {
+			jt.jobsCompleted++
+			for _, b := range j.outputBlocks {
+				jt.pendingDeletes = append(jt.pendingDeletes, pendingDelete{
+					at: now.Add(60 * time.Second), blockID: b,
+				})
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	jt.jobs = kept
+
+	remaining := jt.pendingDeletes[:0]
+	for _, pd := range jt.pendingDeletes {
+		if pd.at.After(now) {
+			remaining = append(remaining, pd)
+			continue
+		}
+		if b := jt.c.nn.delete(pd.blockID); b != nil {
+			for _, r := range b.replicas {
+				_ = jt.c.slaves[r].dnLog.DeletedBlock(now, hadooplog.BlockID(b.id))
+			}
+		}
+	}
+	jt.pendingDeletes = remaining
+}
+
+// markDone finalizes a task: kills twin attempts and updates job progress.
+// winner may be nil (task abandoned after repeated failures).
+func (jt *jobTracker) markDone(t *task, winner *attempt) {
+	t.done = true
+	for _, other := range t.running {
+		if other == winner || other.finished {
+			continue
+		}
+		other.finished = true
+		removeAttempt(other)
+		_ = other.node.ttLog.TaskFailed(jt.c.now, taskIDOf(other), "KillTaskAction: duplicate attempt")
+	}
+	t.running = nil
+	j := t.job
+	if t.isMap {
+		j.mapsDone++
+		if winner != nil {
+			// The map's output becomes fetchable by reducers.
+			j.mapOutputPerNode[winner.node.Index] += j.mapOutputMB
+			share := j.mapOutputMB / float64(max(1, len(j.reduces)))
+			for _, rt := range j.reduces {
+				for _, ra := range rt.running {
+					if ra.phase == phaseCopy && !ra.finished {
+						ra.copyAvail[winner.node.Index] += share
+					}
+				}
+			}
+		}
+	} else {
+		j.redsDone++
+	}
+}
+
+// removeAttempt detaches an attempt from its node's slot lists and its
+// task's running list.
+func removeAttempt(a *attempt) {
+	n := a.node
+	if a.task.isMap {
+		n.mapAttempts = deleteAttempt(n.mapAttempts, a)
+	} else {
+		n.reduceAttempts = deleteAttempt(n.reduceAttempts, a)
+	}
+	a.task.running = deleteAttempt(a.task.running, a)
+}
+
+func deleteAttempt(s []*attempt, a *attempt) []*attempt {
+	for i, x := range s {
+		if x == a {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

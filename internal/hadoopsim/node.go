@@ -1,0 +1,460 @@
+package hadoopsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/procfs"
+)
+
+// Well-known simulated pids for the per-node daemons.
+const (
+	pidDataNode    = 3001
+	pidTaskTracker = 3002
+)
+
+// Node is one simulated slave: a tasktracker plus a datanode, with CPU,
+// disk, and network capacities and cumulative /proc-style counters.
+type Node struct {
+	// Index is the slave index (0-based); Name is "slaveNN".
+	Index int
+	Name  string
+	Addr  string
+
+	cfg *Config
+	rng *rand.Rand
+
+	// Logs, written in Hadoop 0.18 format.
+	ttBuf *hadooplog.Buffer
+	dnBuf *hadooplog.Buffer
+	ttLog *hadooplog.Writer
+	dnLog *hadooplog.Writer
+
+	// Fault state.
+	fault       FaultKind
+	faultSince  time.Time
+	diskHogLeft float64 // MB remaining of the 20 GB sequential write
+	packetLoss  float64 // fraction of packets lost
+
+	// Heartbeat state (per-tick): whether this tick's heartbeat reached
+	// the jobtracker, when one last did, and until when the TT's RPC
+	// connection is in TCP retransmission backoff (packet loss).
+	hbOK            bool
+	lastHeartbeatOK time.Time
+	hbBackoffUntil  time.Time
+
+	// Per-tick working state (rebuilt each tick).
+	cpuDemand   float64 // cores requested this tick by tasks+faults
+	cpuGrant    float64 // scaling applied: grant = demand * cpuScale
+	diskDemand  float64 // MB wanted this tick
+	diskScale   float64
+	txDemand    float64
+	rxDemand    float64
+	txScale     float64
+	rxScale     float64
+	faultCPU    float64 // cores consumed by fault processes this tick
+	faultDiskMB float64 // MB written by fault processes this tick
+
+	// Attempts currently occupying slots on this node.
+	mapAttempts    []*attempt
+	reduceAttempts []*attempt
+
+	// Cumulative counters backing the procfs snapshot. Guarded by mu so
+	// collection daemons can snapshot concurrently with ticking.
+	mu       sync.Mutex
+	counters nodeCounters
+	procTT   processCounters
+	procDN   processCounters
+	lastTime time.Time
+	loadEWMA float64
+}
+
+// nodeCounters is the cumulative counter set behind /proc.
+type nodeCounters struct {
+	userJ, niceJ, sysJ, idleJ, iowaitJ uint64
+	ctxt, intr, forks                  uint64
+	procsRunning, procsBlocked         uint64 // gauges
+	reads, writes                      uint64
+	sectorsRead, sectorsWritten        uint64
+	ioTimeMs, weightedIOMs             uint64
+	readTimeMs, writeTimeMs            uint64
+	rxBytes, txBytes                   uint64
+	rxPkts, txPkts                     uint64
+	rxErrs, rxDrops                    uint64
+	pgpgin, pgpgout, pgfault, pgmajflt uint64
+	memUsedKB                          uint64 // gauge
+	runningTasks                       int    // gauge
+	uptimeSec                          float64
+}
+
+// processCounters models one daemon process for the per-process metrics.
+type processCounters struct {
+	utimeJ, stimeJ   uint64
+	minflt, majflt   uint64
+	rssKB            uint64
+	threads          int
+	readB, writeB    uint64
+	running          bool
+	startTimeJiffies uint64
+}
+
+func newNode(index int, cfg *Config, rng *rand.Rand, start time.Time) *Node {
+	ttBuf := hadooplog.NewBuffer(1 << 18)
+	dnBuf := hadooplog.NewBuffer(1 << 18)
+	n := &Node{
+		Index:    index,
+		Name:     fmt.Sprintf("slave%02d", index+1),
+		Addr:     fmt.Sprintf("10.1.0.%d:50010", index+2),
+		cfg:      cfg,
+		rng:      rng,
+		ttBuf:    ttBuf,
+		dnBuf:    dnBuf,
+		ttLog:    hadooplog.NewWriter(hadooplog.KindTaskTracker, ttBuf),
+		dnLog:    hadooplog.NewWriter(hadooplog.KindDataNode, dnBuf),
+		lastTime: start,
+	}
+	n.procTT = processCounters{rssKB: 180 * 1024, threads: 25, running: true, startTimeJiffies: 600}
+	n.procDN = processCounters{rssKB: 120 * 1024, threads: 18, running: true, startTimeJiffies: 500}
+	n.counters.memUsedKB = 900 * 1024 // daemons + OS baseline
+	return n
+}
+
+// TaskTrackerLog returns the node's TaskTracker log buffer.
+func (n *Node) TaskTrackerLog() *hadooplog.Buffer { return n.ttBuf }
+
+// DataNodeLog returns the node's DataNode log buffer.
+func (n *Node) DataNodeLog() *hadooplog.Buffer { return n.dnBuf }
+
+// Fault reports the currently injected fault.
+func (n *Node) Fault() FaultKind { return n.fault }
+
+// freeMapSlots reports available map slots.
+func (n *Node) freeMapSlots() int { return n.cfg.MapSlots - len(n.mapAttempts) }
+
+// freeReduceSlots reports available reduce slots.
+func (n *Node) freeReduceSlots() int { return n.cfg.ReduceSlots - len(n.reduceAttempts) }
+
+// RunningTasks reports the number of task attempts occupying slots.
+func (n *Node) RunningTasks() int { return len(n.mapAttempts) + len(n.reduceAttempts) }
+
+// effectiveNetMBps applies fault-induced network degradation: 50% packet
+// loss collapses TCP goodput to a few percent of nominal (every other
+// segment retransmits, timers back off, the congestion window never
+// grows), which we model as a fixed small fraction.
+func (n *Node) effectiveNetMBps() float64 {
+	if n.packetLoss > 0 {
+		return n.cfg.NetMBps * 0.05
+	}
+	return n.cfg.NetMBps
+}
+
+// beginTick resets per-tick demand accounting and registers fault demands.
+func (n *Node) beginTick() {
+	n.cpuDemand = daemonCPUCores
+	n.diskDemand = 0
+	n.txDemand = 0
+	n.rxDemand = 0
+	n.faultCPU = 0
+	n.faultDiskMB = 0
+
+	switch n.fault {
+	case FaultCPUHog:
+		n.cpuDemand += cpuHogUtilization * n.cfg.Cores
+	case FaultDiskHog:
+		if n.diskHogLeft > 0 {
+			n.diskDemand += n.cfg.DiskMBps // saturate the disk
+		}
+	}
+}
+
+// daemonCPUCores is the background CPU of the tasktracker+datanode JVMs.
+const daemonCPUCores = 0.06
+
+// cpuHogUtilization matches the paper's CPUHog: a task consuming 70% of
+// total CPU.
+const cpuHogUtilization = 0.70
+
+// addCPUDemand registers a task's CPU request (cores) for this tick and
+// returns nothing; allocation happens cluster-wide.
+func (n *Node) addCPUDemand(cores float64) { n.cpuDemand += cores }
+
+// addDiskDemand registers disk MB wanted this tick.
+func (n *Node) addDiskDemand(mb float64) { n.diskDemand += mb }
+
+// computeScales fixes the per-resource grant scaling after all demands are
+// registered.
+func (n *Node) computeScales() {
+	n.cpuGrant = 1
+	if n.cpuDemand > n.cfg.Cores {
+		n.cpuGrant = n.cfg.Cores / n.cpuDemand
+	}
+	n.diskScale = 1
+	if n.diskDemand > n.cfg.DiskMBps {
+		n.diskScale = n.cfg.DiskMBps / n.diskDemand
+	}
+	net := n.effectiveNetMBps()
+	n.txScale = 1
+	if n.txDemand > net {
+		n.txScale = net / n.txDemand
+	}
+	n.rxScale = 1
+	if n.rxDemand > net {
+		n.rxScale = net / n.rxDemand
+	}
+}
+
+// jitter returns x scaled by 1 + N(0, sd): small measurement noise so peer
+// nodes are similar but not identical.
+func (n *Node) jitter(x, sd float64) float64 {
+	v := x * (1 + n.rng.NormFloat64()*sd)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// finishTick converts this tick's grants into cumulative counters.
+func (n *Node) finishTick(now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	// CPU accounting. Task+daemon+fault CPU was granted as
+	// demand*cpuGrant cores for one second.
+	usedCores := n.cpuDemand * n.cpuGrant
+	if usedCores > n.cfg.Cores {
+		usedCores = n.cfg.Cores
+	}
+	usedJ := n.jitter(usedCores*100, 0.03) // jiffies this second
+	userJ := usedJ * 0.82
+	sysJ := usedJ * 0.18
+
+	// Disk accounting.
+	diskMB := n.diskDemand * n.diskScale
+	if n.fault == FaultDiskHog && n.diskHogLeft > 0 {
+		hogShare := n.cfg.DiskMBps * n.diskScale
+		n.faultDiskMB = hogShare
+		n.diskHogLeft -= hogShare
+		if n.diskHogLeft <= 0 {
+			n.diskHogLeft = 0
+		}
+	}
+	diskUtil := 0.0
+	if n.cfg.DiskMBps > 0 {
+		diskUtil = diskMB / n.cfg.DiskMBps
+		if diskUtil > 1 {
+			diskUtil = 1
+		}
+	}
+
+	// I/O wait: runnable-but-blocked time grows with disk saturation.
+	totalJ := n.cfg.Cores * 100
+	iowaitJ := diskUtil * 0.35 * totalJ
+	if usedJ+iowaitJ > totalJ {
+		iowaitJ = totalJ - usedJ
+		if iowaitJ < 0 {
+			iowaitJ = 0
+		}
+	}
+	idleJ := totalJ - usedJ - iowaitJ
+	if idleJ < 0 {
+		idleJ = 0
+	}
+
+	n.counters.userJ += uint64(userJ)
+	n.counters.sysJ += uint64(sysJ)
+	n.counters.iowaitJ += uint64(iowaitJ)
+	n.counters.idleJ += uint64(idleJ)
+
+	// Context switches and interrupts track activity.
+	n.counters.ctxt += uint64(n.jitter(800+6000*usedCores/n.cfg.Cores+2000*diskUtil, 0.08))
+	n.counters.intr += uint64(n.jitter(400+2500*usedCores/n.cfg.Cores, 0.08))
+
+	// Disk counters: 2048 sectors per MB.
+	halfR := diskMB * 0.4 // reads vs writes split varies with workload mix
+	halfW := diskMB - halfR
+	n.counters.sectorsRead += uint64(n.jitter(halfR*2048, 0.05))
+	n.counters.sectorsWritten += uint64(n.jitter(halfW*2048, 0.05))
+	n.counters.reads += uint64(halfR * 8) // ~128 kB per request
+	n.counters.writes += uint64(halfW * 8)
+	ioMs := diskUtil * 1000
+	n.counters.ioTimeMs += uint64(ioMs)
+	n.counters.weightedIOMs += uint64(ioMs * (1 + n.diskDemand/n.cfg.DiskMBps))
+	n.counters.readTimeMs += uint64(ioMs * 0.4)
+	n.counters.writeTimeMs += uint64(ioMs * 0.6)
+
+	// Network counters.
+	txMB := n.txDemand * n.txScale
+	rxMB := n.rxDemand * n.rxScale
+	hbBytes := 2048.0 // heartbeats and control chatter with the master
+	n.counters.txBytes += uint64(n.jitter(txMB*1e6+hbBytes, 0.05))
+	n.counters.rxBytes += uint64(n.jitter(rxMB*1e6+hbBytes, 0.05))
+	n.counters.txPkts += uint64(txMB*720 + 8)
+	n.counters.rxPkts += uint64(rxMB*720 + 8)
+	if n.packetLoss > 0 {
+		// Dropped/error counters climb under induced loss.
+		n.counters.rxErrs += uint64(n.jitter((rxMB*720+8)*n.packetLoss, 0.2))
+		n.counters.rxDrops += uint64(n.jitter((rxMB*720+8)*n.packetLoss*0.5, 0.2))
+	}
+
+	// Paging follows disk traffic.
+	n.counters.pgpgin += uint64(halfR * 1024)
+	n.counters.pgpgout += uint64(halfW * 1024)
+	n.counters.pgfault += uint64(n.jitter(1500+4000*usedCores/n.cfg.Cores, 0.1))
+	n.counters.pgmajflt += uint64(n.jitter(diskUtil*4, 0.5))
+
+	// Memory gauge: baseline + per-attempt JVM footprint.
+	n.counters.runningTasks = len(n.mapAttempts) + len(n.reduceAttempts)
+	tasks := float64(n.counters.runningTasks)
+	mem := 900*1024 + tasks*220*1024 + diskUtil*400*1024
+	if n.fault == FaultCPUHog {
+		mem += 80 * 1024
+	}
+	n.counters.memUsedKB = uint64(n.jitter(mem, 0.02))
+
+	// Run queue gauges and load average.
+	runnable := usedCores
+	n.counters.procsRunning = uint64(runnable + 1)
+	n.counters.procsBlocked = uint64(diskUtil * 2)
+	n.loadEWMA = n.loadEWMA*0.92 + (runnable+diskUtil)*0.08
+
+	n.counters.forks += uint64(2)
+	n.counters.uptimeSec += 1
+
+	// Daemon process accounting. Task JVM CPU is attributed to the
+	// tasktracker process tree and block service to the datanode; CPU
+	// burned by an external hog process belongs to neither.
+	if n.fault == FaultCPUHog {
+		n.faultCPU = cpuHogUtilization * n.cfg.Cores * n.cpuGrant
+	}
+	taskCores := usedCores - n.faultCPU - daemonCPUCores
+	if taskCores < 0 {
+		taskCores = 0
+	}
+	ttJ := (taskCores*0.9 + 0.04) * 100 * n.cpuGrant
+	dnJ := (taskCores*0.1 + 0.02) * 100 * n.cpuGrant
+	n.procTT.utimeJ += uint64(ttJ * 0.85)
+	n.procTT.stimeJ += uint64(ttJ * 0.15)
+	n.procDN.utimeJ += uint64(dnJ * 0.8)
+	n.procDN.stimeJ += uint64(dnJ * 0.2)
+	n.procTT.minflt += uint64(200 + 500*taskCores)
+	n.procDN.minflt += uint64(100 + 200*diskUtil)
+	n.procTT.rssKB = uint64(180*1024 + tasks*200*1024)
+	n.procDN.rssKB = uint64(120*1024 + diskUtil*50*1024)
+	n.procTT.threads = 25 + int(tasks)*4
+	n.procDN.threads = 18 + int(diskUtil*8)
+	n.procTT.readB += uint64(halfR * 0.3 * 1e6)
+	n.procTT.writeB += uint64(halfW * 0.4 * 1e6)
+	n.procDN.readB += uint64(halfR * 0.7 * 1e6)
+	n.procDN.writeB += uint64(halfW * 0.6 * 1e6)
+
+	n.lastTime = now
+}
+
+var _ procfs.Provider = (*Node)(nil)
+
+// Snapshot implements procfs.Provider, exposing the node's cumulative
+// counters in /proc structure. The collection pipeline reads slaves through
+// this interface exactly as it would read a live kernel.
+func (n *Node) Snapshot() (*procfs.Snapshot, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := n.counters
+
+	memTotal := n.cfg.MemTotalKB
+	memFree := uint64(0)
+	if c.memUsedKB < memTotal {
+		memFree = memTotal - c.memUsedKB
+	}
+	cached := uint64(float64(memTotal) * 0.15)
+
+	perCPU := make([]procfs.CPUStat, int(n.cfg.Cores))
+	nc := uint64(len(perCPU))
+	if nc == 0 {
+		nc = 1
+	}
+	for i := range perCPU {
+		perCPU[i] = procfs.CPUStat{
+			User: c.userJ / nc, System: c.sysJ / nc,
+			Idle: c.idleJ / nc, IOWait: c.iowaitJ / nc,
+		}
+	}
+
+	snap := &procfs.Snapshot{
+		Time:   n.lastTime,
+		Uptime: c.uptimeSec,
+		Stat: procfs.Stat{
+			CPUTotal: procfs.CPUStat{
+				User: c.userJ, Nice: c.niceJ, System: c.sysJ,
+				Idle: c.idleJ, IOWait: c.iowaitJ,
+			},
+			PerCPU:          perCPU,
+			ContextSwitches: c.ctxt,
+			Interrupts:      c.intr,
+			Processes:       c.forks,
+			ProcsRunning:    c.procsRunning,
+			ProcsBlocked:    c.procsBlocked,
+		},
+		Mem: procfs.Meminfo{
+			MemTotal: memTotal, MemFree: memFree,
+			Buffers: 80 * 1024, Cached: cached,
+			SwapTotal: 2 * 1024 * 1024, SwapFree: 2 * 1024 * 1024,
+			Active: c.memUsedKB / 2, Inactive: cached / 2,
+			Dirty:       uint64(float64(c.sectorsWritten%100000) * 0.1),
+			CommittedAS: c.memUsedKB + 500*1024,
+		},
+		VM: procfs.VMStat{
+			PgpgIn: c.pgpgin, PgpgOut: c.pgpgout,
+			PgFault: c.pgfault, PgMajFault: c.pgmajflt,
+			PgFree: c.pgfault / 2,
+		},
+		Load: procfs.LoadAvg{
+			Load1:   n.loadEWMA,
+			Load5:   n.loadEWMA * 0.9,
+			Load15:  n.loadEWMA * 0.8,
+			Running: int(c.procsRunning),
+			Total:   120 + c.runningTasks,
+		},
+		Disks: []procfs.DiskStat{{
+			Major: 8, Minor: 0, Name: "sda",
+			ReadsCompleted: c.reads, WritesCompleted: c.writes,
+			SectorsRead: c.sectorsRead, SectorsWritten: c.sectorsWritten,
+			ReadTimeMs: c.readTimeMs, WriteTimeMs: c.writeTimeMs,
+			IOTimeMs: c.ioTimeMs, WeightedIOMs: c.weightedIOMs,
+		}},
+		Nets: []procfs.NetDevStat{{
+			Iface:   "eth0",
+			RxBytes: c.rxBytes, TxBytes: c.txBytes,
+			RxPackets: c.rxPkts, TxPackets: c.txPkts,
+			RxErrors: c.rxErrs, RxDropped: c.rxDrops,
+		}},
+		Procs: []procfs.PIDStat{
+			{
+				PID: pidDataNode, Comm: "java_datanode", State: stateOf(n.procDN),
+				UTime: n.procDN.utimeJ, STime: n.procDN.stimeJ,
+				NumThreads: n.procDN.threads, StartTime: n.procDN.startTimeJiffies,
+				VSizeBytes: 2 << 30, RSSPages: int64(n.procDN.rssKB / 4),
+				MinFlt: n.procDN.minflt, MajFlt: n.procDN.majflt,
+				ReadBytes: n.procDN.readB, WriteBytes: n.procDN.writeB,
+			},
+			{
+				PID: pidTaskTracker, Comm: "java_tasktracker", State: stateOf(n.procTT),
+				UTime: n.procTT.utimeJ, STime: n.procTT.stimeJ,
+				NumThreads: n.procTT.threads, StartTime: n.procTT.startTimeJiffies,
+				VSizeBytes: 3 << 30, RSSPages: int64(n.procTT.rssKB / 4),
+				MinFlt: n.procTT.minflt, MajFlt: n.procTT.majflt,
+				ReadBytes: n.procTT.readB, WriteBytes: n.procTT.writeB,
+			},
+		},
+	}
+	return snap, nil
+}
+
+func stateOf(p processCounters) byte {
+	if p.running {
+		return 'S'
+	}
+	return 'Z'
+}

@@ -1,0 +1,215 @@
+// Package hadoopsim is a discrete-time simulator of a Hadoop 0.18-style
+// MapReduce cluster: a jobtracker/namenode master and N tasktracker/datanode
+// slaves running a GridMix-like workload over simulated HDFS.
+//
+// It is the substrate for reproducing the paper's evaluation (§4.7, 50-node
+// EC2 clusters running GridMix). ASDF itself never inspects simulator
+// internals: each simulated slave exposes exactly the two surfaces a real
+// deployment exposes — a /proc-style performance-counter snapshot
+// (procfs.Provider) and natively generated TaskTracker/DataNode logs
+// (hadooplog.Buffer) — and the monitoring and analysis pipeline consumes
+// only those. Fault injection (§4.2, Table 2) perturbs the simulated
+// resources and task behaviour the same way the documented real-world
+// problems do.
+//
+// The simulation advances in one-second ticks of virtual time. Per tick:
+// GridMix submits jobs; the jobtracker assigns tasks to free slots
+// (heartbeat scheduling, data-locality preferred, speculative re-execution
+// of laggards); tasks place demands on node CPU, disk, and network; demands
+// are allocated (proportionally when oversubscribed, network by source-tx /
+// destination-rx scaling); tasks advance and emit log events; node counters
+// accumulate into /proc-style snapshots.
+package hadoopsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Config parameterizes a simulated cluster.
+type Config struct {
+	// Slaves is the number of slave (tasktracker+datanode) nodes.
+	Slaves int
+	// MapSlots and ReduceSlots are per-node task slots (Hadoop defaults: 2+2).
+	MapSlots    int
+	ReduceSlots int
+	// Cores is the CPU capacity per node, in cores.
+	Cores float64
+	// DiskMBps is per-node disk bandwidth.
+	DiskMBps float64
+	// NetMBps is per-node network bandwidth, each direction.
+	NetMBps float64
+	// MemTotalKB is per-node RAM (the paper's EC2 Large: 7.5 GB).
+	MemTotalKB uint64
+	// BlockSizeMB is the HDFS block size (scaled down from 64 MB so the
+	// scaled-down GridMix dataset still spans many blocks).
+	BlockSizeMB float64
+	// Replication is the HDFS replication factor.
+	Replication int
+	// TargetJobs is the number of concurrently running jobs GridMix
+	// maintains.
+	TargetJobs int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Start is the virtual start time.
+	Start time.Time
+	// SpeculativeLagSec is how long an attempt may go without progress
+	// before the jobtracker schedules a speculative duplicate.
+	SpeculativeLagSec int
+	// TaskTimeoutSec is Hadoop's mapred.task.timeout: an attempt with no
+	// progress for this long is declared failed.
+	TaskTimeoutSec int
+	// MaxTaskFailures is the per-task attempt budget before the job gives
+	// the task up (Hadoop default 4); the job then fails the task
+	// permanently (we keep the job running, matching GridMix's tolerance).
+	MaxTaskFailures int
+}
+
+// DefaultConfig mirrors the paper's environment, scaled for simulation: EC2
+// Large nodes (two dual-core CPUs, 7.5 GB RAM), Hadoop 0.18 defaults for
+// slots and replication, and a GridMix dataset scaled down (§4.7).
+func DefaultConfig(slaves int, seed int64) Config {
+	return Config{
+		Slaves:            slaves,
+		MapSlots:          2,
+		ReduceSlots:       2,
+		Cores:             4,
+		DiskMBps:          80,
+		NetMBps:           100,
+		MemTotalKB:        7864320, // 7.5 GB
+		BlockSizeMB:       16,
+		Replication:       3,
+		TargetJobs:        3,
+		Seed:              seed,
+		Start:             time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		SpeculativeLagSec: 75,
+		TaskTimeoutSec:    600,
+		MaxTaskFailures:   4,
+	}
+}
+
+// validate applies defaults and sanity-checks the configuration.
+func (c *Config) validate() error {
+	if c.Slaves <= 0 {
+		return fmt.Errorf("hadoopsim: Slaves must be positive, got %d", c.Slaves)
+	}
+	if c.MapSlots <= 0 || c.ReduceSlots <= 0 {
+		return fmt.Errorf("hadoopsim: slot counts must be positive")
+	}
+	if c.Cores <= 0 || c.DiskMBps <= 0 || c.NetMBps <= 0 {
+		return fmt.Errorf("hadoopsim: node capacities must be positive")
+	}
+	if c.BlockSizeMB <= 0 {
+		return fmt.Errorf("hadoopsim: BlockSizeMB must be positive")
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.Replication > c.Slaves {
+		c.Replication = c.Slaves
+	}
+	if c.TargetJobs <= 0 {
+		c.TargetJobs = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.SpeculativeLagSec <= 0 {
+		c.SpeculativeLagSec = 75
+	}
+	if c.TaskTimeoutSec <= 0 {
+		c.TaskTimeoutSec = 600
+	}
+	if c.MaxTaskFailures <= 0 {
+		c.MaxTaskFailures = 4
+	}
+	return nil
+}
+
+// Cluster is a simulated Hadoop cluster.
+type Cluster struct {
+	cfg    Config
+	now    time.Time
+	rng    *rand.Rand
+	slaves []*Node
+
+	jt      *jobTracker
+	nn      *nameNode
+	gridmix *gridMix
+
+	tick uint64
+}
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg: cfg,
+		now: cfg.Start,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	c.slaves = make([]*Node, cfg.Slaves)
+	for i := range c.slaves {
+		c.slaves[i] = newNode(i, &cfg, rand.New(rand.NewSource(cfg.Seed+int64(i)+1)), cfg.Start)
+	}
+	c.nn = newNameNode()
+	c.jt = newJobTracker(c)
+	c.gridmix = newGridMix(c)
+	return c, nil
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Time { return c.now }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Slaves returns the slave nodes, index-ordered.
+func (c *Cluster) Slaves() []*Node {
+	out := make([]*Node, len(c.slaves))
+	copy(out, c.slaves)
+	return out
+}
+
+// Slave returns slave i.
+func (c *Cluster) Slave(i int) *Node { return c.slaves[i] }
+
+// JobsCompleted reports how many jobs have finished.
+func (c *Cluster) JobsCompleted() int { return c.jt.jobsCompleted }
+
+// JobsRunning reports how many jobs are currently running.
+func (c *Cluster) JobsRunning() int { return len(c.jt.jobs) }
+
+// TasksCompleted reports total completed task attempts (maps + reduces).
+func (c *Cluster) TasksCompleted() int { return c.jt.tasksCompleted }
+
+// Tick advances virtual time by one second, running one full scheduling,
+// resource-allocation, and accounting round.
+func (c *Cluster) Tick() {
+	c.now = c.now.Add(time.Second)
+	c.tick++
+
+	c.gridmix.step()
+	c.jt.step()
+
+	// Gather demands from every running attempt and active fault.
+	for _, n := range c.slaves {
+		n.beginTick()
+	}
+	c.allocateAndAdvance()
+	for _, n := range c.slaves {
+		n.finishTick(c.now)
+	}
+	c.jt.reap()
+}
+
+// RunFor advances the cluster by d of virtual time.
+func (c *Cluster) RunFor(d time.Duration) {
+	ticks := int(d / time.Second)
+	for i := 0; i < ticks; i++ {
+		c.Tick()
+	}
+}

@@ -1,0 +1,113 @@
+package modules
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+)
+
+// actionModule implements the paper's future-work extension (§5): "equip
+// ASDF with the ability to actively mitigate the consequences of a
+// performance problem once it is detected." Each input carries one node's
+// alarm stream (Sample values [flag, score] from an analysis module); when
+// a node's alarm fires in `consecutive` successive samples — the same
+// confidence rule behind the paper's fingerpointing latency — the module
+// invokes a named mitigation action from the Env (e.g. blacklisting the
+// node at the jobtracker), then holds off for a per-node cooldown.
+//
+// Parameters:
+//
+//	action      = <name>       (required; must exist in Env.Actions)
+//	consecutive = <count>      (default 3)
+//	cooldown    = <duration>   (default 10m)
+//
+// Outputs: action0..actionN-1, one per input; a sample [1] is published
+// when the mitigation fires for that node.
+type actionModule struct {
+	env         *Env
+	name        string
+	act         func(node string) error
+	consecutive int
+	cooldown    time.Duration
+
+	streak    []int
+	lastFired []time.Time
+	outs      []*core.OutputPort
+	// Fired counts total mitigations, for tests and reporting.
+	fired uint64
+}
+
+func (m *actionModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	m.name = cfg.StringParam("action", "")
+	if m.name == "" {
+		return errMissingParam("action", "action")
+	}
+	act, ok := m.env.Actions[m.name]
+	if !ok {
+		return fmt.Errorf("action: no action %q registered in the environment", m.name)
+	}
+	m.act = act
+	var err error
+	if m.consecutive, err = cfg.IntParam("consecutive", 3); err != nil {
+		return err
+	}
+	if m.consecutive <= 0 {
+		return fmt.Errorf("action: consecutive must be positive")
+	}
+	if m.cooldown, err = cfg.DurationParam("cooldown", 10*time.Minute); err != nil {
+		return err
+	}
+	inputs := ctx.Inputs()
+	if len(inputs) == 0 {
+		return fmt.Errorf("action: requires at least one alarm input")
+	}
+	m.streak = make([]int, len(inputs))
+	m.lastFired = make([]time.Time, len(inputs))
+	for i, in := range inputs {
+		origin := in.Origin()
+		origin.Source = "action(" + m.name + ")"
+		out, err := ctx.NewOutput(fmt.Sprintf("action%d", i), origin)
+		if err != nil {
+			return err
+		}
+		m.outs = append(m.outs, out)
+	}
+	return nil
+}
+
+func (m *actionModule) Run(ctx *core.RunContext) error {
+	var firstErr error
+	for i, in := range ctx.Inputs() {
+		for _, s := range in.Read() {
+			if s.Scalar() == 0 {
+				m.streak[i] = 0
+				continue
+			}
+			m.streak[i]++
+			if m.streak[i] < m.consecutive {
+				continue
+			}
+			if !m.lastFired[i].IsZero() && s.Time.Sub(m.lastFired[i]) < m.cooldown {
+				continue
+			}
+			node := in.Origin().Node
+			if err := m.act(node); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("action %s(%s): %w", m.name, node, err)
+				}
+				continue
+			}
+			m.lastFired[i] = s.Time
+			m.fired++
+			m.outs[i].Publish(core.NewScalar(s.Time, 1))
+		}
+	}
+	return firstErr
+}
+
+// Fired reports how many mitigations have been invoked.
+func (m *actionModule) Fired() uint64 { return m.fired }
+
+var _ core.Module = (*actionModule)(nil)

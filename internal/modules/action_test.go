@@ -1,0 +1,258 @@
+package modules
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// alarmSource is a test module emitting a scripted alarm stream.
+type alarmSource struct {
+	mu     sync.Mutex
+	script []float64
+	node   string
+	out    *core.OutputPort
+}
+
+func (m *alarmSource) Init(ctx *core.InitContext) error {
+	m.node = ctx.Config().StringParam("node", "n")
+	var err error
+	m.out, err = ctx.NewOutput("alarm0", core.Origin{Node: m.node, Source: "test"})
+	if err != nil {
+		return err
+	}
+	return ctx.SchedulePeriodic(time.Second)
+}
+
+func (m *alarmSource) Run(ctx *core.RunContext) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.script) == 0 {
+		return nil
+	}
+	m.out.Publish(core.NewScalar(ctx.Now, m.script[0]))
+	m.script = m.script[1:]
+	return nil
+}
+
+func TestActionModuleConfidenceRule(t *testing.T) {
+	env := NewEnv()
+	var mu sync.Mutex
+	var invoked []string
+	env.Actions["blacklist"] = func(node string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		invoked = append(invoked, node)
+		return nil
+	}
+	reg := NewRegistry(env)
+	reg.Register("alarmsource", func() core.Module {
+		return &alarmSource{script: []float64{0, 1, 1, 0, 1, 1, 1, 1, 0}}
+	})
+	cfg, err := config.ParseString(`
+[alarmsource]
+id = src
+node = slaveX
+
+[action]
+id = act
+action = blacklist
+consecutive = 3
+cooldown = 1h
+input[a] = @src
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 9; i++ {
+		if err := e.Tick(base.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Streak of 2 does not fire; the streak of 4 fires exactly once at the
+	// 3rd consecutive alarm (cooldown suppresses the 4th).
+	mu.Lock()
+	defer mu.Unlock()
+	if len(invoked) != 1 || invoked[0] != "slaveX" {
+		t.Errorf("invocations = %v, want exactly [slaveX]", invoked)
+	}
+	mod, _ := e.ModuleOf("act")
+	if got := mod.(*actionModule).Fired(); got != 1 {
+		t.Errorf("Fired = %d, want 1", got)
+	}
+	out := e.OutputPortsOf("act")[0]
+	if out.Published() != 1 {
+		t.Errorf("action output published %d", out.Published())
+	}
+}
+
+func TestActionModuleCooldownExpires(t *testing.T) {
+	env := NewEnv()
+	var count int
+	env.Actions["noop"] = func(string) error { count++; return nil }
+	reg := NewRegistry(env)
+	reg.Register("alarmsource", func() core.Module {
+		return &alarmSource{script: []float64{1, 1, 1, 1, 1, 1, 1, 1}}
+	})
+	cfg, err := config.ParseString(`
+[alarmsource]
+id = src
+
+[action]
+id = act
+action = noop
+consecutive = 2
+cooldown = 3s
+input[a] = @src
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 8; i++ {
+		if err := e.Tick(base.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fires at t=1 (2nd consecutive), then again once each 3s cooldown
+	// expires: t=4, t=7.
+	if count != 3 {
+		t.Errorf("action fired %d times, want 3", count)
+	}
+}
+
+func TestActionModuleConfigErrors(t *testing.T) {
+	env := NewEnv()
+	env.Actions["known"] = func(string) error { return nil }
+	reg := NewRegistry(env)
+	reg.Register("alarmsource", func() core.Module { return &alarmSource{} })
+	for _, cfgText := range []string{
+		"[action]\nid=a\ninput[x]=src.alarm0\n",                              // missing action
+		"[action]\nid=a\naction=ghost\ninput[x]=src.alarm0\n",                // unknown action
+		"[action]\nid=a\naction=known\nconsecutive=0\ninput[x]=src.alarm0\n", // bad consecutive
+		"[action]\nid=a\naction=known\n",                                     // no inputs
+	} {
+		cfg, err := config.ParseString("[alarmsource]\nid=src\n\n" + cfgText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.NewEngine(reg, cfg); err == nil {
+			t.Errorf("config %q should fail", cfgText)
+		}
+	}
+}
+
+// TestMitigationEndToEnd closes the loop the paper's §5 sketches: ASDF
+// fingerpoints a hung-map node via the white-box pipeline and the action
+// module blacklists it at the jobtracker, after which the culprit receives
+// no further tasks.
+func TestMitigationEndToEnd(t *testing.T) {
+	const slaves = 6
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, 404))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simEnv(c)
+	var blacklistedAt time.Time
+	env.Actions["blacklist"] = func(node string) error {
+		if blacklistedAt.IsZero() {
+			blacklistedAt = c.Now()
+		}
+		return c.BlacklistByName(node)
+	}
+
+	names := make([]string, slaves)
+	for i, n := range c.Slaves() {
+		names[i] = n.Name
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n",
+		strings.Join(names, ","))
+	b.WriteString("[analysis_wb]\nid = wb\nk = 3\nwindow = 60\nslide = 15\n")
+	for i, n := range names {
+		fmt.Fprintf(&b, "input[s%d] = hl.%s\n", i, n)
+	}
+	b.WriteString("\n[action]\nid = mitigate\naction = blacklist\nconsecutive = 3\ninput[a] = @wb\n")
+	b.WriteString("\n[csv]\nid = sink\npath = " + filepath.Join(t.TempDir(), "a.csv") + "\ninput[x] = @mitigate\n")
+
+	e := mustEngine(t, env, b.String())
+
+	step := func(seconds int) {
+		for i := 0; i < seconds; i++ {
+			c.Tick()
+			if err := e.Tick(c.Now()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(180)
+	const culprit = 4
+	if err := c.InjectFault(culprit, hadoopsim.FaultHang1036); err != nil {
+		t.Fatal(err)
+	}
+	step(600)
+
+	if !c.Blacklisted(culprit) {
+		t.Fatal("culprit was never blacklisted")
+	}
+	for i := range names {
+		if i != culprit && c.Blacklisted(i) {
+			t.Errorf("healthy node %d blacklisted", i)
+		}
+	}
+	// After blacklisting, the culprit receives no new tasks.
+	launches := countLaunchesSince(t, c, culprit, blacklistedAt)
+	if launches > 0 {
+		t.Errorf("culprit received %d launches after blacklisting", launches)
+	}
+	// The cluster keeps completing work without the culprit.
+	before := c.TasksCompleted()
+	step(120)
+	if c.TasksCompleted() <= before {
+		t.Error("cluster stalled after mitigation")
+	}
+}
+
+// countLaunchesSince counts LaunchTaskAction lines on the culprit whose log
+// timestamp is after the given moment.
+func countLaunchesSince(t *testing.T, c *hadoopsim.Cluster, culprit int, since time.Time) int {
+	t.Helper()
+	if since.IsZero() {
+		t.Fatal("blacklist action never ran")
+	}
+	lines, _ := c.Slave(culprit).TaskTrackerLog().ReadFrom(0)
+	const layout = "2006-01-02 15:04:05,000"
+	count := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "LaunchTaskAction") || len(l) < len(layout) {
+			continue
+		}
+		ts, err := time.Parse(layout, l[:len(layout)])
+		if err != nil {
+			continue
+		}
+		if ts.After(since) {
+			count++
+		}
+	}
+	return count
+}
+
+var _ = hadooplog.KindTaskTracker

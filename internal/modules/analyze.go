@@ -1,0 +1,249 @@
+package modules
+
+import (
+	"fmt"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/core"
+)
+
+// peerSync aligns per-node input streams: it holds one FIFO per input and
+// releases a row only when every input has a sample, which is what the
+// peer-comparison analyses require (one sample per node per time step).
+type peerSync struct {
+	queues [][]core.Sample
+}
+
+func newPeerSync(n int) *peerSync {
+	return &peerSync{queues: make([][]core.Sample, n)}
+}
+
+// drain pulls everything pending from the ports into the FIFOs.
+func (ps *peerSync) drain(inputs []*core.InputPort) {
+	for i, in := range inputs {
+		ps.queues[i] = append(ps.queues[i], in.Read()...)
+	}
+}
+
+// pop returns one aligned row, or nil when some input has no data yet.
+func (ps *peerSync) pop() []core.Sample {
+	for _, q := range ps.queues {
+		if len(q) == 0 {
+			return nil
+		}
+	}
+	row := make([]core.Sample, len(ps.queues))
+	for i := range ps.queues {
+		row[i] = ps.queues[i][0]
+		ps.queues[i] = ps.queues[i][1:]
+	}
+	return row
+}
+
+// analysisBBModule is the black-box fingerpointer (§4.5). Each input is one
+// node's stream of 1-NN state indexes (from a knn instance, usually via an
+// ibuffer); per window it builds StateVectors, compares each against the
+// component-wise median, and raises per-node alarms on L1 distance above
+// the threshold.
+//
+// Parameters:
+//
+//	threshold = <L1 distance>  (required; the paper picks 60 after Fig 6a)
+//	window    = <samples>      (default 60)
+//	slide     = <samples>      (default window)
+//	states    = <count>        (number of trained centroids; default 8)
+//
+// Outputs: alarm0..alarmN-1, one per input, Sample values [flag, score].
+type analysisBBModule struct {
+	bb     *analysis.BlackBox
+	sync   *peerSync
+	outs   []*core.OutputPort
+	counts int
+
+	// Results retained for inspection by the evaluation harness.
+	results []*analysis.WindowResult
+}
+
+func (m *analysisBBModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	threshold, err := cfg.FloatParam("threshold", -1)
+	if err != nil {
+		return err
+	}
+	if threshold < 0 {
+		return errMissingParam("analysis_bb", "threshold")
+	}
+	window, err := cfg.IntParam("window", 60)
+	if err != nil {
+		return err
+	}
+	slide, err := cfg.IntParam("slide", 0)
+	if err != nil {
+		return err
+	}
+	states, err := cfg.IntParam("states", 8)
+	if err != nil {
+		return err
+	}
+	inputs := ctx.Inputs()
+	if len(inputs) < 2 {
+		return fmt.Errorf("analysis_bb: peer comparison requires >= 2 inputs, got %d", len(inputs))
+	}
+	m.counts = len(inputs)
+	m.bb, err = analysis.NewBlackBox(analysis.BlackBoxConfig{
+		Nodes:       len(inputs),
+		NumStates:   states,
+		WindowSize:  window,
+		WindowSlide: slide,
+		Threshold:   threshold,
+	})
+	if err != nil {
+		return err
+	}
+	m.sync = newPeerSync(len(inputs))
+	for i, in := range inputs {
+		origin := in.Origin()
+		origin.Source = "analysis_bb"
+		origin.Metric = "alarm"
+		out, err := ctx.NewOutput(fmt.Sprintf("alarm%d", i), origin)
+		if err != nil {
+			return err
+		}
+		m.outs = append(m.outs, out)
+	}
+	return nil
+}
+
+func (m *analysisBBModule) Run(ctx *core.RunContext) error {
+	m.sync.drain(ctx.Inputs())
+	for {
+		row := m.sync.pop()
+		if row == nil {
+			return nil
+		}
+		states := make([]int, len(row))
+		for i, s := range row {
+			states[i] = int(s.Scalar())
+		}
+		res, err := m.bb.Observe(states)
+		if err != nil {
+			return fmt.Errorf("analysis_bb: %w", err)
+		}
+		if res != nil {
+			m.results = append(m.results, res)
+			for i, out := range m.outs {
+				flag := 0.0
+				if res.Flagged[i] {
+					flag = 1
+				}
+				out.Publish(core.Sample{Time: row[0].Time, Values: []float64{flag, res.Scores[i]}})
+			}
+		}
+	}
+}
+
+// Results returns the window verdicts produced so far.
+func (m *analysisBBModule) Results() []*analysis.WindowResult { return m.results }
+
+var _ core.Module = (*analysisBBModule)(nil)
+
+// analysisWBModule is the white-box fingerpointer (§4.4). Each input is one
+// node's stream of Hadoop state vectors (from hadoop_log, optionally
+// smoothed by mavgvec); per window it compares each node's per-metric mean
+// against the median of means with threshold max(1, k*sigma_median).
+//
+// Parameters:
+//
+//	k      = <factor>    (default 3, per Fig 6b)
+//	window = <samples>   (default 60)
+//	slide  = <samples>   (default window)
+//
+// Outputs: alarm0..alarmN-1, one per input, Sample values [flag, score].
+type analysisWBModule struct {
+	cfg  analysis.WhiteBoxConfig
+	wb   *analysis.WhiteBox
+	sync *peerSync
+	outs []*core.OutputPort
+
+	results []*analysis.WindowResult
+}
+
+func (m *analysisWBModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	k, err := cfg.FloatParam("k", 3)
+	if err != nil {
+		return err
+	}
+	window, err := cfg.IntParam("window", 60)
+	if err != nil {
+		return err
+	}
+	slide, err := cfg.IntParam("slide", 0)
+	if err != nil {
+		return err
+	}
+	inputs := ctx.Inputs()
+	if len(inputs) < 2 {
+		return fmt.Errorf("analysis_wb: peer comparison requires >= 2 inputs, got %d", len(inputs))
+	}
+	m.cfg = analysis.WhiteBoxConfig{
+		Nodes:       len(inputs),
+		WindowSize:  window,
+		WindowSlide: slide,
+		K:           k,
+	}
+	m.sync = newPeerSync(len(inputs))
+	for i, in := range inputs {
+		origin := in.Origin()
+		origin.Source = "analysis_wb"
+		origin.Metric = "alarm"
+		out, err := ctx.NewOutput(fmt.Sprintf("alarm%d", i), origin)
+		if err != nil {
+			return err
+		}
+		m.outs = append(m.outs, out)
+	}
+	return nil
+}
+
+func (m *analysisWBModule) Run(ctx *core.RunContext) error {
+	m.sync.drain(ctx.Inputs())
+	for {
+		row := m.sync.pop()
+		if row == nil {
+			return nil
+		}
+		if m.wb == nil {
+			// The metric dimension is known once the first row arrives.
+			m.cfg.Metrics = len(row[0].Values)
+			wb, err := analysis.NewWhiteBox(m.cfg)
+			if err != nil {
+				return fmt.Errorf("analysis_wb: %w", err)
+			}
+			m.wb = wb
+		}
+		vectors := make([][]float64, len(row))
+		for i, s := range row {
+			vectors[i] = s.Values
+		}
+		res, err := m.wb.Observe(vectors)
+		if err != nil {
+			return fmt.Errorf("analysis_wb: %w", err)
+		}
+		if res != nil {
+			m.results = append(m.results, res)
+			for i, out := range m.outs {
+				flag := 0.0
+				if res.Flagged[i] {
+					flag = 1
+				}
+				out.Publish(core.Sample{Time: row[0].Time, Values: []float64{flag, res.Scores[i]}})
+			}
+		}
+	}
+}
+
+// Results returns the window verdicts produced so far.
+func (m *analysisWBModule) Results() []*analysis.WindowResult { return m.results }
+
+var _ core.Module = (*analysisWBModule)(nil)

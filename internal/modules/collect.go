@@ -1,0 +1,341 @@
+package modules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// sadcModule is the black-box data-collection module (§3.5): it samples one
+// node's OS performance counters each period and publishes the node-level
+// metric vector (64 metrics) on output0. Per-interface vectors (18 metrics)
+// and per-process vectors (19 metrics) are exposed as additional outputs on
+// request, completing the paper's full metric surface.
+//
+// Parameters:
+//
+//	node   = <node name>            (required)
+//	period = <duration>             (default 1s)
+//	mode   = local | rpc            (default local)
+//	addr   = host:port              (required for rpc mode)
+//	ifaces = eth0,eth1              (optional: adds outputs net_<iface>)
+//	pids   = 3001,3002              (optional: adds outputs proc_<pid>)
+type sadcModule struct {
+	env    *Env
+	node   string
+	source MetricSource
+	out    *core.OutputPort
+
+	ifaceOuts map[string]*core.OutputPort
+	pidOuts   map[int]*core.OutputPort
+}
+
+func (m *sadcModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	m.node = cfg.StringParam("node", "")
+	if m.node == "" {
+		return errMissingParam("sadc", "node")
+	}
+	period, err := cfg.DurationParam("period", time.Second)
+	if err != nil {
+		return err
+	}
+	mode := cfg.StringParam("mode", "local")
+	switch mode {
+	case "local":
+		provider, ok := m.env.Procfs[m.node]
+		if !ok {
+			return fmt.Errorf("sadc: no procfs provider registered for node %q", m.node)
+		}
+		m.source = sadc.NewCollector(provider)
+	case "rpc":
+		addr := cfg.StringParam("addr", "")
+		if addr == "" {
+			return errMissingParam("sadc", "addr")
+		}
+		client, err := m.env.dial(addr, "asdf-sadc")
+		if err != nil {
+			return err
+		}
+		m.source = NewRPCMetricSource(client)
+	default:
+		return fmt.Errorf("sadc: unknown mode %q", mode)
+	}
+	m.out, err = ctx.NewOutput("output0", core.Origin{
+		Node:   m.node,
+		Source: "sadc",
+		Metric: "node-metrics",
+	})
+	if err != nil {
+		return err
+	}
+
+	m.ifaceOuts = make(map[string]*core.OutputPort)
+	for _, iface := range splitList(cfg.StringParam("ifaces", "")) {
+		out, err := ctx.NewOutput("net_"+iface, core.Origin{
+			Node:   m.node,
+			Source: "sadc",
+			Metric: "net-metrics:" + iface,
+		})
+		if err != nil {
+			return err
+		}
+		m.ifaceOuts[iface] = out
+	}
+	m.pidOuts = make(map[int]*core.OutputPort)
+	for _, p := range splitList(cfg.StringParam("pids", "")) {
+		pid, err := strconv.Atoi(p)
+		if err != nil {
+			return fmt.Errorf("sadc: pid %q: %w", p, err)
+		}
+		out, err := ctx.NewOutput("proc_"+p, core.Origin{
+			Node:   m.node,
+			Source: "sadc",
+			Metric: "proc-metrics:" + p,
+		})
+		if err != nil {
+			return err
+		}
+		m.pidOuts[pid] = out
+	}
+	return ctx.SchedulePeriodic(period)
+}
+
+// splitList splits a comma-separated parameter, dropping empties.
+func splitList(v string) []string {
+	var out []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (m *sadcModule) Run(ctx *core.RunContext) error {
+	if ctx.Reason != core.RunPeriodic {
+		return nil
+	}
+	rec, err := m.source.Collect()
+	if err != nil {
+		return fmt.Errorf("sadc[%s]: %w", m.node, err)
+	}
+	if rec.Warmup {
+		// Rates need a second snapshot; skip the warmup record.
+		return nil
+	}
+	// Black-box samples are timestamped on the control node (§3.7).
+	m.out.Publish(core.Sample{Time: ctx.Now, Values: rec.Node})
+	for iface, out := range m.ifaceOuts {
+		if v, ok := rec.Net[iface]; ok {
+			out.Publish(core.Sample{Time: ctx.Now, Values: v})
+		}
+	}
+	for pid, out := range m.pidOuts {
+		if v, ok := rec.Proc[pid]; ok {
+			out.Publish(core.Sample{Time: ctx.Now, Values: v})
+		}
+	}
+	return nil
+}
+
+var _ core.Module = (*sadcModule)(nil)
+
+// hadoopLogModule is the white-box data-collection module (§4.4): it parses
+// every monitored node's TaskTracker or DataNode log into per-second state
+// vectors and publishes one output per node. Because log data appears at
+// slightly different times on different nodes, the module performs
+// cross-node timestamp synchronization internally (§3.7): a timestamp is
+// published only when every node has revealed data for it; timestamps
+// missing on some node are dropped.
+//
+// Parameters:
+//
+//	kind   = tasktracker | datanode   (required)
+//	nodes  = n1,n2,...                (required)
+//	period = <duration>               (default 1s)
+//	mode   = local | rpc              (default local)
+//	addrs  = host1:p,host2:p,...      (required for rpc; parallel to nodes)
+type hadoopLogModule struct {
+	env     *Env
+	kind    hadooplog.Kind
+	nodes   []string
+	sources []LogSource
+	outs    []*core.OutputPort
+
+	pending      []map[int64][]float64 // per node: unix-second -> counts
+	maxSeen      []int64               // per node: newest fetched second
+	nextEmit     int64                 // next second to resolve; 0 = unset
+	dropped      uint64                // timestamps dropped by the sync rule
+	statesPerVec int
+}
+
+func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	switch cfg.StringParam("kind", "") {
+	case "tasktracker":
+		m.kind = hadooplog.KindTaskTracker
+	case "datanode":
+		m.kind = hadooplog.KindDataNode
+	case "":
+		return errMissingParam("hadoop_log", "kind")
+	default:
+		return fmt.Errorf("hadoop_log: unknown kind %q", cfg.StringParam("kind", ""))
+	}
+	m.statesPerVec = hadooplog.MetricDims(m.kind)
+
+	nodesParam := cfg.StringParam("nodes", "")
+	if nodesParam == "" {
+		return errMissingParam("hadoop_log", "nodes")
+	}
+	for _, n := range strings.Split(nodesParam, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			m.nodes = append(m.nodes, n)
+		}
+	}
+	if len(m.nodes) == 0 {
+		return fmt.Errorf("hadoop_log: empty node list")
+	}
+
+	period, err := cfg.DurationParam("period", time.Second)
+	if err != nil {
+		return err
+	}
+
+	mode := cfg.StringParam("mode", "local")
+	switch mode {
+	case "local":
+		for _, n := range m.nodes {
+			var buf *hadooplog.Buffer
+			var ok bool
+			if m.kind == hadooplog.KindTaskTracker {
+				buf, ok = m.env.TTLogs[n]
+			} else {
+				buf, ok = m.env.DNLogs[n]
+			}
+			if !ok {
+				return fmt.Errorf("hadoop_log: no %s log registered for node %q", m.kind, n)
+			}
+			m.sources = append(m.sources, NewBufferLogSource(m.kind, buf))
+		}
+	case "rpc":
+		addrsParam := cfg.StringParam("addrs", "")
+		if addrsParam == "" {
+			return errMissingParam("hadoop_log", "addrs")
+		}
+		addrs := strings.Split(addrsParam, ",")
+		if len(addrs) != len(m.nodes) {
+			return fmt.Errorf("hadoop_log: %d addrs for %d nodes", len(addrs), len(m.nodes))
+		}
+		for _, a := range addrs {
+			client, err := m.env.dial(strings.TrimSpace(a), "asdf-hadoop-log")
+			if err != nil {
+				return err
+			}
+			m.sources = append(m.sources, NewRPCLogSource(client, m.kind))
+		}
+	default:
+		return fmt.Errorf("hadoop_log: unknown mode %q", mode)
+	}
+
+	metric := strings.Join(hadooplog.MetricNamesFor(m.kind), ",")
+	for _, n := range m.nodes {
+		out, err := ctx.NewOutput(n, core.Origin{
+			Node:   n,
+			Source: "hadoop_log_" + m.kind.String(),
+			Metric: metric,
+		})
+		if err != nil {
+			return err
+		}
+		m.outs = append(m.outs, out)
+	}
+	m.pending = make([]map[int64][]float64, len(m.nodes))
+	m.maxSeen = make([]int64, len(m.nodes))
+	for i := range m.pending {
+		m.pending[i] = make(map[int64][]float64)
+	}
+	return ctx.SchedulePeriodic(period)
+}
+
+func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
+	now := ctx.Now
+	if now.IsZero() {
+		now = m.env.now()
+	}
+	var firstErr error
+	for i, src := range m.sources {
+		vecs, err := src.Fetch(now)
+		if err != nil {
+			// One unreachable node must not stop collection from the rest.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hadoop_log[%s]: %w", m.nodes[i], err)
+			}
+			continue
+		}
+		for _, v := range vecs {
+			sec := v.Time.Unix()
+			m.pending[i][sec] = v.Counts
+			if sec > m.maxSeen[i] {
+				m.maxSeen[i] = sec
+			}
+			if m.nextEmit == 0 || sec < m.nextEmit {
+				m.nextEmit = sec
+			}
+		}
+	}
+	m.emitSynchronized()
+	return firstErr
+}
+
+// emitSynchronized publishes every second for which all nodes have data,
+// dropping seconds that some node will never produce (§3.7 cross-instance
+// synchronization within the hadoop_log module).
+func (m *hadoopLogModule) emitSynchronized() {
+	if m.nextEmit == 0 {
+		return
+	}
+	// The frontier is the newest second that every node has reached.
+	frontier := int64(-1)
+	for _, s := range m.maxSeen {
+		if s == 0 {
+			return // some node has revealed nothing yet; wait
+		}
+		if frontier < 0 || s < frontier {
+			frontier = s
+		}
+	}
+	for sec := m.nextEmit; sec <= frontier; sec++ {
+		complete := true
+		for i := range m.pending {
+			if _, ok := m.pending[i][sec]; !ok {
+				complete = false
+				break
+			}
+		}
+		t := time.Unix(sec, 0).UTC()
+		for i := range m.pending {
+			if counts, ok := m.pending[i][sec]; ok {
+				if complete {
+					m.outs[i].Publish(core.Sample{Time: t, Values: counts})
+				}
+				delete(m.pending[i], sec)
+			}
+		}
+		if !complete {
+			m.dropped++
+		}
+	}
+	m.nextEmit = frontier + 1
+}
+
+// DroppedTimestamps reports how many seconds were discarded because not all
+// nodes produced data for them.
+func (m *hadoopLogModule) DroppedTimestamps() uint64 { return m.dropped }
+
+var _ core.Module = (*hadoopLogModule)(nil)

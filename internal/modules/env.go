@@ -1,0 +1,106 @@
+// Package modules implements ASDF's fpt-core plug-in modules: the sadc and
+// hadoop_log data-collection modules, the mavgvec/knn/ibuffer processing
+// modules, the analysis_bb and analysis_wb fingerpointers, and the print
+// and csv sinks (§3.5, §3.6).
+//
+// Modules obtain their external resources — /proc providers, Hadoop log
+// buffers, RPC endpoints — through an Env, so the same configuration wiring
+// works against an in-process simulated cluster or remote collection
+// daemons.
+package modules
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/procfs"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+// Env supplies the external resources modules refer to by node name in
+// their configuration sections.
+type Env struct {
+	// Procfs maps node name to its /proc provider (local collection mode).
+	Procfs map[string]procfs.Provider
+	// TTLogs and DNLogs map node name to its TaskTracker / DataNode log
+	// buffer (local collection mode).
+	TTLogs map[string]*hadooplog.Buffer
+	DNLogs map[string]*hadooplog.Buffer
+	// AlarmWriter receives print-module output; nil means io.Discard.
+	AlarmWriter io.Writer
+	// Dial opens an RPC client (remote collection mode); defaults to
+	// rpc.Dial.
+	Dial func(addr, client string) (*rpc.Client, error)
+	// Clock supplies "now" for log flushing; defaults to time.Now. The
+	// offline evaluation harness injects virtual time.
+	Clock func() time.Time
+	// Actions are the named mitigations available to action modules
+	// (§5 of the paper: active mitigation once a problem is detected).
+	// Each maps a fingerpointed node name to a recovery step, e.g.
+	// blacklisting the node at the jobtracker.
+	Actions map[string]func(node string) error
+}
+
+// NewEnv returns an empty Env ready to be populated.
+func NewEnv() *Env {
+	return &Env{
+		Procfs:  make(map[string]procfs.Provider),
+		TTLogs:  make(map[string]*hadooplog.Buffer),
+		DNLogs:  make(map[string]*hadooplog.Buffer),
+		Actions: make(map[string]func(node string) error),
+	}
+}
+
+func (e *Env) dial(addr, client string) (*rpc.Client, error) {
+	if e.Dial != nil {
+		return e.Dial(addr, client)
+	}
+	return rpc.Dial(addr, client)
+}
+
+func (e *Env) now() time.Time {
+	if e.Clock != nil {
+		return e.Clock()
+	}
+	return time.Now()
+}
+
+func (e *Env) alarmWriter() io.Writer {
+	if e.AlarmWriter != nil {
+		return e.AlarmWriter
+	}
+	return io.Discard
+}
+
+// Register adds every ASDF module to the registry, bound to env.
+func Register(reg *core.Registry, env *Env) {
+	if env == nil {
+		env = NewEnv()
+	}
+	reg.Register("sadc", func() core.Module { return &sadcModule{env: env} })
+	reg.Register("hadoop_log", func() core.Module { return &hadoopLogModule{env: env} })
+	reg.Register("mavgvec", func() core.Module { return &mavgvecModule{} })
+	reg.Register("knn", func() core.Module { return &knnModule{} })
+	reg.Register("ibuffer", func() core.Module { return &ibufferModule{} })
+	reg.Register("analysis_bb", func() core.Module { return &analysisBBModule{} })
+	reg.Register("analysis_wb", func() core.Module { return &analysisWBModule{} })
+	reg.Register("print", func() core.Module { return &printModule{env: env} })
+	reg.Register("action", func() core.Module { return &actionModule{env: env} })
+	reg.Register("rule", func() core.Module { return &ruleModule{} })
+	reg.Register("csv", func() core.Module { return &csvModule{} })
+}
+
+// NewRegistry builds a registry with all ASDF modules bound to env.
+func NewRegistry(env *Env) *core.Registry {
+	reg := core.NewRegistry()
+	Register(reg, env)
+	return reg
+}
+
+// errMissingParam standardizes missing-parameter errors.
+func errMissingParam(module, param string) error {
+	return fmt.Errorf("%s: required parameter %q missing", module, param)
+}

@@ -1,0 +1,318 @@
+package modules
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+// buildPaperConfig emits the full two-pipeline configuration of Figure 4:
+// per-node sadc -> knn -> ibuffer feeding analysis_bb, and hadoop_log
+// feeding analysis_wb, both ending in print alarms.
+func buildPaperConfig(nodes []string, modelPath string, bbThreshold float64, k float64, window, states int) string {
+	var b strings.Builder
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nperiod = 1\n\n", i, n)
+		fmt.Fprintf(&b, "[knn]\nid = onenn%d\nmodel_file = %s\ninput[in] = sadc%d.output0\n\n", i, modelPath, i)
+		fmt.Fprintf(&b, "[ibuffer]\nid = buf%d\nsize = 10\ninput[input] = onenn%d.output0\n\n", i, i)
+	}
+	b.WriteString("[analysis_bb]\nid = bb\n")
+	fmt.Fprintf(&b, "threshold = %g\nwindow = %d\nslide = %d\nstates = %d\n", bbThreshold, window, window/4, states)
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[l%d] = @buf%d\n", i, i)
+	}
+	b.WriteString("\n[print]\nid = BlackBoxAlarm\nlabel = BB\ninput[a] = @bb\n\n")
+
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_tt\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n", strings.Join(nodes, ","))
+	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nk = %g\nwindow = %d\nslide = %d\n", k, window, window/4)
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[s%d] = hl_tt.%s\n", i, nodes[i])
+	}
+	b.WriteString("\n[print]\nid = TaskTrackerAlarm\nlabel = WB\ninput[a] = @wb\n")
+	return b.String()
+}
+
+// TestFullPipelineFingerpointsCPUHog is the system-level test: the complete
+// ASDF configuration of the paper monitoring a simulated cluster must
+// localize a CPU hog to the right slave via the black-box path, with the
+// combined pipelines producing no (or almost no) alarms on healthy peers.
+func TestFullPipelineFingerpointsCPUHog(t *testing.T) {
+	const slaves = 8
+	const window = 60
+
+	model := trainModelFromSim(t, slaves, 300, 4)
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	if err := model.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simEnv(c)
+	var alarms bytes.Buffer
+	env.AlarmWriter = &alarms
+
+	names := make([]string, slaves)
+	for i, n := range c.Slaves() {
+		names[i] = n.Name
+	}
+	cfgText := buildPaperConfig(names, modelPath, 55, 3, window, model.NumStates())
+	e := mustEngine(t, env, cfgText)
+
+	// Warm up fault-free, then inject a CPU hog on slave 3.
+	runSim(t, c, e, 180)
+	const culprit = 3
+	if err := c.InjectFault(culprit, hadoopsim.FaultCPUHog); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, c, e, 420)
+
+	mod, ok := e.ModuleOf("bb")
+	if !ok {
+		t.Fatal("bb module missing")
+	}
+	results := mod.(*analysisBBModule).Results()
+	if len(results) == 0 {
+		t.Fatal("black-box analysis produced no windows")
+	}
+	// Count per-node flags over the post-injection windows (the last
+	// windows cover the faulty period). Localization succeeds when the
+	// culprit is flagged more often than any single peer.
+	flagCounts := make([]int, slaves)
+	post := 0
+	for _, r := range results {
+		if r.EndIndex < 180+window { // still covering mostly pre-fault data
+			continue
+		}
+		post++
+		for n, f := range r.Flagged {
+			if f {
+				flagCounts[n]++
+			}
+		}
+	}
+	if post == 0 {
+		t.Fatal("no post-injection windows")
+	}
+	if flagCounts[culprit] == 0 {
+		t.Errorf("culprit never fingerpointed in %d post-injection windows", post)
+	}
+	for n, c := range flagCounts {
+		if n != culprit && c >= flagCounts[culprit] {
+			t.Errorf("peer %d flagged %d times, culprit only %d — localization failed", n, c, flagCounts[culprit])
+		}
+	}
+	if !strings.Contains(alarms.String(), "[BB]") {
+		t.Error("no black-box alarms printed")
+	}
+	if !strings.Contains(alarms.String(), "node="+names[culprit]) {
+		t.Errorf("alarm output does not name the culprit %s:\n%s", names[culprit], firstLines(alarms.String(), 5))
+	}
+}
+
+// TestFullPipelineWhiteBoxFingerpointsHang2080 checks the white-box path on
+// a dormant fault: reduces hanging at sort pile up in the ReduceSort state
+// on the faulty node, which peer comparison of log states must catch.
+func TestFullPipelineWhiteBoxFingerpointsHang2080(t *testing.T) {
+	const slaves = 6
+	const window = 60
+
+	model := trainModelFromSim(t, slaves, 120, 4)
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	if err := model.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, 2024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simEnv(c)
+	names := make([]string, slaves)
+	for i, n := range c.Slaves() {
+		names[i] = n.Name
+	}
+	e := mustEngine(t, env, buildPaperConfig(names, modelPath, 55, 3, window, model.NumStates()))
+
+	runSim(t, c, e, 180)
+	const culprit = 1
+	if err := c.InjectFault(culprit, hadoopsim.FaultHang2080); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, c, e, 600)
+
+	mod, _ := e.ModuleOf("wb")
+	results := mod.(*analysisWBModule).Results()
+	if len(results) == 0 {
+		t.Fatal("white-box analysis produced no windows")
+	}
+	culpritFlags, peerFlags := 0, 0
+	for _, r := range results {
+		if r.EndIndex < 300 {
+			continue
+		}
+		for n, f := range r.Flagged {
+			if !f {
+				continue
+			}
+			if n == culprit {
+				culpritFlags++
+			} else {
+				peerFlags++
+			}
+		}
+	}
+	if culpritFlags == 0 {
+		t.Error("white-box analysis never fingerpointed the hung-reduce node")
+	}
+	if culpritFlags < peerFlags {
+		t.Errorf("culprit flagged %d, peers %d — localization failed", culpritFlags, peerFlags)
+	}
+}
+
+// TestRPCModeEndToEnd runs collection through real TCP daemons: a sadc_rpcd
+// and hadoop_log_rpcd per node, with the control-node modules in rpc mode —
+// the paper's deployed architecture (§3.1).
+func TestRPCModeEndToEnd(t *testing.T) {
+	const slaves = 3
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sadcAddrs, hlAddrs []string
+	for _, n := range c.Slaves() {
+		sadcSrv := rpc.NewServer(ServiceSadc)
+		RegisterSadcServer(sadcSrv, n)
+		addr, err := sadcSrv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sadcSrv.Close() })
+		sadcAddrs = append(sadcAddrs, addr.String())
+
+		hlSrv := rpc.NewServer(ServiceHadoopLog)
+		RegisterHadoopLogServer(hlSrv, n.TaskTrackerLog(), n.DataNodeLog(), c.Now)
+		addr, err = hlSrv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = hlSrv.Close() })
+		hlAddrs = append(hlAddrs, addr.String())
+	}
+
+	env := NewEnv()
+	env.Clock = c.Now
+	names := make([]string, slaves)
+	for i, n := range c.Slaves() {
+		names[i] = n.Name
+	}
+	var b strings.Builder
+	for i := range names {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nmode = rpc\naddr = %s\nperiod = 1\n\n",
+			i, names[i], sadcAddrs[i])
+	}
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl\nkind = tasktracker\nnodes = %s\nmode = rpc\naddrs = %s\nperiod = 1\n\n",
+		strings.Join(names, ","), strings.Join(hlAddrs, ","))
+	b.WriteString("[print]\nid = p\nonly_nonzero = false\n")
+	for i := range names {
+		fmt.Fprintf(&b, "input[m%d] = sadc%d.output0\n", i, i)
+	}
+	b.WriteString("input[h] = @hl\n")
+
+	cfg, err := config.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(NewRegistry(env), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		c.Tick()
+		if err := e.Tick(c.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range names {
+		out := e.OutputPortsOf(fmt.Sprintf("sadc%d", i))[0]
+		if out.Published() == 0 {
+			t.Errorf("sadc%d published nothing over RPC", i)
+		}
+	}
+	hlOuts := e.OutputPortsOf("hl")
+	var hlPublished uint64
+	for _, o := range hlOuts {
+		hlPublished += o.Published()
+	}
+	if hlPublished == 0 {
+		t.Error("hadoop_log published nothing over RPC")
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestPipelineRealTimeMode runs a small pipeline in wall-clock mode for a
+// moment, confirming the same configuration drives Engine.Run.
+func TestPipelineRealTimeMode(t *testing.T) {
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the simulated cluster in the background at high speed so
+	// real-time collection sees fresh counters.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Tick()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	env := simEnv(c)
+	env.Clock = nil // wall clock
+	e := mustEngine(t, env, `
+[sadc]
+id = s0
+node = slave01
+period = 20ms
+
+[print]
+id = p
+input[a] = s0.output0
+only_nonzero = false
+`)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := e.Run(ctx); err == nil {
+		t.Fatal("Run should return the context error")
+	}
+	if e.OutputPortsOf("s0")[0].Published() == 0 {
+		t.Error("nothing collected in real-time mode")
+	}
+}

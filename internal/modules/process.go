@@ -1,0 +1,203 @@
+package modules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/stats"
+)
+
+// mavgvecModule computes the arithmetic mean and variance of a moving
+// window of vector samples (§3.6): output0 is the window mean, output1 the
+// window variance.
+//
+// Parameters:
+//
+//	window = <samples>   (required)
+//	slide  = <samples>   (default 1: emit on every new sample once full)
+type mavgvecModule struct {
+	window     *stats.VectorWindow
+	windowSize int
+	slide      int
+	sinceEmit  int
+	meanOut    *core.OutputPort
+	varOut     *core.OutputPort
+}
+
+func (m *mavgvecModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	var err error
+	if m.windowSize, err = cfg.IntParam("window", 0); err != nil {
+		return err
+	}
+	if m.windowSize <= 0 {
+		return fmt.Errorf("mavgvec: window must be positive")
+	}
+	if m.slide, err = cfg.IntParam("slide", 1); err != nil {
+		return err
+	}
+	if m.slide <= 0 {
+		return fmt.Errorf("mavgvec: slide must be positive")
+	}
+	inputs := ctx.Inputs()
+	if len(inputs) != 1 {
+		return fmt.Errorf("mavgvec: want exactly 1 input, got %d", len(inputs))
+	}
+	origin := inputs[0].Origin()
+	origin.Source = "mavgvec(" + origin.Source + ")"
+	if m.meanOut, err = ctx.NewOutput("output0", origin); err != nil {
+		return err
+	}
+	if m.varOut, err = ctx.NewOutput("output1", origin); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *mavgvecModule) Run(ctx *core.RunContext) error {
+	for _, s := range ctx.Inputs()[0].Read() {
+		if m.window == nil {
+			m.window = stats.NewVectorWindow(m.windowSize, len(s.Values))
+		}
+		if err := m.window.Push(s.Values); err != nil {
+			return fmt.Errorf("mavgvec: %w", err)
+		}
+		m.sinceEmit++
+		if m.window.Full() && m.sinceEmit >= m.slide {
+			m.sinceEmit = 0
+			m.meanOut.Publish(core.Sample{Time: s.Time, Values: m.window.Mean()})
+			m.varOut.Publish(core.Sample{Time: s.Time, Values: m.window.Variance()})
+		}
+	}
+	return nil
+}
+
+var _ core.Module = (*mavgvecModule)(nil)
+
+// knnModule classifies each input vector to its nearest trained centroid
+// after log scaling (§3.6; with k=1 this is the onenn instance of the
+// paper's configuration). output0 carries the state index.
+//
+// Parameters:
+//
+//	model_file = <path>                 (JSON model from analysis.TrainModel)
+//	sigma      = s1,s2,...              (inline alternative to model_file)
+//	centroids  = c11,c12;c21,c22;...    (inline alternative)
+type knnModule struct {
+	model *analysis.Model
+	out   *core.OutputPort
+}
+
+func (m *knnModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	if path := cfg.StringParam("model_file", ""); path != "" {
+		model, err := analysis.LoadModel(path)
+		if err != nil {
+			return err
+		}
+		m.model = model
+	} else {
+		sigma, err := cfg.FloatListParam("sigma", nil)
+		if err != nil {
+			return err
+		}
+		centStr, ok := cfg.Param("centroids")
+		if sigma == nil || !ok {
+			return fmt.Errorf("knn: need model_file, or inline sigma and centroids")
+		}
+		var centroids [][]float64
+		for _, row := range strings.Split(centStr, ";") {
+			row = strings.TrimSpace(row)
+			if row == "" {
+				continue
+			}
+			var vec []float64
+			for _, f := range strings.Split(row, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return fmt.Errorf("knn: centroids: %w", err)
+				}
+				vec = append(vec, v)
+			}
+			centroids = append(centroids, vec)
+		}
+		m.model = &analysis.Model{Sigma: sigma, Centroids: centroids}
+		if err := m.model.Validate(); err != nil {
+			return err
+		}
+	}
+	inputs := ctx.Inputs()
+	if len(inputs) != 1 {
+		return fmt.Errorf("knn: want exactly 1 input, got %d", len(inputs))
+	}
+	origin := inputs[0].Origin()
+	origin.Source = "knn(" + origin.Source + ")"
+	origin.Metric = "state"
+	var err error
+	m.out, err = ctx.NewOutput("output0", origin)
+	return err
+}
+
+func (m *knnModule) Run(ctx *core.RunContext) error {
+	for _, s := range ctx.Inputs()[0].Read() {
+		state, err := m.model.Classify(s.Values)
+		if err != nil {
+			return fmt.Errorf("knn: %w", err)
+		}
+		m.out.Publish(core.NewScalar(s.Time, float64(state)))
+	}
+	return nil
+}
+
+var _ core.Module = (*knnModule)(nil)
+
+// ibufferModule absorbs the rate mismatch between fast collectors and slow
+// analyses (§3.7): it buffers up to size samples and forwards them in
+// order, so a slow downstream module sees a batch rather than dropping
+// samples from its own (shorter) input queue.
+//
+// Parameters:
+//
+//	size = <samples>   (default 10, as in the paper's Figure 3)
+type ibufferModule struct {
+	size    int
+	pending []core.Sample
+	dropped uint64
+	out     *core.OutputPort
+}
+
+func (m *ibufferModule) Init(ctx *core.InitContext) error {
+	var err error
+	if m.size, err = ctx.Config().IntParam("size", 10); err != nil {
+		return err
+	}
+	if m.size <= 0 {
+		return fmt.Errorf("ibuffer: size must be positive")
+	}
+	inputs := ctx.Inputs()
+	if len(inputs) != 1 {
+		return fmt.Errorf("ibuffer: want exactly 1 input, got %d", len(inputs))
+	}
+	m.out, err = ctx.NewOutput("output0", inputs[0].Origin())
+	return err
+}
+
+func (m *ibufferModule) Run(ctx *core.RunContext) error {
+	for _, s := range ctx.Inputs()[0].Read() {
+		if len(m.pending) >= m.size {
+			m.pending = m.pending[1:]
+			m.dropped++
+		}
+		m.pending = append(m.pending, s)
+	}
+	for _, s := range m.pending {
+		m.out.Publish(s)
+	}
+	m.pending = m.pending[:0]
+	return nil
+}
+
+var _ core.Module = (*ibufferModule)(nil)

@@ -1,0 +1,97 @@
+package modules
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// ruleModule is a static-threshold alarm — the Table-1 status quo
+// (Nagios/Ganglia-style rule-based monitoring) included as a baseline: it
+// fires when a chosen metric leaves fixed bounds, with none of the
+// peer-comparison machinery. The workload-change experiment
+// (eval.WorkloadChange, EXPERIMENTS.md) quantifies why ASDF replaces this
+// with peer comparison.
+//
+// Parameters:
+//
+//	metric = <sadc node metric name> | <index>   (required)
+//	max    = <value>   (alarm when metric > max; optional)
+//	min    = <value>   (alarm when metric < min; optional)
+//
+// At least one bound is required. Inputs carry metric vectors (e.g.
+// sadc output0); outputs alarm0..alarmN-1 mirror the inputs with samples
+// [flag, value].
+type ruleModule struct {
+	metricIdx int
+	minSet    bool
+	maxSet    bool
+	minVal    float64
+	maxVal    float64
+	outs      []*core.OutputPort
+}
+
+func (m *ruleModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	metric := cfg.StringParam("metric", "")
+	if metric == "" {
+		return errMissingParam("rule", "metric")
+	}
+	if idxs, err := sadc.NodeMetricIndexes([]string{metric}); err == nil {
+		m.metricIdx = idxs[0]
+	} else if n, err2 := cfg.IntParam("metric", -1); err2 == nil && n >= 0 {
+		m.metricIdx = n
+	} else {
+		return fmt.Errorf("rule: metric %q is neither a sadc node metric nor an index", metric)
+	}
+
+	var err error
+	if m.maxVal, err = cfg.FloatParam("max", math.NaN()); err != nil {
+		return err
+	}
+	if m.minVal, err = cfg.FloatParam("min", math.NaN()); err != nil {
+		return err
+	}
+	m.maxSet = !math.IsNaN(m.maxVal)
+	m.minSet = !math.IsNaN(m.minVal)
+	if !m.maxSet && !m.minSet {
+		return fmt.Errorf("rule: need at least one of min/max")
+	}
+
+	inputs := ctx.Inputs()
+	if len(inputs) == 0 {
+		return fmt.Errorf("rule: requires at least one input")
+	}
+	for i, in := range inputs {
+		origin := in.Origin()
+		origin.Source = "rule"
+		origin.Metric = "alarm"
+		out, err := ctx.NewOutput(fmt.Sprintf("alarm%d", i), origin)
+		if err != nil {
+			return err
+		}
+		m.outs = append(m.outs, out)
+	}
+	return nil
+}
+
+func (m *ruleModule) Run(ctx *core.RunContext) error {
+	for i, in := range ctx.Inputs() {
+		for _, s := range in.Read() {
+			if m.metricIdx >= len(s.Values) {
+				return fmt.Errorf("rule: metric index %d out of range for %d-dim input", m.metricIdx, len(s.Values))
+			}
+			v := s.Values[m.metricIdx]
+			flag := 0.0
+			if (m.maxSet && v > m.maxVal) || (m.minSet && v < m.minVal) {
+				flag = 1
+			}
+			m.outs[i].Publish(core.Sample{Time: s.Time, Values: []float64{flag, v}})
+		}
+	}
+	return nil
+}
+
+var _ core.Module = (*ruleModule)(nil)

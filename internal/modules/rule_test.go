@@ -1,0 +1,105 @@
+package modules
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// ruleEngine builds a sadc -> rule -> print pipeline with the given rule
+// parameters over a fresh 2-slave cluster.
+func ruleEngine(t *testing.T, ruleParams string) (*hadoopsim.Cluster, *core.Engine) {
+	t.Helper()
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, simEnv(c), `
+[sadc]
+id = s0
+node = slave01
+period = 1
+
+[rule]
+id = r
+`+ruleParams+`
+input[in] = s0.output0
+
+[print]
+id = p
+input[x] = @r
+`)
+	return c, e
+}
+
+func TestRuleModuleFiresOnMaxThreshold(t *testing.T) {
+	// An absurdly low max: every sample alarms.
+	c, e := ruleEngine(t, "metric = cpu_busy_pct\nmax = 0.0001\n")
+	runSim(t, c, e, 10)
+	out := e.OutputPortsOf("r")[0]
+	if out.Published() == 0 {
+		t.Fatal("rule published nothing")
+	}
+	if s, _ := out.Last(); s.Scalar() != 1 {
+		t.Errorf("low max should fire: flag = %v", s.Scalar())
+	}
+}
+
+func TestRuleModuleQuietBelowMax(t *testing.T) {
+	c, e := ruleEngine(t, "metric = cpu_busy_pct\nmax = 1e12\n")
+	runSim(t, c, e, 10)
+	s, ok := e.OutputPortsOf("r")[0].Last()
+	if !ok {
+		t.Fatal("rule published nothing")
+	}
+	if s.Scalar() != 0 {
+		t.Errorf("high max should not fire: flag = %v", s.Scalar())
+	}
+}
+
+func TestRuleModuleMinBound(t *testing.T) {
+	c, e := ruleEngine(t, "metric = mem_total_kb\nmin = 1e12\n")
+	runSim(t, c, e, 5)
+	s, ok := e.OutputPortsOf("r")[0].Last()
+	if !ok || s.Scalar() != 1 {
+		t.Errorf("min bound above MemTotal should fire, got %v %v", s, ok)
+	}
+}
+
+func TestRuleModuleNumericMetricIndex(t *testing.T) {
+	idxs, err := sadc.NodeMetricIndexes([]string{"cpu_busy_pct"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, e := ruleEngine(t, "metric = "+strconv.Itoa(idxs[0])+"\nmax = 0.0001\n")
+	runSim(t, c, e, 5)
+	s, ok := e.OutputPortsOf("r")[0].Last()
+	if !ok || s.Scalar() != 1 {
+		t.Errorf("numeric metric index should work: %v %v", s, ok)
+	}
+}
+
+func TestRuleModuleConfigErrors(t *testing.T) {
+	env := NewEnv()
+	reg := NewRegistry(env)
+	reg.Register("alarmsource", func() core.Module { return &alarmSource{} })
+	for _, cfgText := range []string{
+		"[rule]\nid=r\nmax=1\ninput[x]=src.alarm0\n",                      // missing metric
+		"[rule]\nid=r\nmetric=nope\nmax=1\ninput[x]=src.alarm0\n",         // unknown metric
+		"[rule]\nid=r\nmetric=cpu_busy_pct\ninput[x]=src.alarm0\n",        // no bounds
+		"[rule]\nid=r\nmetric=cpu_busy_pct\nmax=1\n",                      // no inputs
+		"[rule]\nid=r\nmetric=cpu_busy_pct\nmax=x\ninput[x]=src.alarm0\n", // junk bound
+	} {
+		cfg, err := config.ParseString("[alarmsource]\nid=src\n\n" + cfgText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.NewEngine(reg, cfg); err == nil {
+			t.Errorf("config %q should fail", cfgText)
+		}
+	}
+}

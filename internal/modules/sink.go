@@ -1,0 +1,134 @@
+package modules
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/asdf-project/asdf/internal/core"
+)
+
+// printModule writes received samples to the Env's alarm writer (§3.4: the
+// paper's configuration terminates both pipelines in print instances named
+// BlackBoxAlarm / DataNodeAlarm).
+//
+// Parameters:
+//
+//	label        = <prefix>      (default: the instance id)
+//	only_nonzero = true|false    (default true: print a sample only when its
+//	                              first value is nonzero — the alarm-flag
+//	                              convention of the analysis modules, whose
+//	                              samples are [flag, score])
+type printModule struct {
+	env         *Env
+	label       string
+	onlyNonzero bool
+	// Printed counts emitted lines, for tests and overhead accounting.
+	printed uint64
+}
+
+func (m *printModule) Init(ctx *core.InitContext) error {
+	cfg := ctx.Config()
+	m.label = cfg.StringParam("label", ctx.ID())
+	var err error
+	if m.onlyNonzero, err = cfg.BoolParam("only_nonzero", true); err != nil {
+		return err
+	}
+	if len(ctx.Inputs()) == 0 {
+		return fmt.Errorf("print: requires at least one input")
+	}
+	return nil
+}
+
+func (m *printModule) Run(ctx *core.RunContext) error {
+	w := m.env.alarmWriter()
+	for _, in := range ctx.Inputs() {
+		for _, s := range in.Read() {
+			if m.onlyNonzero && s.Scalar() == 0 {
+				continue
+			}
+			origin := in.Origin()
+			fmt.Fprintf(w, "[%s] %s node=%s source=%s values=%s\n",
+				m.label, s.Time.Format("2006-01-02 15:04:05"),
+				origin.Node, origin.Source, formatValues(s.Values))
+			m.printed++
+		}
+	}
+	return nil
+}
+
+func formatValues(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v, 'g', 6, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+var _ core.Module = (*printModule)(nil)
+
+// csvModule logs every received sample to a CSV file, supporting ASDF's
+// offline data-collection role (§2.1: "effectively turning itself into a
+// data-collection and data-logging engine").
+//
+// Parameters:
+//
+//	path = <file>   (required)
+type csvModule struct {
+	file *os.File
+	w    *bufio.Writer
+	rows uint64
+}
+
+func (m *csvModule) Init(ctx *core.InitContext) error {
+	path := ctx.Config().StringParam("path", "")
+	if path == "" {
+		return errMissingParam("csv", "path")
+	}
+	if len(ctx.Inputs()) == 0 {
+		return fmt.Errorf("csv: requires at least one input")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	m.file = f
+	m.w = bufio.NewWriter(f)
+	if _, err := m.w.WriteString("time,node,source,output,values\n"); err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	return nil
+}
+
+func (m *csvModule) Run(ctx *core.RunContext) error {
+	for _, in := range ctx.Inputs() {
+		for _, s := range in.Read() {
+			origin := in.Origin()
+			vals := make([]string, len(s.Values))
+			for i, v := range s.Values {
+				vals[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			_, err := fmt.Fprintf(m.w, "%s,%s,%s,%s,%s\n",
+				s.Time.Format("2006-01-02T15:04:05"),
+				origin.Node, origin.Source, in.SourceOutput(),
+				strings.Join(vals, ";"))
+			if err != nil {
+				return fmt.Errorf("csv: %w", err)
+			}
+			m.rows++
+		}
+	}
+	if ctx.Reason == core.RunFlush {
+		if err := m.w.Flush(); err != nil {
+			return fmt.Errorf("csv: flush: %w", err)
+		}
+		if err := m.file.Sync(); err != nil {
+			return fmt.Errorf("csv: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+var _ core.Module = (*csvModule)(nil)

@@ -1,0 +1,120 @@
+package procfs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// FS is a Provider that reads a /proc-style directory tree. Root defaults
+// to "/proc"; tests point it at a fixture tree.
+type FS struct {
+	// Root is the base directory, e.g. "/proc".
+	Root string
+	// PIDs, when non-empty, restricts per-process collection to these
+	// process ids. When empty, no per-process data is collected (walking
+	// every pid is the caller's policy decision, not the provider's).
+	PIDs []int
+	// Clock supplies timestamps; defaults to time.Now.
+	Clock func() time.Time
+}
+
+var _ Provider = (*FS)(nil)
+
+// NewFS returns an FS provider rooted at root ("/proc" when empty).
+func NewFS(root string) *FS {
+	if root == "" {
+		root = "/proc"
+	}
+	return &FS{Root: root}
+}
+
+// Snapshot reads all supported /proc files under Root. Missing optional
+// files (vmstat, loadavg, per-pid io) degrade to zero values; a missing
+// stat or meminfo is an error, since no meaningful snapshot exists without
+// them.
+func (f *FS) Snapshot() (*Snapshot, error) {
+	now := time.Now()
+	if f.Clock != nil {
+		now = f.Clock()
+	}
+	snap := &Snapshot{Time: now}
+
+	data, err := os.ReadFile(filepath.Join(f.Root, "stat"))
+	if err != nil {
+		return nil, fmt.Errorf("procfs: %w", err)
+	}
+	if snap.Stat, err = ParseStat(bytes.NewReader(data)); err != nil {
+		return nil, err
+	}
+
+	data, err = os.ReadFile(filepath.Join(f.Root, "meminfo"))
+	if err != nil {
+		return nil, fmt.Errorf("procfs: %w", err)
+	}
+	if snap.Mem, err = ParseMeminfo(bytes.NewReader(data)); err != nil {
+		return nil, err
+	}
+
+	if data, err = os.ReadFile(filepath.Join(f.Root, "vmstat")); err == nil {
+		if snap.VM, err = ParseVMStat(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+	}
+	if data, err = os.ReadFile(filepath.Join(f.Root, "loadavg")); err == nil {
+		if snap.Load, err = ParseLoadAvg(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+	}
+	if data, err = os.ReadFile(filepath.Join(f.Root, "uptime")); err == nil {
+		if snap.Uptime, err = ParseUptime(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+	}
+	if data, err = os.ReadFile(filepath.Join(f.Root, "diskstats")); err == nil {
+		if snap.Disks, err = ParseDiskStats(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+	}
+	if data, err = os.ReadFile(filepath.Join(f.Root, "net", "dev")); err == nil {
+		if snap.Nets, err = ParseNetDev(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, pid := range f.PIDs {
+		ps, err := f.readPID(pid)
+		if err != nil {
+			continue // the process may have exited between listing and reading
+		}
+		snap.Procs = append(snap.Procs, ps)
+	}
+	return snap, nil
+}
+
+func (f *FS) readPID(pid int) (PIDStat, error) {
+	base := filepath.Join(f.Root, strconv.Itoa(pid))
+	data, err := os.ReadFile(filepath.Join(base, "stat"))
+	if err != nil {
+		return PIDStat{}, fmt.Errorf("procfs: %w", err)
+	}
+	ps, err := ParsePIDStat(bytes.NewReader(data))
+	if err != nil {
+		return PIDStat{}, err
+	}
+	if data, err := os.ReadFile(filepath.Join(base, "io")); err == nil {
+		rb, wb, err := ParsePIDIO(bytes.NewReader(data))
+		if err == nil {
+			ps.ReadBytes, ps.WriteBytes = rb, wb
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(base, "status")); err == nil {
+		if rss, err := ParsePIDStatus(bytes.NewReader(data)); err == nil {
+			ps.VMRSSkB = rss
+		}
+	}
+	return ps, nil
+}

@@ -1,0 +1,123 @@
+package procfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeFixtureTree materializes a minimal /proc tree for the FS provider.
+func writeFixtureTree(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"stat":        statFixture,
+		"meminfo":     meminfoFixture,
+		"vmstat":      "pgpgin 100\npgpgout 200\npgfault 300\n",
+		"loadavg":     "0.50 0.40 0.30 2/100 999\n",
+		"uptime":      "1000.5 1800.2\n",
+		"diskstats":   diskstatsFixture,
+		"net/dev":     netdevFixture,
+		"4242/stat":   pidStatFixture,
+		"4242/io":     "read_bytes: 111\nwrite_bytes: 222\n",
+		"4242/status": "Name:\tjava\nVmRSS:\t  98765 kB\n",
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestFSSnapshot(t *testing.T) {
+	root := writeFixtureTree(t)
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	fs := &FS{Root: root, PIDs: []int{4242}, Clock: func() time.Time { return now }}
+
+	snap, err := fs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Time.Equal(now) {
+		t.Errorf("Time = %v, want %v", snap.Time, now)
+	}
+	if snap.Stat.ContextSwitches != 2345987634 {
+		t.Errorf("ctxt = %d", snap.Stat.ContextSwitches)
+	}
+	if snap.Mem.MemTotal != 7864320 {
+		t.Errorf("MemTotal = %d", snap.Mem.MemTotal)
+	}
+	if snap.VM.PgpgIn != 100 {
+		t.Errorf("PgpgIn = %d", snap.VM.PgpgIn)
+	}
+	if snap.Load.Load1 != 0.5 {
+		t.Errorf("Load1 = %v", snap.Load.Load1)
+	}
+	if snap.Uptime != 1000.5 {
+		t.Errorf("Uptime = %v", snap.Uptime)
+	}
+	if len(snap.Disks) != 3 {
+		t.Errorf("disks = %d", len(snap.Disks))
+	}
+	if len(snap.Nets) != 2 {
+		t.Errorf("nets = %d", len(snap.Nets))
+	}
+	if len(snap.Procs) != 1 {
+		t.Fatalf("procs = %d", len(snap.Procs))
+	}
+	p := snap.Procs[0]
+	if p.PID != 1234 || p.ReadBytes != 111 || p.WriteBytes != 222 {
+		t.Errorf("pid data = %+v", p)
+	}
+	if p.VMRSSkB != 98765 {
+		t.Errorf("VmRSS = %d, want 98765", p.VMRSSkB)
+	}
+}
+
+func TestFSSnapshotMissingOptional(t *testing.T) {
+	root := t.TempDir()
+	for rel, content := range map[string]string{"stat": statFixture, "meminfo": meminfoFixture} {
+		if err := os.WriteFile(filepath.Join(root, rel), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := NewFS(root)
+	snap, err := fs.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot with only stat+meminfo should succeed: %v", err)
+	}
+	if snap.Uptime != 0 || len(snap.Disks) != 0 || len(snap.Nets) != 0 {
+		t.Errorf("optional sources should default to zero: %+v", snap)
+	}
+}
+
+func TestFSSnapshotMissingRequired(t *testing.T) {
+	fs := NewFS(t.TempDir())
+	if _, err := fs.Snapshot(); err == nil {
+		t.Error("snapshot without stat should error")
+	}
+}
+
+func TestFSSnapshotDeadPID(t *testing.T) {
+	root := writeFixtureTree(t)
+	fs := &FS{Root: root, PIDs: []int{4242, 31337}}
+	snap, err := fs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Procs) != 1 {
+		t.Errorf("dead pid should be skipped, got %d procs", len(snap.Procs))
+	}
+}
+
+func TestNewFSDefaultsToProc(t *testing.T) {
+	if got := NewFS("").Root; got != "/proc" {
+		t.Errorf("Root = %q, want /proc", got)
+	}
+}

@@ -1,0 +1,59 @@
+package procfs
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"time"
+)
+
+// TestLiveProc exercises the FS provider against the real /proc of the host
+// kernel — the production collection path. Skipped on hosts without /proc.
+func TestLiveProc(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("no /proc on this platform")
+	}
+	if _, err := os.Stat("/proc/stat"); err != nil {
+		t.Skip("/proc not available")
+	}
+	fs := &FS{Root: "/proc", PIDs: []int{os.Getpid()}}
+	snap1, err := fs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.Stat.CPUTotal.Total() == 0 {
+		t.Error("live cpu counters are zero")
+	}
+	if snap1.Mem.MemTotal == 0 {
+		t.Error("live MemTotal is zero")
+	}
+	if len(snap1.Procs) != 1 {
+		t.Fatalf("expected our own pid, got %d processes", len(snap1.Procs))
+	}
+	self := snap1.Procs[0]
+	if self.PID != os.Getpid() {
+		t.Errorf("pid = %d, want %d", self.PID, os.Getpid())
+	}
+	if self.NumThreads < 1 {
+		t.Errorf("threads = %d", self.NumThreads)
+	}
+
+	// Counters must be monotone across two snapshots.
+	burn := 0
+	for i := 0; i < 1e7; i++ {
+		burn += i % 7
+	}
+	_ = burn
+	time.Sleep(20 * time.Millisecond)
+	snap2, err := fs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Stat.CPUTotal.Total() < snap1.Stat.CPUTotal.Total() {
+		t.Error("live cpu counters went backwards")
+	}
+	if snap2.Uptime < snap1.Uptime {
+		t.Error("uptime went backwards")
+	}
+}

@@ -1,0 +1,353 @@
+package procfs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseStat parses the contents of /proc/stat.
+func ParseStat(r io.Reader) (Stat, error) {
+	var st Stat
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case fields[0] == "cpu":
+			cpu, err := parseCPUFields(fields[1:])
+			if err != nil {
+				return Stat{}, fmt.Errorf("procfs: stat cpu line: %w", err)
+			}
+			st.CPUTotal = cpu
+		case strings.HasPrefix(fields[0], "cpu"):
+			cpu, err := parseCPUFields(fields[1:])
+			if err != nil {
+				return Stat{}, fmt.Errorf("procfs: stat %s line: %w", fields[0], err)
+			}
+			st.PerCPU = append(st.PerCPU, cpu)
+		case fields[0] == "ctxt" && len(fields) > 1:
+			st.ContextSwitches = parseUint(fields[1])
+		case fields[0] == "btime" && len(fields) > 1:
+			st.BootTime = parseUint(fields[1])
+		case fields[0] == "processes" && len(fields) > 1:
+			st.Processes = parseUint(fields[1])
+		case fields[0] == "procs_running" && len(fields) > 1:
+			st.ProcsRunning = parseUint(fields[1])
+		case fields[0] == "procs_blocked" && len(fields) > 1:
+			st.ProcsBlocked = parseUint(fields[1])
+		case fields[0] == "intr" && len(fields) > 1:
+			st.Interrupts = parseUint(fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Stat{}, fmt.Errorf("procfs: reading stat: %w", err)
+	}
+	return st, nil
+}
+
+func parseCPUFields(fields []string) (CPUStat, error) {
+	if len(fields) < 4 {
+		return CPUStat{}, fmt.Errorf("want at least 4 jiffy fields, got %d", len(fields))
+	}
+	vals := make([]uint64, 9)
+	for i := 0; i < len(vals) && i < len(fields); i++ {
+		vals[i] = parseUint(fields[i])
+	}
+	return CPUStat{
+		User: vals[0], Nice: vals[1], System: vals[2], Idle: vals[3],
+		IOWait: vals[4], IRQ: vals[5], SoftIRQ: vals[6], Steal: vals[7], Guest: vals[8],
+	}, nil
+}
+
+// ParseMeminfo parses the contents of /proc/meminfo.
+func ParseMeminfo(r io.Reader) (Meminfo, error) {
+	var m Meminfo
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		key, rest, ok := strings.Cut(sc.Text(), ":")
+		if !ok {
+			continue
+		}
+		val := parseUint(strings.Fields(rest)[0])
+		switch strings.TrimSpace(key) {
+		case "MemTotal":
+			m.MemTotal = val
+		case "MemFree":
+			m.MemFree = val
+		case "Buffers":
+			m.Buffers = val
+		case "Cached":
+			m.Cached = val
+		case "SwapTotal":
+			m.SwapTotal = val
+		case "SwapFree":
+			m.SwapFree = val
+		case "Active":
+			m.Active = val
+		case "Inactive":
+			m.Inactive = val
+		case "Dirty":
+			m.Dirty = val
+		case "Writeback":
+			m.Writeback = val
+		case "Committed_AS":
+			m.CommittedAS = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Meminfo{}, fmt.Errorf("procfs: reading meminfo: %w", err)
+	}
+	return m, nil
+}
+
+// ParseVMStat parses the contents of /proc/vmstat.
+func ParseVMStat(r io.Reader) (VMStat, error) {
+	var v VMStat
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		val := parseUint(fields[1])
+		switch fields[0] {
+		case "pgpgin":
+			v.PgpgIn = val
+		case "pgpgout":
+			v.PgpgOut = val
+		case "pswpin":
+			v.PswpIn = val
+		case "pswpout":
+			v.PswpOut = val
+		case "pgfault":
+			v.PgFault = val
+		case "pgmajfault":
+			v.PgMajFault = val
+		case "pgfree":
+			v.PgFree = val
+		case "pgscan_kswapd":
+			v.PgScanKswapd = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return VMStat{}, fmt.Errorf("procfs: reading vmstat: %w", err)
+	}
+	return v, nil
+}
+
+// ParseLoadAvg parses the contents of /proc/loadavg
+// ("0.20 0.18 0.12 1/80 11206").
+func ParseLoadAvg(r io.Reader) (LoadAvg, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return LoadAvg{}, fmt.Errorf("procfs: reading loadavg: %w", err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 4 {
+		return LoadAvg{}, fmt.Errorf("procfs: loadavg: want >= 4 fields, got %d", len(fields))
+	}
+	var l LoadAvg
+	if l.Load1, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return LoadAvg{}, fmt.Errorf("procfs: loadavg load1: %w", err)
+	}
+	if l.Load5, err = strconv.ParseFloat(fields[1], 64); err != nil {
+		return LoadAvg{}, fmt.Errorf("procfs: loadavg load5: %w", err)
+	}
+	if l.Load15, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return LoadAvg{}, fmt.Errorf("procfs: loadavg load15: %w", err)
+	}
+	run, tot, ok := strings.Cut(fields[3], "/")
+	if ok {
+		l.Running, _ = strconv.Atoi(run)
+		l.Total, _ = strconv.Atoi(tot)
+	}
+	return l, nil
+}
+
+// ParseUptime parses the contents of /proc/uptime and returns the uptime
+// in seconds.
+func ParseUptime(r io.Reader) (float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("procfs: reading uptime: %w", err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 1 {
+		return 0, fmt.Errorf("procfs: uptime: empty")
+	}
+	up, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("procfs: uptime: %w", err)
+	}
+	return up, nil
+}
+
+// ParseDiskStats parses the contents of /proc/diskstats.
+func ParseDiskStats(r io.Reader) ([]DiskStat, error) {
+	var out []DiskStat
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 14 {
+			continue
+		}
+		major, err1 := strconv.Atoi(fields[0])
+		minor, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, DiskStat{
+			Major: major, Minor: minor, Name: fields[2],
+			ReadsCompleted: parseUint(fields[3]), ReadsMerged: parseUint(fields[4]),
+			SectorsRead: parseUint(fields[5]), ReadTimeMs: parseUint(fields[6]),
+			WritesCompleted: parseUint(fields[7]), WritesMerged: parseUint(fields[8]),
+			SectorsWritten: parseUint(fields[9]), WriteTimeMs: parseUint(fields[10]),
+			IOInProgress: parseUint(fields[11]), IOTimeMs: parseUint(fields[12]),
+			WeightedIOMs: parseUint(fields[13]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("procfs: reading diskstats: %w", err)
+	}
+	return out, nil
+}
+
+// ParseNetDev parses the contents of /proc/net/dev.
+func ParseNetDev(r io.Reader) ([]NetDevStat, error) {
+	var out []NetDevStat
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if lineNo <= 2 { // two header lines
+			continue
+		}
+		iface, rest, ok := strings.Cut(sc.Text(), ":")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 16 {
+			continue
+		}
+		vals := make([]uint64, 16)
+		for i := range vals {
+			vals[i] = parseUint(fields[i])
+		}
+		out = append(out, NetDevStat{
+			Iface:   strings.TrimSpace(iface),
+			RxBytes: vals[0], RxPackets: vals[1], RxErrors: vals[2], RxDropped: vals[3],
+			RxFIFO: vals[4], RxFrame: vals[5], RxCompressed: vals[6], RxMulticast: vals[7],
+			TxBytes: vals[8], TxPackets: vals[9], TxErrors: vals[10], TxDropped: vals[11],
+			TxFIFO: vals[12], TxCollisions: vals[13], TxCarrier: vals[14], TxCompressed: vals[15],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("procfs: reading net/dev: %w", err)
+	}
+	return out, nil
+}
+
+// ParsePIDStat parses /proc/<pid>/stat. The comm field may contain spaces
+// and parentheses; the kernel wraps it in parentheses, so parsing anchors on
+// the last ')'.
+func ParsePIDStat(r io.Reader) (PIDStat, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return PIDStat{}, fmt.Errorf("procfs: reading pid stat: %w", err)
+	}
+	text := strings.TrimSpace(string(data))
+	open := strings.IndexByte(text, '(')
+	closing := strings.LastIndexByte(text, ')')
+	if open < 0 || closing < 0 || closing < open {
+		return PIDStat{}, fmt.Errorf("procfs: pid stat: malformed comm field in %q", truncate(text, 60))
+	}
+	var p PIDStat
+	pid, err := strconv.Atoi(strings.TrimSpace(text[:open]))
+	if err != nil {
+		return PIDStat{}, fmt.Errorf("procfs: pid stat: pid: %w", err)
+	}
+	p.PID = pid
+	p.Comm = text[open+1 : closing]
+	rest := strings.Fields(text[closing+1:])
+	// rest[0] is the state; fields are numbered from field 3 of the file.
+	if len(rest) < 22 {
+		return PIDStat{}, fmt.Errorf("procfs: pid stat: want >= 22 fields after comm, got %d", len(rest))
+	}
+	p.State = rest[0][0]
+	p.MinFlt = parseUint(rest[7])           // field 10
+	p.MajFlt = parseUint(rest[9])           // field 12
+	p.UTime = parseUint(rest[11])           // field 14
+	p.STime = parseUint(rest[12])           // field 15
+	p.NumThreads = int(parseUint(rest[17])) // field 20
+	p.StartTime = parseUint(rest[19])       // field 22
+	p.VSizeBytes = parseUint(rest[20])      // field 23
+	p.RSSPages = int64(parseUint(rest[21])) // field 24
+	return p, nil
+}
+
+// ParsePIDIO parses /proc/<pid>/io, filling only the read_bytes and
+// write_bytes counters.
+func ParsePIDIO(r io.Reader) (readBytes, writeBytes uint64, err error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		key, rest, ok := strings.Cut(sc.Text(), ":")
+		if !ok {
+			continue
+		}
+		switch strings.TrimSpace(key) {
+		case "read_bytes":
+			readBytes = parseUint(strings.TrimSpace(rest))
+		case "write_bytes":
+			writeBytes = parseUint(strings.TrimSpace(rest))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, fmt.Errorf("procfs: reading pid io: %w", err)
+	}
+	return readBytes, writeBytes, nil
+}
+
+// ParsePIDStatus parses /proc/<pid>/status, extracting VmRSS (kB).
+func ParsePIDStatus(r io.Reader) (vmRSSkB uint64, err error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		key, rest, ok := strings.Cut(sc.Text(), ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(key) == "VmRSS" {
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				vmRSSkB = parseUint(fields[0])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("procfs: reading pid status: %w", err)
+	}
+	return vmRSSkB, nil
+}
+
+// parseUint parses a decimal counter, returning 0 for malformed input:
+// /proc counters are kernel-generated, and sadc's behaviour on the rare
+// malformed field is to read it as zero rather than abort collection.
+func parseUint(s string) uint64 {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

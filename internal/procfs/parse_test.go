@@ -1,0 +1,291 @@
+package procfs
+
+import (
+	"strings"
+	"testing"
+)
+
+const statFixture = `cpu  10132153 290696 3084719 46828483 16683 0 25195 0 0
+cpu0 5066076 145348 1542359 23414241 8341 0 12597 0 0
+cpu1 5066077 145348 1542360 23414242 8342 0 12598 0 0
+intr 1462531241 20 2 0 0
+ctxt 2345987634
+btime 1646236805
+processes 26442
+procs_running 2
+procs_blocked 1
+softirq 10 1 2 3
+`
+
+func TestParseStat(t *testing.T) {
+	st, err := ParseStat(strings.NewReader(statFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CPUTotal.User != 10132153 {
+		t.Errorf("User = %d", st.CPUTotal.User)
+	}
+	if st.CPUTotal.Idle != 46828483 {
+		t.Errorf("Idle = %d", st.CPUTotal.Idle)
+	}
+	if st.CPUTotal.IOWait != 16683 {
+		t.Errorf("IOWait = %d", st.CPUTotal.IOWait)
+	}
+	if len(st.PerCPU) != 2 {
+		t.Errorf("PerCPU count = %d, want 2", len(st.PerCPU))
+	}
+	if st.ContextSwitches != 2345987634 {
+		t.Errorf("ctxt = %d", st.ContextSwitches)
+	}
+	if st.BootTime != 1646236805 {
+		t.Errorf("btime = %d", st.BootTime)
+	}
+	if st.Processes != 26442 {
+		t.Errorf("processes = %d", st.Processes)
+	}
+	if st.ProcsRunning != 2 || st.ProcsBlocked != 1 {
+		t.Errorf("procs running/blocked = %d/%d", st.ProcsRunning, st.ProcsBlocked)
+	}
+	if st.Interrupts != 1462531241 {
+		t.Errorf("intr = %d", st.Interrupts)
+	}
+}
+
+func TestCPUStatTotals(t *testing.T) {
+	c := CPUStat{User: 1, Nice: 2, System: 3, Idle: 4, IOWait: 5, IRQ: 6, SoftIRQ: 7, Steal: 8, Guest: 9}
+	if c.Total() != 45 {
+		t.Errorf("Total() = %d, want 45", c.Total())
+	}
+	if c.Busy() != 36 {
+		t.Errorf("Busy() = %d, want 36 (all but idle and iowait)", c.Busy())
+	}
+}
+
+func TestParseStatShortCPULine(t *testing.T) {
+	if _, err := ParseStat(strings.NewReader("cpu 1 2\n")); err == nil {
+		t.Error("short cpu line should error")
+	}
+}
+
+const meminfoFixture = `MemTotal:        7864320 kB
+MemFree:         3276800 kB
+Buffers:          262144 kB
+Cached:          1048576 kB
+SwapCached:            0 kB
+Active:          2097152 kB
+Inactive:        1048576 kB
+SwapTotal:       2097152 kB
+SwapFree:        2097152 kB
+Dirty:              1024 kB
+Writeback:             8 kB
+Committed_AS:    4194304 kB
+`
+
+func TestParseMeminfo(t *testing.T) {
+	m, err := ParseMeminfo(strings.NewReader(meminfoFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MemTotal != 7864320 || m.MemFree != 3276800 {
+		t.Errorf("MemTotal/MemFree = %d/%d", m.MemTotal, m.MemFree)
+	}
+	if m.Used() != 7864320-3276800 {
+		t.Errorf("Used() = %d", m.Used())
+	}
+	if m.Buffers != 262144 || m.Cached != 1048576 {
+		t.Errorf("Buffers/Cached = %d/%d", m.Buffers, m.Cached)
+	}
+	if m.Dirty != 1024 || m.Writeback != 8 || m.CommittedAS != 4194304 {
+		t.Errorf("Dirty/Writeback/Committed = %d/%d/%d", m.Dirty, m.Writeback, m.CommittedAS)
+	}
+}
+
+func TestMeminfoUsedClamped(t *testing.T) {
+	m := Meminfo{MemTotal: 10, MemFree: 20}
+	if m.Used() != 0 {
+		t.Errorf("Used() with free > total = %d, want 0", m.Used())
+	}
+}
+
+func TestParseVMStat(t *testing.T) {
+	v, err := ParseVMStat(strings.NewReader("pgpgin 100\npgpgout 200\npswpin 3\npswpout 4\npgfault 5000\npgmajfault 60\npgfree 70\npgscan_kswapd 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.PgpgIn != 100 || v.PgpgOut != 200 || v.PswpIn != 3 || v.PswpOut != 4 {
+		t.Errorf("paging counters = %+v", v)
+	}
+	if v.PgFault != 5000 || v.PgMajFault != 60 {
+		t.Errorf("fault counters = %+v", v)
+	}
+}
+
+func TestParseLoadAvg(t *testing.T) {
+	l, err := ParseLoadAvg(strings.NewReader("0.20 0.18 0.12 1/80 11206\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Load1 != 0.20 || l.Load5 != 0.18 || l.Load15 != 0.12 {
+		t.Errorf("loads = %+v", l)
+	}
+	if l.Running != 1 || l.Total != 80 {
+		t.Errorf("running/total = %d/%d", l.Running, l.Total)
+	}
+	if _, err := ParseLoadAvg(strings.NewReader("0.1 0.2\n")); err == nil {
+		t.Error("short loadavg should error")
+	}
+	if _, err := ParseLoadAvg(strings.NewReader("x y z 1/2 5\n")); err == nil {
+		t.Error("non-numeric loadavg should error")
+	}
+}
+
+func TestParseUptime(t *testing.T) {
+	up, err := ParseUptime(strings.NewReader("350735.47 234388.90\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up != 350735.47 {
+		t.Errorf("uptime = %v", up)
+	}
+	if _, err := ParseUptime(strings.NewReader("")); err == nil {
+		t.Error("empty uptime should error")
+	}
+}
+
+const diskstatsFixture = `   8       0 sda 8250 1826 550632 14500 81000 44921 9051268 256608 0 96520 271100
+   8       1 sda1 500 0 4000 120 10 5 120 30 0 140 150
+ 253       0 dm-0 1 2 3 4 5 6 7 8 9 10 11
+`
+
+func TestParseDiskStats(t *testing.T) {
+	ds, err := ParseDiskStats(strings.NewReader(diskstatsFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("parsed %d disks, want 3", len(ds))
+	}
+	sda := ds[0]
+	if sda.Name != "sda" || sda.Major != 8 || sda.Minor != 0 {
+		t.Errorf("identity = %+v", sda)
+	}
+	if sda.ReadsCompleted != 8250 || sda.SectorsRead != 550632 {
+		t.Errorf("reads = %+v", sda)
+	}
+	if sda.WritesCompleted != 81000 || sda.SectorsWritten != 9051268 {
+		t.Errorf("writes = %+v", sda)
+	}
+	if sda.IOTimeMs != 96520 || sda.WeightedIOMs != 271100 {
+		t.Errorf("io times = %+v", sda)
+	}
+}
+
+const netdevFixture = `Inter-|   Receive                                                |  Transmit
+ face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed
+    lo: 1234567     890    0    0    0     0          0         0  1234567     890    0    0    0     0       0          0
+  eth0: 987654321 765432    1    2    0     0          0        10 123456789 654321    3    4    0     5       0          0
+`
+
+func TestParseNetDev(t *testing.T) {
+	nets, err := ParseNetDev(strings.NewReader(netdevFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 2 {
+		t.Fatalf("parsed %d interfaces, want 2", len(nets))
+	}
+	eth := nets[1]
+	if eth.Iface != "eth0" {
+		t.Errorf("iface = %q", eth.Iface)
+	}
+	if eth.RxBytes != 987654321 || eth.RxPackets != 765432 || eth.RxErrors != 1 || eth.RxDropped != 2 {
+		t.Errorf("rx = %+v", eth)
+	}
+	if eth.TxBytes != 123456789 || eth.TxPackets != 654321 || eth.TxErrors != 3 || eth.TxDropped != 4 || eth.TxCollisions != 5 {
+		t.Errorf("tx = %+v", eth)
+	}
+	if eth.RxMulticast != 10 {
+		t.Errorf("multicast = %d", eth.RxMulticast)
+	}
+}
+
+// pidStatFixture has a comm containing spaces and a ')' to exercise the
+// last-paren anchoring.
+const pidStatFixture = `1234 (java (tt) x) S 1 1234 1234 0 -1 4202496 50000 0 12 0 4500 1500 0 0 20 0 42 0 8000 1048576000 25000 18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 0 0 0 0 0 0`
+
+func TestParsePIDStat(t *testing.T) {
+	p, err := ParsePIDStat(strings.NewReader(pidStatFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PID != 1234 {
+		t.Errorf("PID = %d", p.PID)
+	}
+	if p.Comm != "java (tt) x" {
+		t.Errorf("Comm = %q", p.Comm)
+	}
+	if p.State != 'S' {
+		t.Errorf("State = %c", p.State)
+	}
+	if p.MinFlt != 50000 || p.MajFlt != 12 {
+		t.Errorf("faults = %d/%d", p.MinFlt, p.MajFlt)
+	}
+	if p.UTime != 4500 || p.STime != 1500 {
+		t.Errorf("utime/stime = %d/%d", p.UTime, p.STime)
+	}
+	if p.NumThreads != 42 {
+		t.Errorf("threads = %d", p.NumThreads)
+	}
+	if p.StartTime != 8000 {
+		t.Errorf("starttime = %d", p.StartTime)
+	}
+	if p.VSizeBytes != 1048576000 || p.RSSPages != 25000 {
+		t.Errorf("vsize/rss = %d/%d", p.VSizeBytes, p.RSSPages)
+	}
+}
+
+func TestParsePIDStatMalformed(t *testing.T) {
+	if _, err := ParsePIDStat(strings.NewReader("1234 no-parens S 1")); err == nil {
+		t.Error("missing parens should error")
+	}
+	if _, err := ParsePIDStat(strings.NewReader("1234 (x) S 1 2")); err == nil {
+		t.Error("too few fields should error")
+	}
+	if _, err := ParsePIDStat(strings.NewReader("abc (x) S 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22")); err == nil {
+		t.Error("non-numeric pid should error")
+	}
+}
+
+func TestParsePIDIO(t *testing.T) {
+	rb, wb, err := ParsePIDIO(strings.NewReader("rchar: 100\nwchar: 200\nread_bytes: 4096\nwrite_bytes: 8192\ncancelled_write_bytes: 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb != 4096 || wb != 8192 {
+		t.Errorf("io = %d/%d", rb, wb)
+	}
+}
+
+func TestParseUintLenient(t *testing.T) {
+	if parseUint("garbage") != 0 {
+		t.Error("malformed counter should parse as 0")
+	}
+	if parseUint("18446744073709551615") != ^uint64(0) {
+		t.Error("max uint64 should parse")
+	}
+}
+
+func TestParsePIDStatus(t *testing.T) {
+	in := "Name:\tjava\nState:\tS (sleeping)\nVmPeak:\t 5000000 kB\nVmRSS:\t  123456 kB\nThreads:\t42\n"
+	rss, err := ParsePIDStatus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rss != 123456 {
+		t.Errorf("VmRSS = %d, want 123456", rss)
+	}
+	rss, err = ParsePIDStatus(strings.NewReader("Name: x\n"))
+	if err != nil || rss != 0 {
+		t.Errorf("missing VmRSS should yield 0, got %d (%v)", rss, err)
+	}
+}

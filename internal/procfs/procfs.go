@@ -1,0 +1,173 @@
+// Package procfs reads and parses Linux /proc-style performance data.
+//
+// ASDF's black-box instrumentation is built on /proc (§3.5): the sadc
+// collector samples system-wide and per-process counters. This package
+// provides the raw snapshot layer. A Provider yields Snapshots; the FS
+// provider parses a real (or fixture) /proc tree, while the Hadoop cluster
+// simulator implements Provider with synthetic snapshots, so the identical
+// collection code path runs in both live and simulated deployments.
+package procfs
+
+import (
+	"time"
+)
+
+// CPUStat holds one cpu line of /proc/stat, in jiffies.
+type CPUStat struct {
+	User    uint64
+	Nice    uint64
+	System  uint64
+	Idle    uint64
+	IOWait  uint64
+	IRQ     uint64
+	SoftIRQ uint64
+	Steal   uint64
+	Guest   uint64
+}
+
+// Total returns the sum of all accounted jiffies.
+func (c CPUStat) Total() uint64 {
+	return c.User + c.Nice + c.System + c.Idle + c.IOWait + c.IRQ + c.SoftIRQ + c.Steal + c.Guest
+}
+
+// Busy returns the non-idle, non-iowait jiffies.
+func (c CPUStat) Busy() uint64 {
+	return c.User + c.Nice + c.System + c.IRQ + c.SoftIRQ + c.Steal + c.Guest
+}
+
+// Stat holds the system-wide counters of /proc/stat.
+type Stat struct {
+	CPUTotal        CPUStat
+	PerCPU          []CPUStat
+	ContextSwitches uint64 // ctxt
+	BootTime        uint64 // btime, seconds since epoch
+	Processes       uint64 // forks since boot
+	ProcsRunning    uint64
+	ProcsBlocked    uint64
+	Interrupts      uint64 // first field of intr
+}
+
+// Meminfo holds the fields of /proc/meminfo that sadc exports, in kB.
+type Meminfo struct {
+	MemTotal    uint64
+	MemFree     uint64
+	Buffers     uint64
+	Cached      uint64
+	SwapTotal   uint64
+	SwapFree    uint64
+	Active      uint64
+	Inactive    uint64
+	Dirty       uint64
+	Writeback   uint64
+	CommittedAS uint64
+}
+
+// Used returns the memory in use (total minus free), in kB.
+func (m Meminfo) Used() uint64 {
+	if m.MemFree > m.MemTotal {
+		return 0
+	}
+	return m.MemTotal - m.MemFree
+}
+
+// VMStat holds the paging and swapping counters of /proc/vmstat
+// (pages since boot).
+type VMStat struct {
+	PgpgIn       uint64
+	PgpgOut      uint64
+	PswpIn       uint64
+	PswpOut      uint64
+	PgFault      uint64
+	PgMajFault   uint64
+	PgFree       uint64
+	PgScanKswapd uint64
+}
+
+// LoadAvg holds /proc/loadavg.
+type LoadAvg struct {
+	Load1   float64
+	Load5   float64
+	Load15  float64
+	Running int
+	Total   int
+}
+
+// DiskStat holds one line of /proc/diskstats.
+type DiskStat struct {
+	Major           int
+	Minor           int
+	Name            string
+	ReadsCompleted  uint64
+	ReadsMerged     uint64
+	SectorsRead     uint64
+	ReadTimeMs      uint64
+	WritesCompleted uint64
+	WritesMerged    uint64
+	SectorsWritten  uint64
+	WriteTimeMs     uint64
+	IOInProgress    uint64
+	IOTimeMs        uint64
+	WeightedIOMs    uint64
+}
+
+// NetDevStat holds one interface line of /proc/net/dev.
+type NetDevStat struct {
+	Iface        string
+	RxBytes      uint64
+	RxPackets    uint64
+	RxErrors     uint64
+	RxDropped    uint64
+	RxFIFO       uint64
+	RxFrame      uint64
+	RxCompressed uint64
+	RxMulticast  uint64
+	TxBytes      uint64
+	TxPackets    uint64
+	TxErrors     uint64
+	TxDropped    uint64
+	TxFIFO       uint64
+	TxCollisions uint64
+	TxCarrier    uint64
+	TxCompressed uint64
+}
+
+// PIDStat holds the scheduling fields of /proc/<pid>/stat plus the I/O
+// counters of /proc/<pid>/io used for the per-process metrics.
+type PIDStat struct {
+	PID        int
+	Comm       string
+	State      byte
+	UTime      uint64 // jiffies
+	STime      uint64 // jiffies
+	NumThreads int
+	StartTime  uint64 // jiffies since boot
+	VSizeBytes uint64
+	RSSPages   int64
+	MinFlt     uint64
+	MajFlt     uint64
+	// From /proc/<pid>/io:
+	ReadBytes  uint64
+	WriteBytes uint64
+	// From /proc/<pid>/status (VmRSS), in kB; 0 when unavailable.
+	VMRSSkB uint64
+}
+
+// Snapshot is one point-in-time reading of every /proc source ASDF samples.
+type Snapshot struct {
+	Time   time.Time
+	Uptime float64 // seconds
+	Stat   Stat
+	Mem    Meminfo
+	VM     VMStat
+	Load   LoadAvg
+	Disks  []DiskStat
+	Nets   []NetDevStat
+	Procs  []PIDStat
+}
+
+// Provider yields successive snapshots of a node's /proc state.
+type Provider interface {
+	// Snapshot reads the current counters. Implementations must return a
+	// snapshot the caller may retain.
+	Snapshot() (*Snapshot, error)
+}

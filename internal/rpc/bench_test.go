@@ -1,0 +1,35 @@
+package rpc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func BenchmarkCallRoundTrip(b *testing.B) {
+	srv := NewServer("bench")
+	srv.Handle("echo", func(params json.RawMessage) (any, error) {
+		var v map[string]any
+		if err := json.Unmarshal(params, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	c, err := Dial(addr.String(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	payload := map[string]any{"metrics": []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out map[string]any
+		if err := c.Call("echo", payload, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package sadc
+
+import (
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/procfs"
+)
+
+// cyclingProvider alternates between two snapshots so every Collect
+// produces rates.
+type cyclingProvider struct {
+	snaps [2]*procfs.Snapshot
+	i     int
+	t     time.Time
+}
+
+func (p *cyclingProvider) Snapshot() (*procfs.Snapshot, error) {
+	s := *p.snaps[p.i%2]
+	p.i++
+	p.t = p.t.Add(time.Second)
+	s.Time = p.t
+	return &s, nil
+}
+
+func BenchmarkCollect(b *testing.B) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s1 := baseSnapshot(t0)
+	s2 := advance(s1)
+	p := &cyclingProvider{snaps: [2]*procfs.Snapshot{s1, s2}, t: t0}
+	c := NewCollector(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

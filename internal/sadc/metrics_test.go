@@ -1,0 +1,88 @@
+package sadc
+
+import (
+	"testing"
+)
+
+func TestAnalysisMetricNamesResolve(t *testing.T) {
+	indexes, err := NodeMetricIndexes(AnalysisMetricNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexes) != len(AnalysisMetricNames) {
+		t.Fatalf("resolved %d of %d", len(indexes), len(AnalysisMetricNames))
+	}
+	seen := make(map[int]bool)
+	for i, idx := range indexes {
+		if idx < 0 || idx >= len(NodeMetricNames) {
+			t.Errorf("index %d out of range", idx)
+		}
+		if NodeMetricNames[idx] != AnalysisMetricNames[i] {
+			t.Errorf("index %d resolves to %q, want %q", idx, NodeMetricNames[idx], AnalysisMetricNames[i])
+		}
+		if seen[idx] {
+			t.Errorf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestNodeMetricIndexesUnknown(t *testing.T) {
+	if _, err := NodeMetricIndexes([]string{"cpu_user_pct", "no_such_metric"}); err == nil {
+		t.Error("unknown metric should error")
+	}
+}
+
+func TestCPUHogPerturbation(t *testing.T) {
+	perturb := CPUHogPerturbation()
+	idx := func(name string) int {
+		for i, n := range NodeMetricNames {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("metric %q missing", name)
+		return -1
+	}
+	raw := make([]float64, len(NodeMetricNames))
+	raw[idx("cpu_user_pct")] = 20
+	raw[idx("cpu_busy_pct")] = 30
+	raw[idx("cpu_idle_pct")] = 60
+	raw[idx("runq_size")] = 1
+	raw[idx("load_avg_1")] = 1
+	raw[idx("ctxt_per_sec")] = 1000
+
+	before := append([]float64(nil), raw...)
+	out := perturb(raw)
+
+	if out[idx("cpu_busy_pct")] <= before[idx("cpu_busy_pct")] {
+		t.Error("perturbation should raise busy%")
+	}
+	if out[idx("cpu_idle_pct")] >= before[idx("cpu_idle_pct")] {
+		t.Error("perturbation should lower idle%")
+	}
+	// CPU accounting stays consistent: busy gain equals idle loss.
+	gain := out[idx("cpu_busy_pct")] - before[idx("cpu_busy_pct")]
+	loss := before[idx("cpu_idle_pct")] - out[idx("cpu_idle_pct")]
+	if diff := gain - loss; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("busy gain %v != idle loss %v", gain, loss)
+	}
+	if out[idx("runq_size")] <= 1 || out[idx("load_avg_1")] <= 1 {
+		t.Error("perturbation should raise run queue and load")
+	}
+	if out[idx("ctxt_per_sec")] <= 1000 {
+		t.Error("perturbation should raise context switches")
+	}
+}
+
+func TestCPUHogPerturbationIdleClamp(t *testing.T) {
+	perturb := CPUHogPerturbation()
+	raw := make([]float64, len(NodeMetricNames))
+	// Node already saturated: idle 0; perturbation must not go negative.
+	out := perturb(raw)
+	for i, v := range out {
+		if v < 0 {
+			t.Errorf("metric %s went negative: %v", NodeMetricNames[i], v)
+		}
+	}
+}

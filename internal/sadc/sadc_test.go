@@ -1,0 +1,354 @@
+package sadc
+
+import (
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/procfs"
+)
+
+// fakeProvider replays a fixed sequence of snapshots.
+type fakeProvider struct {
+	snaps []*procfs.Snapshot
+	idx   int
+}
+
+func (f *fakeProvider) Snapshot() (*procfs.Snapshot, error) {
+	if f.idx >= len(f.snaps) {
+		f.idx = len(f.snaps) - 1
+	}
+	s := f.snaps[f.idx]
+	f.idx++
+	return s, nil
+}
+
+func baseSnapshot(t time.Time) *procfs.Snapshot {
+	return &procfs.Snapshot{
+		Time:   t,
+		Uptime: 1000,
+		Stat: procfs.Stat{
+			CPUTotal:        procfs.CPUStat{User: 1000, Nice: 10, System: 500, Idle: 8000, IOWait: 100},
+			PerCPU:          []procfs.CPUStat{{}, {}, {}, {}},
+			ContextSwitches: 100000,
+			Interrupts:      50000,
+			Processes:       2000,
+			ProcsRunning:    2,
+			ProcsBlocked:    0,
+		},
+		Mem: procfs.Meminfo{
+			MemTotal: 7864320, MemFree: 3932160, Buffers: 100000, Cached: 500000,
+			SwapTotal: 1000000, SwapFree: 900000, Active: 200000, Inactive: 100000,
+			Dirty: 2048, CommittedAS: 4000000,
+		},
+		VM:   procfs.VMStat{PgpgIn: 1000, PgpgOut: 2000, PgFault: 50000, PgMajFault: 10},
+		Load: procfs.LoadAvg{Load1: 1.5, Load5: 1.0, Load15: 0.5, Running: 2, Total: 150},
+		Disks: []procfs.DiskStat{{
+			Name: "sda", ReadsCompleted: 1000, WritesCompleted: 2000,
+			SectorsRead: 80000, SectorsWritten: 160000, IOTimeMs: 5000, WeightedIOMs: 7000,
+		}},
+		Nets: []procfs.NetDevStat{{
+			Iface: "eth0", RxBytes: 1 << 20, TxBytes: 2 << 20, RxPackets: 10000, TxPackets: 20000,
+		}},
+		Procs: []procfs.PIDStat{{
+			PID: 42, Comm: "java", State: 'R', UTime: 500, STime: 100,
+			NumThreads: 30, StartTime: 100, VSizeBytes: 1 << 30, RSSPages: 50000,
+			MinFlt: 1000, MajFlt: 5, ReadBytes: 1 << 20, WriteBytes: 2 << 20,
+		}},
+	}
+}
+
+// advance mutates a copy of snap one second later with known deltas.
+func advance(snap *procfs.Snapshot) *procfs.Snapshot {
+	next := *snap
+	next.Time = snap.Time.Add(time.Second)
+	next.Uptime++
+	st := snap.Stat
+	st.CPUTotal.User += 50     // 50 jiffies user
+	st.CPUTotal.System += 20   // 20 jiffies system
+	st.CPUTotal.Idle += 25     // 25 jiffies idle
+	st.CPUTotal.IOWait += 5    // 5 jiffies iowait -> total delta 100
+	st.ContextSwitches += 3000 // 3000 ctxt/s
+	st.Interrupts += 1500
+	st.Processes += 10
+	next.Stat = st
+
+	vm := snap.VM
+	vm.PgpgIn += 400 // kB/s
+	vm.PgFault += 250
+	next.VM = vm
+
+	disks := make([]procfs.DiskStat, len(snap.Disks))
+	copy(disks, snap.Disks)
+	disks[0].ReadsCompleted += 10
+	disks[0].WritesCompleted += 20
+	disks[0].SectorsRead += 2048    // 1024 kB/s read
+	disks[0].SectorsWritten += 4096 // 2048 kB/s written
+	disks[0].IOTimeMs += 500        // 50% util
+	next.Disks = disks
+
+	nets := make([]procfs.NetDevStat, len(snap.Nets))
+	copy(nets, snap.Nets)
+	nets[0].RxBytes += 1024 * 100 // 100 kB/s
+	nets[0].TxBytes += 1024 * 200
+	nets[0].RxPackets += 1000
+	nets[0].TxPackets += 2000
+	next.Nets = nets
+
+	procs := make([]procfs.PIDStat, len(snap.Procs))
+	copy(procs, snap.Procs)
+	procs[0].UTime += 70 // 70% user cpu
+	procs[0].STime += 10 // 10% system cpu
+	procs[0].MinFlt += 100
+	procs[0].ReadBytes += 1024 * 50
+	procs[0].WriteBytes += 1024 * 25
+	next.Procs = procs
+	return &next
+}
+
+func metricIdx(t *testing.T, names []string, name string) int {
+	t.Helper()
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("metric %q not in catalog", name)
+	return -1
+}
+
+func TestMetricCatalogCardinality(t *testing.T) {
+	// The paper reports exactly these counts (§3.5).
+	if got := len(NodeMetricNames); got != 64 {
+		t.Errorf("node metrics = %d, want 64", got)
+	}
+	if got := len(NetMetricNames); got != 18 {
+		t.Errorf("net metrics = %d, want 18", got)
+	}
+	if got := len(ProcMetricNames); got != 19 {
+		t.Errorf("proc metrics = %d, want 19", got)
+	}
+}
+
+func TestMetricNamesUnique(t *testing.T) {
+	for _, names := range [][]string{NodeMetricNames, NetMetricNames, ProcMetricNames} {
+		seen := make(map[string]bool)
+		for _, n := range names {
+			if seen[n] {
+				t.Errorf("duplicate metric name %q", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestCollectorWarmup(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewCollector(&fakeProvider{snaps: []*procfs.Snapshot{baseSnapshot(t0)}})
+	rec, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Warmup {
+		t.Error("first record should be warmup")
+	}
+	// Gauges are live even during warmup.
+	if got := rec.Node[metricIdx(t, NodeMetricNames, "mem_total_kb")]; got != 7864320 {
+		t.Errorf("mem_total_kb = %v", got)
+	}
+	if got := rec.Node[metricIdx(t, NodeMetricNames, "load_avg_1")]; got != 1.5 {
+		t.Errorf("load_avg_1 = %v", got)
+	}
+	// Rates are zero during warmup.
+	if got := rec.Node[metricIdx(t, NodeMetricNames, "ctxt_per_sec")]; got != 0 {
+		t.Errorf("warmup ctxt_per_sec = %v, want 0", got)
+	}
+}
+
+func TestCollectorRates(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s1 := baseSnapshot(t0)
+	s2 := advance(s1)
+	c := NewCollector(&fakeProvider{snaps: []*procfs.Snapshot{s1, s2}})
+	if _, err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Warmup {
+		t.Fatal("second record should not be warmup")
+	}
+	node := rec.Node
+	check := func(name string, want float64) {
+		t.Helper()
+		got := node[metricIdx(t, NodeMetricNames, name)]
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("cpu_user_pct", 50)
+	check("cpu_system_pct", 20)
+	check("cpu_idle_pct", 25)
+	check("cpu_iowait_pct", 5)
+	check("cpu_busy_pct", 70)
+	check("cpu_count", 4)
+	check("ctxt_per_sec", 3000)
+	check("intr_per_sec", 1500)
+	check("forks_per_sec", 10)
+	check("pgpgin_kb_per_sec", 400)
+	check("fault_per_sec", 250)
+	check("disk_tps", 30)
+	check("disk_rtps", 10)
+	check("disk_wtps", 20)
+	check("disk_read_kb_per_sec", 1024)
+	check("disk_write_kb_per_sec", 2048)
+	check("disk_util_pct", 50)
+	check("net_rx_kb_per_sec", 100)
+	check("net_tx_kb_per_sec", 200)
+	check("net_rx_pkts_per_sec", 1000)
+	check("uptime_sec", 1001)
+
+	eth := rec.Net["eth0"]
+	if eth == nil {
+		t.Fatal("eth0 vector missing")
+	}
+	if got := eth[metricIdx(t, NetMetricNames, "rx_kb_per_sec")]; got != 100 {
+		t.Errorf("eth0 rx_kb_per_sec = %v", got)
+	}
+	if got := eth[metricIdx(t, NetMetricNames, "tx_pkts_per_sec")]; got != 2000 {
+		t.Errorf("eth0 tx_pkts_per_sec = %v", got)
+	}
+
+	proc := rec.Proc[42]
+	if proc == nil {
+		t.Fatal("pid 42 vector missing")
+	}
+	pcheck := func(name string, want float64) {
+		t.Helper()
+		got := proc[metricIdx(t, ProcMetricNames, name)]
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("proc %s = %v, want %v", name, got, want)
+		}
+	}
+	pcheck("cpu_user_pct", 70)
+	pcheck("cpu_system_pct", 10)
+	pcheck("cpu_total_pct", 80)
+	pcheck("minflt_per_sec", 100)
+	pcheck("rss_kb", 200000) // 50000 pages * 4 kB
+	pcheck("num_threads", 30)
+	pcheck("running", 1)
+	pcheck("io_read_kb_per_sec", 50)
+	pcheck("io_write_kb_per_sec", 25)
+	pcheck("io_kb_per_sec", 75)
+	if rec.ProcComm[42] != "java" {
+		t.Errorf("ProcComm = %q", rec.ProcComm[42])
+	}
+}
+
+func TestCollectorCounterWrap(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s1 := baseSnapshot(t0)
+	s2 := advance(s1)
+	// Simulate a counter reset: ctxt goes backwards.
+	s2.Stat.ContextSwitches = 5
+	c := NewCollector(&fakeProvider{snaps: []*procfs.Snapshot{s1, s2}})
+	if _, err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Node[metricIdx(t, NodeMetricNames, "ctxt_per_sec")]; got != 0 {
+		t.Errorf("wrapped counter rate = %v, want 0", got)
+	}
+}
+
+func TestCollectorProcessRestart(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s1 := baseSnapshot(t0)
+	s2 := advance(s1)
+	// Same pid, different start time: a recycled pid must not produce rates
+	// from the old process's counters.
+	s2.Procs[0].StartTime = 99999
+	s2.Procs[0].UTime = 5
+	c := NewCollector(&fakeProvider{snaps: []*procfs.Snapshot{s1, s2}})
+	if _, err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Proc[42][metricIdx(t, ProcMetricNames, "cpu_user_pct")]; got != 0 {
+		t.Errorf("recycled pid cpu rate = %v, want 0", got)
+	}
+}
+
+func TestCollectorClockStall(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s1 := baseSnapshot(t0)
+	s2 := advance(s1)
+	s2.Time = t0 // clock did not advance
+	c := NewCollector(&fakeProvider{snaps: []*procfs.Snapshot{s1, s2}})
+	if _, err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Warmup {
+		t.Error("record with stalled clock should degrade to warmup")
+	}
+}
+
+func TestCollectorNewInterfaceAppears(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s1 := baseSnapshot(t0)
+	s2 := advance(s1)
+	s2.Nets = append(s2.Nets, procfs.NetDevStat{Iface: "eth1", RxBytes: 999})
+	c := NewCollector(&fakeProvider{snaps: []*procfs.Snapshot{s1, s2}})
+	if _, err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth1, ok := rec.Net["eth1"]
+	if !ok {
+		t.Fatal("new interface should appear in record")
+	}
+	for i, v := range eth1 {
+		if v != 0 {
+			t.Errorf("new interface metric %s = %v, want 0 (no baseline)", NetMetricNames[i], v)
+		}
+	}
+}
+
+func TestVectorLengthsMatchCatalog(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s1 := baseSnapshot(t0)
+	c := NewCollector(&fakeProvider{snaps: []*procfs.Snapshot{s1, advance(s1)}})
+	for k := 0; k < 2; k++ {
+		rec, err := c.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Node) != len(NodeMetricNames) {
+			t.Errorf("node vector length %d != %d", len(rec.Node), len(NodeMetricNames))
+		}
+		for iface, v := range rec.Net {
+			if len(v) != len(NetMetricNames) {
+				t.Errorf("net vector %s length %d != %d", iface, len(v), len(NetMetricNames))
+			}
+		}
+		for pid, v := range rec.Proc {
+			if len(v) != len(ProcMetricNames) {
+				t.Errorf("proc vector %d length %d != %d", pid, len(v), len(ProcMetricNames))
+			}
+		}
+	}
+}

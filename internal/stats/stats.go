@@ -1,0 +1,179 @@
+// Package stats provides the small numeric toolkit used throughout ASDF:
+// streaming mean/variance (Welford), sliding windows, medians, vector
+// distances and the log-scaling transform applied to black-box metrics.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Welford accumulates mean and variance in a single pass using Welford's
+// algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N reports the number of observations added.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the population variance (0 when fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance reports the unbiased sample variance.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev reports the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Mean computes the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance computes the population variance of xs.
+func Variance(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Variance()
+}
+
+// StdDev computes the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median computes the median of xs without modifying it.
+// The median of an even-length input is the mean of the two middle values.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid], nil
+	}
+	// Averaging halves first avoids overflow for extreme magnitudes.
+	return cp[mid-1]/2 + cp[mid]/2, nil
+}
+
+// MustMedian is Median for inputs known to be non-empty; it panics on empty
+// input, which indicates a programming error in the caller.
+func MustMedian(xs []float64) float64 {
+	m, err := Median(xs)
+	if err != nil {
+		panic("stats: MustMedian on empty slice")
+	}
+	return m
+}
+
+// MedianVector computes the component-wise median across a set of
+// equal-length vectors, as used by the peer-comparison analyses.
+func MedianVector(vs [][]float64) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, ErrEmpty
+	}
+	dim := len(vs[0])
+	for i, v := range vs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("stats: vector %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	out := make([]float64, dim)
+	col := make([]float64, len(vs))
+	for d := 0; d < dim; d++ {
+		for i, v := range vs {
+			col[i] = v[d]
+		}
+		m, err := Median(col)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = m
+	}
+	return out, nil
+}
+
+// L1 computes the L1 (Manhattan) distance between a and b.
+func L1(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: L1 dimension mismatch: %d vs %d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s, nil
+}
+
+// L2 computes the Euclidean distance between a and b.
+func L2(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: L2 dimension mismatch: %d vs %d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// LogScale applies the paper's black-box transform x -> log(1+x)/sigma
+// component-wise. Sigma components that are zero or negative are treated as 1
+// so that constant metrics do not blow up the scaled space.
+func LogScale(x, sigma []float64) ([]float64, error) {
+	if len(x) != len(sigma) {
+		return nil, fmt.Errorf("stats: LogScale dimension mismatch: %d vs %d", len(x), len(sigma))
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		s := sigma[i]
+		if s <= 0 {
+			s = 1
+		}
+		out[i] = math.Log1p(math.Max(v, 0)) / s
+	}
+	return out, nil
+}

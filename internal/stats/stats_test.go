@@ -1,0 +1,294 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if got, want := w.Mean(), 5.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	if got, want := w.Variance(), 4.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance() = %v, want %v", got, want)
+	}
+	if got, want := w.StdDev(), 2.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev() = %v, want %v", got, want)
+	}
+	if got, want := w.N(), len(xs); got != want {
+		t.Errorf("N() = %d, want %d", got, want)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.SampleVariance() != 0 {
+		t.Errorf("zero-value Welford should report zeros, got mean=%v var=%v", w.Mean(), w.Variance())
+	}
+	w.Add(42)
+	if w.Mean() != 42 {
+		t.Errorf("Mean after one sample = %v, want 42", w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Errorf("Variance after one sample = %v, want 0", w.Variance())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Errorf("Reset did not clear state: n=%d mean=%v", w.N(), w.Mean())
+	}
+}
+
+func TestWelfordMatchesBatchProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Constrain to finite, moderate values.
+		clean := xs[:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			clean = append(clean, math.Mod(x, 1e6))
+		}
+		var w Welford
+		for _, x := range clean {
+			w.Add(x)
+		}
+		scale := 1.0
+		if len(clean) > 0 {
+			if m := math.Abs(Mean(clean)); m > 1 {
+				scale = m
+			}
+		}
+		return almostEqual(w.Mean(), Mean(clean), 1e-6*scale) &&
+			almostEqual(w.Variance(), Variance(clean), 1e-3*(1+w.Variance()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"single", []float64{7}, 7},
+		{"duplicates", []float64{5, 5, 5, 5}, 5},
+		{"negatives", []float64{-3, -1, -2}, -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Median(tt.in)
+			if err != nil {
+				t.Fatalf("Median(%v) error: %v", tt.in, err)
+			}
+			if got != tt.want {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianEmpty(t *testing.T) {
+	if _, err := Median(nil); err == nil {
+		t.Error("Median(nil) should return an error")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMustMedianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMedian(nil) did not panic")
+		}
+	}()
+	MustMedian(nil)
+}
+
+// Property: the median minimizes the count of elements strictly on one side —
+// at most half of the elements are strictly below and at most half strictly above.
+func TestMedianPartitionProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := MustMedian(clean)
+		var below, above int
+		for _, x := range clean {
+			if x < m {
+				below++
+			}
+			if x > m {
+				above++
+			}
+		}
+		return below <= len(clean)/2 && above <= len(clean)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianVector(t *testing.T) {
+	vs := [][]float64{
+		{1, 10, 0},
+		{2, 20, 0},
+		{3, 30, 100},
+	}
+	got, err := MedianVector(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 20, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MedianVector[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMedianVectorErrors(t *testing.T) {
+	if _, err := MedianVector(nil); err == nil {
+		t.Error("MedianVector(nil) should error")
+	}
+	if _, err := MedianVector([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("MedianVector with ragged input should error")
+	}
+}
+
+func TestL1L2(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 0, 3}
+	d1, err := L1(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != 5 {
+		t.Errorf("L1 = %v, want 5", d1)
+	}
+	d2, err := L2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d2, math.Sqrt(13), 1e-12) {
+		t.Errorf("L2 = %v, want sqrt(13)", d2)
+	}
+	if _, err := L1(a, b[:2]); err == nil {
+		t.Error("L1 dimension mismatch should error")
+	}
+	if _, err := L2(a, b[:2]); err == nil {
+		t.Error("L2 dimension mismatch should error")
+	}
+}
+
+// Property: L1 and L2 are metrics — symmetric, zero on identical input,
+// and satisfy the triangle inequality.
+func TestDistanceMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vec := func() []float64 {
+		v := make([]float64, 8)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		return v
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := vec(), vec(), vec()
+		for _, d := range []func(x, y []float64) (float64, error){L1, L2} {
+			ab, _ := d(a, b)
+			ba, _ := d(b, a)
+			aa, _ := d(a, a)
+			ac, _ := d(a, c)
+			cb, _ := d(c, b)
+			if !almostEqual(ab, ba, 1e-9) {
+				t.Fatalf("distance not symmetric: %v vs %v", ab, ba)
+			}
+			if !almostEqual(aa, 0, 1e-12) {
+				t.Fatalf("d(a,a) = %v, want 0", aa)
+			}
+			if ab > ac+cb+1e-9 {
+				t.Fatalf("triangle inequality violated: %v > %v + %v", ab, ac, cb)
+			}
+		}
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	x := []float64{0, math.E - 1, 100}
+	sigma := []float64{1, 1, 2}
+	got, err := LogScale(x, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("LogScale(0) = %v, want 0", got[0])
+	}
+	if !almostEqual(got[1], 1, 1e-12) {
+		t.Errorf("LogScale(e-1) = %v, want 1", got[1])
+	}
+	if !almostEqual(got[2], math.Log1p(100)/2, 1e-12) {
+		t.Errorf("LogScale(100)/2 = %v", got[2])
+	}
+}
+
+func TestLogScaleZeroSigmaAndNegatives(t *testing.T) {
+	got, err := LogScale([]float64{5, -3}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got[0], math.Log1p(5), 1e-12) {
+		t.Errorf("zero sigma should behave as 1, got %v", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("negative metric should clamp to 0 before log, got %v", got[1])
+	}
+	if _, err := LogScale([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("LogScale dimension mismatch should error")
+	}
+}
+
+func TestMeanVarianceEdgeCases(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+	if StdDev([]float64{1, 1, 1}) != 0 {
+		t.Error("StdDev of constant series should be 0")
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is a fixed-capacity sliding window of scalar samples backed by a
+// ring buffer. Once full, each Push evicts the oldest sample.
+type Window struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+// NewWindow creates a window holding at most capacity samples.
+// It panics if capacity is not positive (a programming error).
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stats: window capacity must be positive, got %d", capacity))
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Push appends a sample, evicting the oldest if the window is full.
+func (w *Window) Push(x float64) {
+	if w.n < len(w.buf) {
+		w.buf[(w.head+w.n)%len(w.buf)] = x
+		w.n++
+		return
+	}
+	w.buf[w.head] = x
+	w.head = (w.head + 1) % len(w.buf)
+}
+
+// Len reports the number of samples currently held.
+func (w *Window) Len() int { return w.n }
+
+// Cap reports the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window holds Cap() samples.
+func (w *Window) Full() bool { return w.n == len(w.buf) }
+
+// Values returns the samples in insertion order (oldest first).
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.n)
+	for i := 0; i < w.n; i++ {
+		out[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	return out
+}
+
+// Mean computes the mean of the samples currently in the window.
+func (w *Window) Mean() float64 { return Mean(w.Values()) }
+
+// StdDev computes the population standard deviation of the current samples.
+func (w *Window) StdDev() float64 { return StdDev(w.Values()) }
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.head = 0
+	w.n = 0
+}
+
+// VectorWindow is a fixed-capacity sliding window of equal-dimension vector
+// samples. It powers the mavgvec module.
+type VectorWindow struct {
+	dim  int
+	rows []([]float64)
+	head int
+	n    int
+}
+
+// NewVectorWindow creates a window of capacity vectors of dimension dim.
+// It panics if capacity or dim is not positive (a programming error).
+func NewVectorWindow(capacity, dim int) *VectorWindow {
+	if capacity <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("stats: invalid vector window capacity=%d dim=%d", capacity, dim))
+	}
+	rows := make([][]float64, capacity)
+	for i := range rows {
+		rows[i] = make([]float64, dim)
+	}
+	return &VectorWindow{dim: dim, rows: rows}
+}
+
+// Dim reports the vector dimension.
+func (w *VectorWindow) Dim() int { return w.dim }
+
+// Len reports the number of vectors currently held.
+func (w *VectorWindow) Len() int { return w.n }
+
+// Cap reports the window capacity.
+func (w *VectorWindow) Cap() int { return len(w.rows) }
+
+// Full reports whether the window is at capacity.
+func (w *VectorWindow) Full() bool { return w.n == len(w.rows) }
+
+// Push copies v into the window, evicting the oldest vector if full.
+// It returns an error if v has the wrong dimension.
+func (w *VectorWindow) Push(v []float64) error {
+	if len(v) != w.dim {
+		return fmt.Errorf("stats: vector window push dimension %d, want %d", len(v), w.dim)
+	}
+	var slot []float64
+	if w.n < len(w.rows) {
+		slot = w.rows[(w.head+w.n)%len(w.rows)]
+		w.n++
+	} else {
+		slot = w.rows[w.head]
+		w.head = (w.head + 1) % len(w.rows)
+	}
+	copy(slot, v)
+	return nil
+}
+
+// Mean computes the component-wise mean over the current window contents.
+func (w *VectorWindow) Mean() []float64 {
+	out := make([]float64, w.dim)
+	if w.n == 0 {
+		return out
+	}
+	for i := 0; i < w.n; i++ {
+		row := w.rows[(w.head+i)%len(w.rows)]
+		for d, x := range row {
+			out[d] += x
+		}
+	}
+	for d := range out {
+		out[d] /= float64(w.n)
+	}
+	return out
+}
+
+// Variance computes the component-wise population variance over the window.
+func (w *VectorWindow) Variance() []float64 {
+	out := make([]float64, w.dim)
+	if w.n < 2 {
+		return out
+	}
+	mean := w.Mean()
+	for i := 0; i < w.n; i++ {
+		row := w.rows[(w.head+i)%len(w.rows)]
+		for d, x := range row {
+			diff := x - mean[d]
+			out[d] += diff * diff
+		}
+	}
+	for d := range out {
+		out[d] /= float64(w.n)
+	}
+	return out
+}
+
+// StdDev computes the component-wise population standard deviation.
+func (w *VectorWindow) StdDev() []float64 {
+	v := w.Variance()
+	for d := range v {
+		v[d] = math.Sqrt(v[d])
+	}
+	return v
+}
+
+// Column returns the time series of component d (oldest first).
+func (w *VectorWindow) Column(d int) []float64 {
+	out := make([]float64, w.n)
+	for i := 0; i < w.n; i++ {
+		out[i] = w.rows[(w.head+i)%len(w.rows)][d]
+	}
+	return out
+}
+
+// Reset empties the window.
+func (w *VectorWindow) Reset() {
+	w.head = 0
+	w.n = 0
+}

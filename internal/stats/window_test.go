@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Cap() != 3 || w.Full() {
+		t.Fatalf("fresh window state wrong: len=%d cap=%d full=%v", w.Len(), w.Cap(), w.Full())
+	}
+	w.Push(1)
+	w.Push(2)
+	if got := w.Values(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Values() = %v, want [1 2]", got)
+	}
+	w.Push(3)
+	if !w.Full() {
+		t.Error("window should be full after 3 pushes")
+	}
+	w.Push(4) // evicts 1
+	got := w.Values()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("after eviction Values() = %v, want %v", got, want)
+			break
+		}
+	}
+	if w.Mean() != 3 {
+		t.Errorf("Mean() = %v, want 3", w.Mean())
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(2)
+	w.Push(1)
+	w.Push(2)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", w.Len())
+	}
+	w.Push(9)
+	if got := w.Values(); len(got) != 1 || got[0] != 9 {
+		t.Errorf("Values after Reset+Push = %v, want [9]", got)
+	}
+}
+
+func TestWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: a window of capacity c over a stream always holds exactly the
+// last min(len(stream), c) elements, in order.
+func TestWindowKeepsSuffixProperty(t *testing.T) {
+	f := func(raw []float64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		w := NewWindow(capacity)
+		for _, x := range raw {
+			w.Push(x)
+		}
+		start := 0
+		if len(raw) > capacity {
+			start = len(raw) - capacity
+		}
+		want := raw[start:]
+		got := w.Values()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorWindowMeanVariance(t *testing.T) {
+	w := NewVectorWindow(4, 2)
+	for _, v := range [][]float64{{1, 10}, {2, 20}, {3, 30}} {
+		if err := w.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean := w.Mean()
+	if mean[0] != 2 || mean[1] != 20 {
+		t.Errorf("Mean() = %v, want [2 20]", mean)
+	}
+	variance := w.Variance()
+	if !almostEqual(variance[0], 2.0/3.0, 1e-12) || !almostEqual(variance[1], 200.0/3.0, 1e-9) {
+		t.Errorf("Variance() = %v", variance)
+	}
+}
+
+func TestVectorWindowEviction(t *testing.T) {
+	w := NewVectorWindow(2, 1)
+	for _, x := range []float64{1, 2, 3} {
+		if err := w.Push([]float64{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean := w.Mean()
+	if mean[0] != 2.5 {
+		t.Errorf("Mean after eviction = %v, want 2.5", mean[0])
+	}
+}
+
+func TestVectorWindowCopiesInput(t *testing.T) {
+	w := NewVectorWindow(2, 2)
+	v := []float64{1, 2}
+	if err := w.Push(v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 99 // mutating the caller's slice must not affect the window
+	if got := w.Mean(); got[0] != 1 {
+		t.Errorf("window aliased caller slice: mean = %v", got)
+	}
+}
+
+func TestVectorWindowDimensionMismatch(t *testing.T) {
+	w := NewVectorWindow(2, 3)
+	if err := w.Push([]float64{1}); err == nil {
+		t.Error("Push with wrong dimension should error")
+	}
+}
+
+func TestVectorWindowColumn(t *testing.T) {
+	w := NewVectorWindow(3, 2)
+	for i := 1; i <= 4; i++ { // evicts first
+		if err := w.Push([]float64{float64(i), float64(-i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := w.Column(1)
+	want := []float64{-2, -3, -4}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Errorf("Column(1) = %v, want %v", col, want)
+			break
+		}
+	}
+}
+
+// Property: VectorWindow per-component mean/stddev agree with scalar Window
+// fed the same component stream.
+func TestVectorWindowAgreesWithScalarProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		capacity := rng.Intn(10) + 1
+		dim := rng.Intn(4) + 1
+		n := rng.Intn(30)
+		vw := NewVectorWindow(capacity, dim)
+		sws := make([]*Window, dim)
+		for d := range sws {
+			sws[d] = NewWindow(capacity)
+		}
+		for i := 0; i < n; i++ {
+			v := make([]float64, dim)
+			for d := range v {
+				v[d] = rng.NormFloat64() * 10
+				sws[d].Push(v[d])
+			}
+			if err := vw.Push(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mean := vw.Mean()
+		sd := vw.StdDev()
+		for d := 0; d < dim; d++ {
+			if !almostEqual(mean[d], sws[d].Mean(), 1e-9) {
+				t.Fatalf("trial %d dim %d: mean %v vs %v", trial, d, mean[d], sws[d].Mean())
+			}
+			if !almostEqual(sd[d], sws[d].StdDev(), 1e-9) {
+				t.Fatalf("trial %d dim %d: stddev %v vs %v", trial, d, sd[d], sws[d].StdDev())
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package sim exposes the Hadoop cluster simulator as a public testbed.
+//
+// The simulator is the substrate ASDF's evaluation runs on: a
+// jobtracker/namenode master with N tasktracker/datanode slaves executing a
+// GridMix-like workload over simulated HDFS, in one-second virtual-time
+// ticks. Each slave exposes exactly the surfaces a real deployment exposes
+// — /proc-style performance counters (a procfs provider for the sadc
+// collector) and natively formatted Hadoop logs (for the hadoop_log
+// parser) — plus fault-injection hooks for the six documented Hadoop
+// problems of the paper's Table 2.
+package sim
+
+import (
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// Cluster is a simulated Hadoop cluster; Node is one slave.
+type (
+	Cluster = hadoopsim.Cluster
+	Node    = hadoopsim.Node
+	Config  = hadoopsim.Config
+)
+
+// FaultKind selects one of the Table-2 faults.
+type FaultKind = hadoopsim.FaultKind
+
+// The injectable faults of the paper's Table 2.
+const (
+	FaultNone       = hadoopsim.FaultNone
+	FaultCPUHog     = hadoopsim.FaultCPUHog
+	FaultDiskHog    = hadoopsim.FaultDiskHog
+	FaultPacketLoss = hadoopsim.FaultPacketLoss
+	FaultHang1036   = hadoopsim.FaultHang1036
+	FaultHang1152   = hadoopsim.FaultHang1152
+	FaultHang2080   = hadoopsim.FaultHang2080
+)
+
+// AllFaults lists the six injectable faults in Table 2 order.
+var AllFaults = hadoopsim.AllFaults
+
+// DefaultConfig mirrors the paper's environment (EC2 Large nodes, Hadoop
+// 0.18 defaults), scaled for simulation.
+func DefaultConfig(slaves int, seed int64) Config {
+	return hadoopsim.DefaultConfig(slaves, seed)
+}
+
+// NewCluster builds a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	return hadoopsim.NewCluster(cfg)
+}

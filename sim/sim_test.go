@@ -1,0 +1,47 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/sim"
+)
+
+// TestPublicSimulatorSurface exercises the public simulator API end to end:
+// build, run, inject, mitigate.
+func TestPublicSimulatorSurface(t *testing.T) {
+	cluster, err := sim.NewCluster(sim.DefaultConfig(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunFor(3 * time.Minute)
+	if cluster.TasksCompleted() == 0 {
+		t.Error("no tasks completed")
+	}
+	if len(sim.AllFaults) != 6 {
+		t.Errorf("AllFaults = %d, want 6", len(sim.AllFaults))
+	}
+	if err := cluster.InjectFault(1, sim.FaultCPUHog); err != nil {
+		t.Fatal(err)
+	}
+	if got := cluster.FaultyNodes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("FaultyNodes = %v", got)
+	}
+	if err := cluster.BlacklistByName(cluster.Slave(1).Name); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.Blacklisted(1) {
+		t.Error("blacklist through the public API failed")
+	}
+	node := cluster.Slave(0)
+	snap, err := node.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stat.CPUTotal.Total() == 0 {
+		t.Error("public node snapshot empty")
+	}
+	if node.TaskTrackerLog().Len() == 0 {
+		t.Error("public node has no log lines")
+	}
+}
