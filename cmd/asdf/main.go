@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	asdf "github.com/asdf-project/asdf"
 )
@@ -32,12 +33,23 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("asdf", flag.ContinueOnError)
 	configPath := fs.String("config", "", "fpt-core configuration file (required)")
 	listModules := fs.Bool("list-modules", false, "list available modules and exit")
+	callTimeout := fs.Duration("call-timeout", 0, "per-RPC deadline for collection daemons (0 = default 10s)")
+	reconnectBackoff := fs.Duration("reconnect-backoff", 0, "initial reconnect backoff to a dead daemon (0 = default 100ms)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures before a node's circuit breaker opens (0 = default 5)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe (0 = default 2s)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	env := asdf.NewEnv()
 	env.AlarmWriter = os.Stdout
+	// Collection-plane resilience defaults; per-instance configuration
+	// parameters override these.
+	env.RPCOptions.CallTimeout = *callTimeout
+	env.RPCOptions.ReconnectBackoff = *reconnectBackoff
+	env.RPCOptions.BreakerThreshold = *breakerThreshold
+	env.RPCOptions.BreakerCooldown = *breakerCooldown
+	env.RPCOptions.Clock = time.Now
 	reg := asdf.NewRegistry(env)
 
 	if *listModules {
@@ -56,7 +68,12 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "asdf: %v\n", err)
 		return 1
 	}
-	eng, err := asdf.NewEngine(reg, cfg)
+	// Module run errors (a dead collection daemon, a parse failure) are
+	// supervised: logged with the node's address and retried on the next
+	// period, never fatal.
+	eng, err := asdf.NewEngine(reg, cfg, asdf.WithErrorHandler(func(id string, err error) {
+		log.Printf("asdf: module %s: %v", id, err)
+	}))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asdf: %v\n", err)
 		return 1

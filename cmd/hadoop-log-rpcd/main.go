@@ -32,6 +32,8 @@ func run(args []string) int {
 	ttPath := fs.String("tasktracker-log", "", "path to the TaskTracker log file")
 	dnPath := fs.String("datanode-log", "", "path to the DataNode log file")
 	poll := fs.Duration("poll", 500*time.Millisecond, "log tail poll interval")
+	injectRefuse := fs.Bool("inject-refuse", false, "fault drill: refuse all new connections")
+	injectDelay := fs.Duration("inject-delay", 0, "fault drill: delay every response by this duration")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +54,10 @@ func run(args []string) int {
 
 	srv := rpc.NewServer(modules.ServiceHadoopLog)
 	modules.RegisterHadoopLogServer(srv, ttBuf, dnBuf, time.Now)
+	if *injectRefuse || *injectDelay > 0 {
+		srv.SetFaults(rpc.Faults{RefuseNew: *injectRefuse, Delay: *injectDelay})
+		log.Printf("hadoop-log-rpcd: FAULT DRILL active: refuse=%v delay=%v", *injectRefuse, *injectDelay)
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hadoop-log-rpcd: %v\n", err)

@@ -31,6 +31,8 @@ func run(args []string) int {
 	listen := fs.String("listen", ":7401", "address to serve RPC on")
 	procRoot := fs.String("proc", "/proc", "procfs root to read")
 	pids := fs.String("pids", "", "comma-separated pids for per-process metrics")
+	injectRefuse := fs.Bool("inject-refuse", false, "fault drill: refuse all new connections")
+	injectDelay := fs.Duration("inject-delay", 0, "fault drill: delay every response by this duration")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,6 +53,10 @@ func run(args []string) int {
 
 	srv := rpc.NewServer(modules.ServiceSadc)
 	modules.RegisterSadcServer(srv, provider)
+	if *injectRefuse || *injectDelay > 0 {
+		srv.SetFaults(rpc.Faults{RefuseNew: *injectRefuse, Delay: *injectDelay})
+		log.Printf("sadc-rpcd: FAULT DRILL active: refuse=%v delay=%v", *injectRefuse, *injectDelay)
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sadc-rpcd: %v\n", err)

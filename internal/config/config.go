@@ -127,6 +127,65 @@ func (in *Instance) DurationParam(key string, def time.Duration) (time.Duration,
 	return d, nil
 }
 
+// ResilienceParams are the collection-plane fault-tolerance knobs shared by
+// the rpc-mode data-collection modules (sadc, hadoop_log). A zero value
+// means "not set": the module falls back to its environment-level defaults.
+type ResilienceParams struct {
+	// ReconnectBackoff is the initial delay between reconnect attempts to
+	// a dead collection daemon (doubles per failure, jittered).
+	ReconnectBackoff time.Duration
+	// CallTimeout is the per-RPC deadline.
+	CallTimeout time.Duration
+	// BreakerThreshold is the number of consecutive transport failures
+	// after which the node's circuit breaker opens.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before allowing a
+	// half-open probe.
+	BreakerCooldown time.Duration
+	// SyncDeadline is the straggler deadline for cross-node timestamp
+	// synchronization: a timestamp older than this is published from the
+	// nodes that did report instead of waiting forever (0 = strict §3.7
+	// behaviour: wait until every node reveals the timestamp).
+	SyncDeadline time.Duration
+	// SyncQuorum is the minimum number of nodes that must have reported a
+	// timestamp for a degraded (partial) publish (0 = all nodes).
+	SyncQuorum int
+}
+
+// ResilienceParams parses the well-known fault-tolerance parameters
+// (reconnect_backoff, call_timeout, breaker_threshold, breaker_cooldown,
+// sync_deadline, sync_quorum) from the instance. Absent parameters stay
+// zero.
+func (in *Instance) ResilienceParams() (ResilienceParams, error) {
+	var p ResilienceParams
+	var err error
+	if p.ReconnectBackoff, err = in.DurationParam("reconnect_backoff", 0); err != nil {
+		return p, err
+	}
+	if p.CallTimeout, err = in.DurationParam("call_timeout", 0); err != nil {
+		return p, err
+	}
+	if p.BreakerThreshold, err = in.IntParam("breaker_threshold", 0); err != nil {
+		return p, err
+	}
+	if p.BreakerCooldown, err = in.DurationParam("breaker_cooldown", 0); err != nil {
+		return p, err
+	}
+	if p.SyncDeadline, err = in.DurationParam("sync_deadline", 0); err != nil {
+		return p, err
+	}
+	if p.SyncQuorum, err = in.IntParam("sync_quorum", 0); err != nil {
+		return p, err
+	}
+	if p.BreakerThreshold < 0 {
+		return p, fmt.Errorf("config: instance %q: breaker_threshold must be >= 0", in.ID)
+	}
+	if p.SyncQuorum < 0 {
+		return p, fmt.Errorf("config: instance %q: sync_quorum must be >= 0", in.ID)
+	}
+	return p, nil
+}
+
 // FloatListParam parses a comma-separated list of floats, or returns def
 // when the parameter is absent.
 func (in *Instance) FloatListParam(key string, def []float64) ([]float64, error) {

@@ -246,3 +246,76 @@ func TestInstanceOrderPreserved(t *testing.T) {
 		}
 	}
 }
+
+func TestResilienceParams(t *testing.T) {
+	f, err := ParseString(`
+[hadoop_log]
+id = hl
+reconnect_backoff = 250ms
+call_timeout = 2
+breaker_threshold = 4
+breaker_cooldown = 5s
+sync_deadline = 3
+sync_quorum = 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := f.Instance("hl")
+	p, err := in.ResilienceParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReconnectBackoff != 250*time.Millisecond {
+		t.Errorf("reconnect_backoff = %v", p.ReconnectBackoff)
+	}
+	if p.CallTimeout != 2*time.Second {
+		t.Errorf("call_timeout = %v", p.CallTimeout)
+	}
+	if p.BreakerThreshold != 4 {
+		t.Errorf("breaker_threshold = %d", p.BreakerThreshold)
+	}
+	if p.BreakerCooldown != 5*time.Second {
+		t.Errorf("breaker_cooldown = %v", p.BreakerCooldown)
+	}
+	if p.SyncDeadline != 3*time.Second {
+		t.Errorf("sync_deadline = %v", p.SyncDeadline)
+	}
+	if p.SyncQuorum != 2 {
+		t.Errorf("sync_quorum = %d", p.SyncQuorum)
+	}
+}
+
+func TestResilienceParamsDefaultsToZero(t *testing.T) {
+	f, err := ParseString("[sadc]\nid = s\nnode = n1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := f.Instance("s")
+	p, err := in.ResilienceParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != (ResilienceParams{}) {
+		t.Errorf("absent params should parse to the zero value, got %+v", p)
+	}
+}
+
+func TestResilienceParamsRejectsBadValues(t *testing.T) {
+	for _, bad := range []string{
+		"sync_quorum = -1",
+		"breaker_threshold = -2",
+		"sync_deadline = never",
+		"call_timeout = soon",
+		"breaker_threshold = many",
+	} {
+		f, err := ParseString("[sadc]\nid = s\n" + bad + "\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, _ := f.Instance("s")
+		if _, err := in.ResilienceParams(); err == nil {
+			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+// ResilienceConfig sizes the collection-plane fault-injection scenario: a
+// simulated cluster whose slaves each run real sadc_rpcd/hadoop_log_rpcd
+// servers over TCP, with one node's daemons killed mid-run and restarted
+// later. Ticks are virtual seconds; the managed clients' breaker timing
+// runs on the same virtual clock so the scenario is deterministic.
+type ResilienceConfig struct {
+	Slaves int
+	Seed   int64
+	// Victim is the slave index whose daemons are killed.
+	Victim int
+	// KillAtTick / ReviveAtTick / Ticks partition the run into healthy,
+	// outage, and recovered phases.
+	KillAtTick   int
+	ReviveAtTick int
+	Ticks        int
+	// SyncDeadlineSec and SyncQuorum configure degraded-mode timestamp
+	// sync for the white-box collector.
+	SyncDeadlineSec int
+	SyncQuorum      int
+	// BreakerThreshold and BreakerCooldownSec configure the per-node
+	// circuit breakers.
+	BreakerThreshold   int
+	BreakerCooldownSec int
+}
+
+// DefaultResilienceConfig is the 3-node kill-one scenario used by the test
+// suite: kill at t=20, revive at t=45, observe through t=70.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Slaves:             3,
+		Seed:               7,
+		Victim:             1,
+		KillAtTick:         20,
+		ReviveAtTick:       45,
+		Ticks:              70,
+		SyncDeadlineSec:    3,
+		SyncQuorum:         2,
+		BreakerThreshold:   3,
+		BreakerCooldownSec: 3,
+	}
+}
+
+// ResilienceReport is what the scenario observed.
+type ResilienceReport struct {
+	// SurvivorHLDuringOutage counts new white-box publishes on surviving
+	// nodes while the victim was down; > 0 means no stall.
+	SurvivorHLDuringOutage uint64
+	// MaxSurvivorGapTicks is the longest run of outage ticks in which no
+	// surviving white-box sample was published; degraded-mode sync bounds
+	// it near the straggler deadline.
+	MaxSurvivorGapTicks int
+	// VictimSadcDuringOutage / VictimSadcAfterRevive count the victim's
+	// black-box publishes in each phase.
+	VictimSadcDuringOutage uint64
+	VictimSadcAfterRevive  uint64
+	// VictimHLAfterRevive counts the victim's white-box publishes after
+	// its daemons restarted.
+	VictimHLAfterRevive uint64
+	// BreakerOpened reports that the victim's white-box breaker opened
+	// during the outage; BreakerReclosed that a half-open probe
+	// re-attached the node after revival with no collector restart.
+	BreakerOpened   bool
+	BreakerReclosed bool
+	// VictimReconnects is the victim client's successful dial count at
+	// the end (≥ 2 proves a re-dial happened after the restart).
+	VictimReconnects uint64
+	// Partial / Dropped / MissingVictim are the sync rule's counters.
+	Partial       uint64
+	Dropped       uint64
+	MissingVictim uint64
+	// RunErrors counts module run errors routed to the engine's error
+	// handler (the supervisor path: reported, never fatal).
+	RunErrors int
+}
+
+// hlHealthReporter and sadcHealthReporter are the inspection surfaces the
+// collection modules expose; asserted here so eval does not depend on the
+// modules' unexported types.
+type hlHealthReporter interface {
+	ClientHealths() map[string]rpc.Health
+	PartialTimestamps() uint64
+	DroppedTimestamps() uint64
+	MissingByNode() map[string]uint64
+}
+
+type sadcHealthReporter interface {
+	ClientHealth() (rpc.Health, bool)
+}
+
+// nodeDaemons are one slave's collection daemons, restartable in place.
+type nodeDaemons struct {
+	node     *hadoopsim.Node
+	clock    func() time.Time
+	sadc     *rpc.Server
+	hlog     *rpc.Server
+	sadcAddr string
+	hlogAddr string
+}
+
+func startDaemons(n *hadoopsim.Node, clock func() time.Time, sadcAddr, hlogAddr string) (*nodeDaemons, error) {
+	d := &nodeDaemons{node: n, clock: clock}
+	d.sadc = rpc.NewServer(modules.ServiceSadc)
+	modules.RegisterSadcServer(d.sadc, n)
+	addr, err := d.sadc.Listen(sadcAddr)
+	if err != nil {
+		return nil, fmt.Errorf("eval: sadc daemon for %s: %w", n.Name, err)
+	}
+	d.sadcAddr = addr.String()
+
+	d.hlog = rpc.NewServer(modules.ServiceHadoopLog)
+	modules.RegisterHadoopLogServer(d.hlog, n.TaskTrackerLog(), n.DataNodeLog(), clock)
+	addr, err = d.hlog.Listen(hlogAddr)
+	if err != nil {
+		_ = d.sadc.Close()
+		return nil, fmt.Errorf("eval: hadoop-log daemon for %s: %w", n.Name, err)
+	}
+	d.hlogAddr = addr.String()
+	return d, nil
+}
+
+// kill closes both daemons, as a crashed node would.
+func (d *nodeDaemons) kill() {
+	_ = d.sadc.Close()
+	_ = d.hlog.Close()
+}
+
+// restart brings fresh daemons up on the same addresses, re-reading the
+// node's logs from scratch exactly like a restarted hadoop_log_rpcd.
+func (d *nodeDaemons) restart() error {
+	// The old listener's port can linger briefly; retry a few times.
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		nd, err := startDaemons(d.node, d.clock, d.sadcAddr, d.hlogAddr)
+		if err == nil {
+			d.sadc, d.hlog = nd.sadc, nd.hlog
+			return nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return lastErr
+}
+
+func (d *nodeDaemons) close() { d.kill() }
+
+// RunCollectionResilience runs the kill-one-node scenario end to end over
+// real TCP daemons and returns what it observed. The caller asserts on the
+// report; this function only fails on setup errors.
+func RunCollectionResilience(cfg ResilienceConfig) (*ResilienceReport, error) {
+	if cfg.Victim < 0 || cfg.Victim >= cfg.Slaves {
+		return nil, fmt.Errorf("eval: victim %d out of range for %d slaves", cfg.Victim, cfg.Slaves)
+	}
+	if cfg.KillAtTick >= cfg.ReviveAtTick || cfg.ReviveAtTick >= cfg.Ticks {
+		return nil, fmt.Errorf("eval: phases must satisfy kill < revive < ticks")
+	}
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(cfg.Slaves, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	var daemons []*nodeDaemons
+	defer func() {
+		for _, d := range daemons {
+			d.close()
+		}
+	}()
+	var names, sadcAddrs, hlogAddrs []string
+	for _, n := range c.Slaves() {
+		d, err := startDaemons(n, c.Now, "127.0.0.1:0", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		daemons = append(daemons, d)
+		names = append(names, n.Name)
+		sadcAddrs = append(sadcAddrs, d.sadcAddr)
+		hlogAddrs = append(hlogAddrs, d.hlogAddr)
+	}
+
+	env := modules.NewEnv()
+	env.Clock = c.Now
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+[hadoop_log]
+id = hl
+kind = tasktracker
+mode = rpc
+nodes = %s
+addrs = %s
+period = 1
+sync_deadline = %d
+sync_quorum = %d
+breaker_threshold = %d
+breaker_cooldown = %d
+`, strings.Join(names, ","), strings.Join(hlogAddrs, ","),
+		cfg.SyncDeadlineSec, cfg.SyncQuorum, cfg.BreakerThreshold, cfg.BreakerCooldownSec)
+	for i, name := range names {
+		fmt.Fprintf(&b, `
+[sadc]
+id = s%d
+node = %s
+mode = rpc
+addr = %s
+period = 1
+breaker_threshold = %d
+breaker_cooldown = %d
+`, i, name, sadcAddrs[i], cfg.BreakerThreshold, cfg.BreakerCooldownSec)
+	}
+	b.WriteString("\n[print]\nid = p\nonly_nonzero = false\ninput[hl] = @hl\n")
+	for i := range names {
+		fmt.Fprintf(&b, "input[s%d] = s%d.output0\n", i, i)
+	}
+
+	parsed, err := config.ParseString(b.String())
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	report := &ResilienceReport{}
+	eng, err := core.NewEngine(modules.NewRegistry(env), parsed,
+		core.WithErrorHandler(func(string, error) {
+			mu.Lock()
+			report.RunErrors++
+			mu.Unlock()
+		}))
+	if err != nil {
+		return nil, err
+	}
+
+	hlMod, _ := eng.ModuleOf("hl")
+	hl, ok := hlMod.(hlHealthReporter)
+	if !ok {
+		return nil, fmt.Errorf("eval: hadoop_log module does not report health")
+	}
+	victimSadcMod, _ := eng.ModuleOf(fmt.Sprintf("s%d", cfg.Victim))
+	victimSadc, ok := victimSadcMod.(sadcHealthReporter)
+	if !ok {
+		return nil, fmt.Errorf("eval: sadc module does not report health")
+	}
+	victimName := names[cfg.Victim]
+
+	hlOuts := eng.OutputPortsOf("hl")
+	survivorHL := func() uint64 {
+		var n uint64
+		for i, out := range hlOuts {
+			if i != cfg.Victim {
+				n += out.Published()
+			}
+		}
+		return n
+	}
+	victimHL := func() uint64 { return hlOuts[cfg.Victim].Published() }
+	victimSadcOut := eng.OutputPortsOf(fmt.Sprintf("s%d", cfg.Victim))[0]
+
+	var (
+		survivorAtKill, survivorLast   uint64
+		victimHLAtRevive               uint64
+		victimSadcAtKill, sadcAtRevive uint64
+		gap                            int
+	)
+	for tick := 1; tick <= cfg.Ticks; tick++ {
+		if tick == cfg.KillAtTick {
+			daemons[cfg.Victim].kill()
+			survivorAtKill = survivorHL()
+			survivorLast = survivorAtKill
+			victimSadcAtKill = victimSadcOut.Published()
+		}
+		if tick == cfg.ReviveAtTick {
+			if err := daemons[cfg.Victim].restart(); err != nil {
+				return nil, err
+			}
+			victimHLAtRevive = victimHL()
+			sadcAtRevive = victimSadcOut.Published()
+		}
+		c.Tick()
+		if err := eng.Tick(c.Now()); err != nil {
+			return nil, err
+		}
+
+		if tick > cfg.KillAtTick && tick < cfg.ReviveAtTick {
+			// Track the longest white-box publishing gap on survivors.
+			if now := survivorHL(); now > survivorLast {
+				survivorLast = now
+				gap = 0
+			} else {
+				gap++
+				if gap > report.MaxSurvivorGapTicks {
+					report.MaxSurvivorGapTicks = gap
+				}
+			}
+			if h, ok := hl.ClientHealths()[victimName]; ok && h.State == rpc.BreakerOpen {
+				report.BreakerOpened = true
+			}
+		}
+	}
+
+	report.SurvivorHLDuringOutage = survivorLast - survivorAtKill
+	report.VictimSadcDuringOutage = sadcAtRevive - victimSadcAtKill
+	report.VictimSadcAfterRevive = victimSadcOut.Published() - sadcAtRevive
+	report.VictimHLAfterRevive = victimHL() - victimHLAtRevive
+	report.Partial = hl.PartialTimestamps()
+	report.Dropped = hl.DroppedTimestamps()
+	report.MissingVictim = hl.MissingByNode()[victimName]
+	if h, ok := hl.ClientHealths()[victimName]; ok {
+		report.BreakerReclosed = h.State == rpc.BreakerClosed
+		report.VictimReconnects = h.Reconnects
+	}
+	if h, ok := victimSadc.ClientHealth(); ok && h.State != rpc.BreakerClosed {
+		// The black-box plane must have re-attached too.
+		report.BreakerReclosed = false
+	}
+	return report, nil
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestCollectionResilience is the acceptance scenario for the resilient
+// collection plane: a 3-node cluster with one node's daemons killed
+// mid-run. White-box collection must keep publishing within the straggler
+// deadline (no stall), the victim's breaker must open, and after the
+// daemons restart the half-open probe must re-attach the node with no
+// collector restart.
+func TestCollectionResilience(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	rep, err := RunCollectionResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No stall: surviving nodes kept publishing through the outage...
+	if rep.SurvivorHLDuringOutage == 0 {
+		t.Error("white-box collection stalled during the outage")
+	}
+	// ...and never paused longer than the straggler deadline plus slack
+	// for the collection period itself.
+	if limit := cfg.SyncDeadlineSec + 3; rep.MaxSurvivorGapTicks > limit {
+		t.Errorf("survivors paused %d ticks, want <= %d (sync_deadline %d)",
+			rep.MaxSurvivorGapTicks, limit, cfg.SyncDeadlineSec)
+	}
+
+	// The victim's breaker opened during the outage and re-closed after
+	// the restart, with a fresh dial.
+	if !rep.BreakerOpened {
+		t.Error("victim's circuit breaker never opened")
+	}
+	if !rep.BreakerReclosed {
+		t.Error("victim's circuit breaker did not re-close after restart")
+	}
+	if rep.VictimReconnects < 2 {
+		t.Errorf("victim reconnects = %d, want >= 2 (initial dial + re-attach)", rep.VictimReconnects)
+	}
+
+	// The victim re-attached on both planes with no collector restart.
+	if rep.VictimHLAfterRevive == 0 {
+		t.Error("victim published no white-box samples after revival")
+	}
+	if rep.VictimSadcAfterRevive == 0 {
+		t.Error("victim published no black-box samples after revival")
+	}
+	if rep.VictimSadcDuringOutage != 0 {
+		t.Errorf("victim published %d black-box samples while dead", rep.VictimSadcDuringOutage)
+	}
+
+	// Degraded-mode sync accounted for the victim's absence.
+	if rep.Partial == 0 {
+		t.Error("no partial timestamps recorded during the outage")
+	}
+	if rep.MissingVictim == 0 {
+		t.Error("victim's missing seconds were not counted")
+	}
+
+	// Failures were reported through the supervisor, never fatal.
+	if rep.RunErrors == 0 {
+		t.Error("daemon death surfaced no module errors")
+	}
+}
+
+// TestCollectionResilienceValidation covers config validation.
+func TestCollectionResilienceValidation(t *testing.T) {
+	bad := DefaultResilienceConfig()
+	bad.Victim = 99
+	if _, err := RunCollectionResilience(bad); err == nil {
+		t.Error("out-of-range victim accepted")
+	}
+	bad = DefaultResilienceConfig()
+	bad.ReviveAtTick = bad.KillAtTick
+	if _, err := RunCollectionResilience(bad); err == nil {
+		t.Error("bad phase ordering accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/rpc"
 	"github.com/asdf-project/asdf/internal/sadc"
 )
 
@@ -29,6 +30,7 @@ type sadcModule struct {
 	env    *Env
 	node   string
 	source MetricSource
+	client rpc.Caller // rpc mode only; nil in local mode
 	out    *core.OutputPort
 
 	ifaceOuts map[string]*core.OutputPort
@@ -58,10 +60,15 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 		if addr == "" {
 			return errMissingParam("sadc", "addr")
 		}
-		client, err := m.env.dial(addr, "asdf-sadc")
+		rp, err := cfg.ResilienceParams()
 		if err != nil {
 			return err
 		}
+		client, err := m.env.dial(addr, "asdf-sadc", rp)
+		if err != nil {
+			return fmt.Errorf("sadc[%s]: dial %s: %w", m.node, addr, err)
+		}
+		m.client = client
 		m.source = NewRPCMetricSource(client)
 	default:
 		return fmt.Errorf("sadc: unknown mode %q", mode)
@@ -144,6 +151,15 @@ func (m *sadcModule) Run(ctx *core.RunContext) error {
 	return nil
 }
 
+// ClientHealth reports the supervised connection's health in rpc mode; ok
+// is false in local mode or with an unsupervised custom dialer.
+func (m *sadcModule) ClientHealth() (rpc.Health, bool) {
+	if m.client == nil {
+		return rpc.Health{}, false
+	}
+	return sourceHealth(m.client)
+}
+
 var _ core.Module = (*sadcModule)(nil)
 
 // hadoopLogModule is the white-box data-collection module (§4.4): it parses
@@ -151,27 +167,48 @@ var _ core.Module = (*sadcModule)(nil)
 // vectors and publishes one output per node. Because log data appears at
 // slightly different times on different nodes, the module performs
 // cross-node timestamp synchronization internally (§3.7): a timestamp is
-// published only when every node has revealed data for it; timestamps
-// missing on some node are dropped.
+// published when every node has revealed data for it; timestamps missing on
+// some node once every node has moved past them are dropped.
+//
+// The strict rule stalls the whole cluster on one dead node, so the module
+// also supports degraded-mode synchronization: with sync_deadline set, a
+// timestamp older than the deadline (relative to the collection clock) is
+// resolved from the nodes that did report, provided at least sync_quorum
+// nodes reported it — published as a partial sample set (absent nodes
+// publish nothing for that second, so downstream analyses see partial
+// vectors), or dropped below quorum. Defaults (no deadline, quorum = all
+// nodes) reproduce the paper's strict behaviour exactly.
 //
 // Parameters:
 //
-//	kind   = tasktracker | datanode   (required)
-//	nodes  = n1,n2,...                (required)
-//	period = <duration>               (default 1s)
-//	mode   = local | rpc              (default local)
-//	addrs  = host1:p,host2:p,...      (required for rpc; parallel to nodes)
+//	kind          = tasktracker | datanode  (required)
+//	nodes         = n1,n2,...               (required)
+//	period        = <duration>              (default 1s)
+//	mode          = local | rpc             (default local)
+//	addrs         = host1:p,host2:p,...     (required for rpc; parallel to nodes)
+//	sync_deadline = <duration>              (default 0: strict §3.7 sync)
+//	sync_quorum   = <int>                   (default 0: all nodes)
+//
+// In rpc mode the resilience knobs reconnect_backoff, call_timeout,
+// breaker_threshold, and breaker_cooldown tune the per-node managed
+// connections.
 type hadoopLogModule struct {
 	env     *Env
 	kind    hadooplog.Kind
 	nodes   []string
 	sources []LogSource
+	clients []rpc.Caller // rpc mode: parallel to nodes; nil otherwise
 	outs    []*core.OutputPort
+
+	syncDeadline time.Duration // 0 = strict: wait for every node
+	syncQuorum   int           // minimum reporters for a partial publish
 
 	pending      []map[int64][]float64 // per node: unix-second -> counts
 	maxSeen      []int64               // per node: newest fetched second
 	nextEmit     int64                 // next second to resolve; 0 = unset
 	dropped      uint64                // timestamps dropped by the sync rule
+	partial      uint64                // timestamps published without all nodes
+	missing      []uint64              // per node: resolved seconds it missed
 	statesPerVec int
 }
 
@@ -206,6 +243,15 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	if err != nil {
 		return err
 	}
+	rp, err := cfg.ResilienceParams()
+	if err != nil {
+		return err
+	}
+	m.syncDeadline = rp.SyncDeadline
+	m.syncQuorum = rp.SyncQuorum
+	if m.syncQuorum == 0 || m.syncQuorum > len(m.nodes) {
+		m.syncQuorum = len(m.nodes) // default: strict, all nodes
+	}
 
 	mode := cfg.StringParam("mode", "local")
 	switch mode {
@@ -232,11 +278,13 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 		if len(addrs) != len(m.nodes) {
 			return fmt.Errorf("hadoop_log: %d addrs for %d nodes", len(addrs), len(m.nodes))
 		}
-		for _, a := range addrs {
-			client, err := m.env.dial(strings.TrimSpace(a), "asdf-hadoop-log")
+		for i, a := range addrs {
+			addr := strings.TrimSpace(a)
+			client, err := m.env.dial(addr, "asdf-hadoop-log", rp)
 			if err != nil {
-				return err
+				return fmt.Errorf("hadoop_log[%s]: dial %s: %w", m.nodes[i], addr, err)
 			}
+			m.clients = append(m.clients, client)
 			m.sources = append(m.sources, NewRPCLogSource(client, m.kind))
 		}
 	default:
@@ -257,6 +305,7 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	}
 	m.pending = make([]map[int64][]float64, len(m.nodes))
 	m.maxSeen = make([]int64, len(m.nodes))
+	m.missing = make([]uint64, len(m.nodes))
 	for i := range m.pending {
 		m.pending[i] = make(map[int64][]float64)
 	}
@@ -280,6 +329,12 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 		}
 		for _, v := range vecs {
 			sec := v.Time.Unix()
+			if m.nextEmit != 0 && sec < m.nextEmit {
+				// Already resolved: a restarted daemon replays its log
+				// from the start; re-served history must not rewind the
+				// emit cursor or double-publish.
+				continue
+			}
 			m.pending[i][sec] = v.Counts
 			if sec > m.maxSeen[i] {
 				m.maxSeen[i] = sec
@@ -289,53 +344,117 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 			}
 		}
 	}
-	m.emitSynchronized()
+	m.emitSynchronized(now)
 	return firstErr
 }
 
-// emitSynchronized publishes every second for which all nodes have data,
-// dropping seconds that some node will never produce (§3.7 cross-instance
-// synchronization within the hadoop_log module).
-func (m *hadoopLogModule) emitSynchronized() {
+// emitSynchronized resolves pending seconds in order. A second is resolved
+// when it is *final*: every node has data for it (complete), or every node
+// has revealed newer data (the §3.7 strict rule: it will never complete),
+// or it is older than the straggler deadline (degraded mode). Complete
+// seconds are published on every node; incomplete-but-final seconds are
+// published partially when at least syncQuorum nodes reported them, and
+// dropped otherwise. Resolution stops at the first non-final second so
+// samples always flow downstream in timestamp order.
+func (m *hadoopLogModule) emitSynchronized(now time.Time) {
 	if m.nextEmit == 0 {
 		return
 	}
-	// The frontier is the newest second that every node has reached.
-	frontier := int64(-1)
+	// frontier: newest second every node has reached (-1 while some node
+	// has revealed nothing). newest: newest second any node has reached.
+	frontier, newest := int64(-1), int64(0)
 	for _, s := range m.maxSeen {
-		if s == 0 {
-			return // some node has revealed nothing yet; wait
+		if s > newest {
+			newest = s
 		}
-		if frontier < 0 || s < frontier {
+		if frontier == -1 || s < frontier {
 			frontier = s
 		}
 	}
-	for sec := m.nextEmit; sec <= frontier; sec++ {
-		complete := true
+	// overdueSec: seconds at or below this have passed the straggler
+	// deadline (-1 disables; strict mode waits for the frontier alone).
+	overdueSec := int64(-1)
+	if m.syncDeadline > 0 {
+		overdueSec = now.Add(-m.syncDeadline).Unix()
+	}
+	top := frontier
+	if overdueSec > top {
+		top = overdueSec
+	}
+	if top > newest {
+		top = newest // never resolve ahead of all data
+	}
+
+	for sec := m.nextEmit; sec <= top; sec++ {
+		have := 0
 		for i := range m.pending {
-			if _, ok := m.pending[i][sec]; !ok {
-				complete = false
-				break
+			if _, ok := m.pending[i][sec]; ok {
+				have++
 			}
 		}
+		complete := have == len(m.nodes)
+		final := complete ||
+			(frontier > 0 && sec <= frontier) || // every node reached it: it will never grow
+			(overdueSec >= 0 && sec <= overdueSec) // straggler deadline expired
+		if !final {
+			break // must keep waiting; later seconds stay queued too
+		}
+		emit := complete || have >= m.syncQuorum
 		t := time.Unix(sec, 0).UTC()
 		for i := range m.pending {
-			if counts, ok := m.pending[i][sec]; ok {
-				if complete {
-					m.outs[i].Publish(core.Sample{Time: t, Values: counts})
-				}
-				delete(m.pending[i], sec)
+			counts, ok := m.pending[i][sec]
+			if !ok {
+				m.missing[i]++
+				continue
 			}
+			if emit {
+				m.outs[i].Publish(core.Sample{Time: t, Values: counts})
+			}
+			delete(m.pending[i], sec)
 		}
-		if !complete {
+		switch {
+		case complete:
+		case emit:
+			m.partial++
+		default:
 			m.dropped++
 		}
+		m.nextEmit = sec + 1
 	}
-	m.nextEmit = frontier + 1
 }
 
-// DroppedTimestamps reports how many seconds were discarded because not all
-// nodes produced data for them.
+// DroppedTimestamps reports how many seconds were discarded because fewer
+// than the quorum of nodes produced data for them.
 func (m *hadoopLogModule) DroppedTimestamps() uint64 { return m.dropped }
+
+// PartialTimestamps reports how many seconds were published in degraded
+// mode, i.e. without data from every node.
+func (m *hadoopLogModule) PartialTimestamps() uint64 { return m.partial }
+
+// MissingByNode reports, per node, how many resolved seconds lacked that
+// node's data — the per-sample visibility downstream analyses use to
+// account for partial vectors.
+func (m *hadoopLogModule) MissingByNode() map[string]uint64 {
+	out := make(map[string]uint64, len(m.nodes))
+	for i, n := range m.nodes {
+		out[n] = m.missing[i]
+	}
+	return out
+}
+
+// ClientHealths reports per-node connection health in rpc mode (nil in
+// local mode or with an unsupervised custom dialer), keyed by node name.
+func (m *hadoopLogModule) ClientHealths() map[string]rpc.Health {
+	if m.clients == nil {
+		return nil
+	}
+	out := make(map[string]rpc.Health, len(m.clients))
+	for i, c := range m.clients {
+		if h, ok := sourceHealth(c); ok {
+			out[m.nodes[i]] = h
+		}
+	}
+	return out
+}
 
 var _ core.Module = (*hadoopLogModule)(nil)

@@ -14,6 +14,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/asdf-project/asdf/internal/config"
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/hadooplog"
 	"github.com/asdf-project/asdf/internal/procfs"
@@ -31,9 +32,17 @@ type Env struct {
 	DNLogs map[string]*hadooplog.Buffer
 	// AlarmWriter receives print-module output; nil means io.Discard.
 	AlarmWriter io.Writer
-	// Dial opens an RPC client (remote collection mode); defaults to
-	// rpc.Dial.
-	Dial func(addr, client string) (*rpc.Client, error)
+	// Dial opens an RPC client (remote collection mode); nil means a
+	// supervised rpc.ManagedClient built from RPCOptions, which dials
+	// lazily, reconnects with backoff, and trips a per-node circuit
+	// breaker — a dead daemon surfaces as per-iteration errors through
+	// the engine's error handler instead of killing the collector.
+	Dial func(addr, client string) (rpc.Caller, error)
+	// RPCOptions are the default resilience settings for managed
+	// connections; per-instance configuration parameters
+	// (reconnect_backoff, call_timeout, breaker_threshold,
+	// breaker_cooldown) override individual fields.
+	RPCOptions rpc.Options
 	// Clock supplies "now" for log flushing; defaults to time.Now. The
 	// offline evaluation harness injects virtual time.
 	Clock func() time.Time
@@ -54,11 +63,39 @@ func NewEnv() *Env {
 	}
 }
 
-func (e *Env) dial(addr, client string) (*rpc.Client, error) {
+// dial opens the client for one collection daemon. With no custom Dial
+// hook, construction is lazy and never fails here: connection errors are
+// reported per call (with the node address) and retried by the engine's
+// periodic schedule.
+func (e *Env) dial(addr, client string, p config.ResilienceParams) (rpc.Caller, error) {
 	if e.Dial != nil {
 		return e.Dial(addr, client)
 	}
-	return rpc.Dial(addr, client)
+	return rpc.NewManagedClient(addr, client, e.rpcOptions(p)), nil
+}
+
+// rpcOptions merges instance-level resilience parameters over the
+// environment defaults.
+func (e *Env) rpcOptions(p config.ResilienceParams) rpc.Options {
+	opt := e.RPCOptions
+	if opt.Clock == nil {
+		// Breaker and backoff timing follow the same clock as
+		// collection, so virtual-time runs stay deterministic.
+		opt.Clock = e.Clock
+	}
+	if p.ReconnectBackoff > 0 {
+		opt.ReconnectBackoff = p.ReconnectBackoff
+	}
+	if p.CallTimeout > 0 {
+		opt.CallTimeout = p.CallTimeout
+	}
+	if p.BreakerThreshold > 0 {
+		opt.BreakerThreshold = p.BreakerThreshold
+	}
+	if p.BreakerCooldown > 0 {
+		opt.BreakerCooldown = p.BreakerCooldown
+	}
+	return opt
 }
 
 func (e *Env) now() time.Time {

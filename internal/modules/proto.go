@@ -113,14 +113,30 @@ func RegisterHadoopLogServer(srv *rpc.Server, tt, dn *hadooplog.Buffer, now func
 	})
 }
 
+// healthReporter is implemented by supervised clients (rpc.ManagedClient);
+// sources forward it so modules can expose per-node connection health.
+type healthReporter interface {
+	Health() rpc.Health
+}
+
+// sourceHealth extracts connection health from a source's client, if the
+// client is supervised.
+func sourceHealth(client rpc.Caller) (rpc.Health, bool) {
+	hr, ok := client.(healthReporter)
+	if !ok {
+		return rpc.Health{}, false
+	}
+	return hr.Health(), true
+}
+
 // rpcLogSource fetches vectors from a remote hadoop_log_rpcd.
 type rpcLogSource struct {
-	client *rpc.Client
+	client rpc.Caller
 	kind   hadooplog.Kind
 }
 
 // NewRPCLogSource creates a LogSource backed by a remote daemon.
-func NewRPCLogSource(client *rpc.Client, kind hadooplog.Kind) LogSource {
+func NewRPCLogSource(client rpc.Caller, kind hadooplog.Kind) LogSource {
 	return &rpcLogSource{client: client, kind: kind}
 }
 
@@ -144,11 +160,11 @@ type MetricSource interface {
 
 // rpcMetricSource polls a remote sadc_rpcd.
 type rpcMetricSource struct {
-	client *rpc.Client
+	client rpc.Caller
 }
 
 // NewRPCMetricSource creates a MetricSource backed by a remote sadc_rpcd.
-func NewRPCMetricSource(client *rpc.Client) MetricSource {
+func NewRPCMetricSource(client rpc.Caller) MetricSource {
 	return &rpcMetricSource{client: client}
 }
 

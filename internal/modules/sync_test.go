@@ -1,0 +1,212 @@
+package modules
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadooplog"
+)
+
+// gatedSource simulates a dead or recovering collection daemon: while
+// closed, Fetch fails exactly like an RPC call against a dead node.
+type gatedSource struct {
+	inner LogSource
+	open  func() bool
+}
+
+func (g *gatedSource) Fetch(now time.Time) ([]hadooplog.StateVector, error) {
+	if !g.open() {
+		return nil, errors.New("daemon down")
+	}
+	return g.inner.Fetch(now)
+}
+
+type syncHarness struct {
+	t      *testing.T
+	e      *core.Engine
+	hl     *hadoopLogModule
+	wA, wB *hadooplog.Writer
+	base   time.Time
+}
+
+// newSyncHarness builds a two-node hadoop_log pipeline over local buffers
+// with the given extra sync parameters. Node b's source is gated by bOpen;
+// a nil bOpen leaves it permanently dead.
+func newSyncHarness(t *testing.T, extra string, bOpen func() bool) *syncHarness {
+	t.Helper()
+	env := NewEnv()
+	bufA := hadooplog.NewBuffer(0)
+	bufB := hadooplog.NewBuffer(0)
+	env.TTLogs["a"] = bufA
+	env.TTLogs["b"] = bufB
+
+	e := mustEngine(t, env, `
+[hadoop_log]
+id = hl
+kind = tasktracker
+nodes = a,b
+period = 1
+`+extra+`
+
+[print]
+id = p
+input[x] = @hl
+only_nonzero = false
+`)
+	mod, _ := e.ModuleOf("hl")
+	hl := mod.(*hadoopLogModule)
+	if bOpen == nil {
+		bOpen = func() bool { return false }
+	}
+	hl.sources[1] = &gatedSource{inner: hl.sources[1], open: bOpen}
+	return &syncHarness{
+		t:    t,
+		e:    e,
+		hl:   hl,
+		wA:   hadooplog.NewWriter(hadooplog.KindTaskTracker, bufA),
+		wB:   hadooplog.NewWriter(hadooplog.KindTaskTracker, bufB),
+		base: time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func (h *syncHarness) tick(from, to int) {
+	h.t.Helper()
+	for i := from; i <= to; i++ {
+		if err := h.e.Tick(h.base.Add(time.Duration(i) * time.Second)); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+func (h *syncHarness) published() (a, b uint64) {
+	return h.hl.outs[0].Published(), h.hl.outs[1].Published()
+}
+
+// TestSyncQuorumOneNeverStalls: with a straggler deadline and quorum 1, a
+// dead node cannot stall the cluster — the healthy node's timestamps are
+// published partially once the deadline passes.
+func TestSyncQuorumOneNeverStalls(t *testing.T) {
+	h := newSyncHarness(t, "sync_deadline = 2\nsync_quorum = 1", nil)
+	if err := h.wA.LaunchTask(h.base, hadooplog.TaskID(1, true, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(1, 12)
+
+	pubA, pubB := h.published()
+	if pubA == 0 {
+		t.Fatal("quorum-1 sync stalled on a dead node")
+	}
+	if pubB != 0 {
+		t.Errorf("dead node published %d samples", pubB)
+	}
+	if h.hl.PartialTimestamps() == 0 {
+		t.Error("partial counter did not record degraded publishes")
+	}
+	if h.hl.DroppedTimestamps() != 0 {
+		t.Errorf("dropped = %d, want 0 (quorum 1 publishes everything)", h.hl.DroppedTimestamps())
+	}
+	miss := h.hl.MissingByNode()
+	if miss["b"] == 0 {
+		t.Errorf("missing-by-node = %v, want b > 0", miss)
+	}
+	if miss["a"] != 0 {
+		t.Errorf("healthy node recorded missing seconds: %v", miss)
+	}
+	// The deadline bounds the lag: by virtual t=12 with a 2s deadline,
+	// seconds up to 10 are resolved.
+	if pubA < 8 {
+		t.Errorf("only %d seconds published; straggler deadline not honoured", pubA)
+	}
+}
+
+// TestSyncQuorumAllReproducesStrictRule: with quorum = all nodes (the
+// default), degraded mode never publishes a partial timestamp — exactly the
+// paper's §3.7 semantics — but the deadline still resolves (drops) overdue
+// seconds so pending state cannot grow without bound.
+func TestSyncQuorumAllReproducesStrictRule(t *testing.T) {
+	h := newSyncHarness(t, "sync_deadline = 2", nil)
+	if err := h.wA.LaunchTask(h.base, hadooplog.TaskID(1, true, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(1, 12)
+
+	pubA, pubB := h.published()
+	if pubA != 0 || pubB != 0 {
+		t.Fatalf("quorum=all published partial samples: a=%d b=%d", pubA, pubB)
+	}
+	if h.hl.PartialTimestamps() != 0 {
+		t.Errorf("partial = %d, want 0", h.hl.PartialTimestamps())
+	}
+	if h.hl.DroppedTimestamps() == 0 {
+		t.Error("overdue seconds were not dropped")
+	}
+	for i := range h.hl.pending {
+		if len(h.hl.pending[i]) > 4 {
+			t.Errorf("node %d pending grew to %d seconds; deadline is not bounding state",
+				i, len(h.hl.pending[i]))
+		}
+	}
+}
+
+// TestSyncStrictDefaultWaitsForever: without a deadline the module keeps the
+// paper's strict behaviour bit-for-bit — it neither publishes nor drops
+// while a node stays silent.
+func TestSyncStrictDefaultWaitsForever(t *testing.T) {
+	h := newSyncHarness(t, "", nil)
+	if err := h.wA.LaunchTask(h.base, hadooplog.TaskID(1, true, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(1, 12)
+
+	pubA, pubB := h.published()
+	if pubA != 0 || pubB != 0 {
+		t.Fatalf("strict sync published without all nodes: a=%d b=%d", pubA, pubB)
+	}
+	if h.hl.DroppedTimestamps() != 0 || h.hl.PartialTimestamps() != 0 {
+		t.Errorf("strict sync resolved seconds early: dropped=%d partial=%d",
+			h.hl.DroppedTimestamps(), h.hl.PartialTimestamps())
+	}
+}
+
+// TestSyncRecoveredNodeReattaches: a node whose daemon comes back mid-run
+// re-attaches seamlessly — earlier seconds were served degraded, and its
+// own samples flow again after recovery with no module restart.
+func TestSyncRecoveredNodeReattaches(t *testing.T) {
+	bUp := false
+	h := newSyncHarness(t, "sync_deadline = 2\nsync_quorum = 1", func() bool { return bUp })
+	if err := h.wA.LaunchTask(h.base, hadooplog.TaskID(1, true, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.wB.LaunchTask(h.base.Add(8*time.Second), hadooplog.TaskID(1, true, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(1, 8)
+	if pubA, _ := h.published(); pubA == 0 {
+		t.Fatal("no degraded publishes while node b was down")
+	}
+	partialBefore := h.hl.PartialTimestamps()
+	if partialBefore == 0 {
+		t.Fatal("outage did not register partial publishes")
+	}
+
+	// Node b's daemon recovers at t=8.
+	bUp = true
+	h.tick(9, 20)
+
+	pubA, pubB := h.published()
+	if pubB == 0 {
+		t.Fatal("recovered node never re-attached")
+	}
+	if pubA <= pubB {
+		t.Errorf("publish counts: a=%d should exceed b=%d", pubA, pubB)
+	}
+	lastB, okB := h.hl.outs[1].Last()
+	if !okB {
+		t.Fatal("missing last sample on recovered node")
+	}
+	if lastB.Time.Before(h.base.Add(8 * time.Second)) {
+		t.Errorf("recovered node's last sample %v predates its recovery", lastB.Time)
+	}
+}

@@ -1,0 +1,336 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Caller is the call surface shared by Client and ManagedClient, letting the
+// collection modules work against either a raw connection or a supervised
+// one.
+type Caller interface {
+	Call(method string, params, result any) error
+	Close() error
+}
+
+var (
+	_ Caller = (*Client)(nil)
+	_ Caller = (*ManagedClient)(nil)
+)
+
+// ErrBreakerOpen is returned (wrapped) by ManagedClient.Call while the
+// node's circuit breaker is open: the call fails fast without touching the
+// network.
+var ErrBreakerOpen = errors.New("rpc: circuit breaker open")
+
+// BreakerState is the circuit-breaker state of a managed connection.
+type BreakerState int
+
+// Circuit breaker states. A breaker starts Closed (calls flow); after
+// Options.BreakerThreshold consecutive transport failures it trips to Open
+// (calls fail fast); after Options.BreakerCooldown it moves to HalfOpen and
+// lets a single probe call through — success re-closes it, failure re-opens
+// it.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state for logs and health endpoints.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Options tunes a ManagedClient. The zero value selects the defaults noted
+// on each field.
+type Options struct {
+	// CallTimeout is the per-call deadline (default 10s).
+	CallTimeout time.Duration
+	// ReconnectBackoff is the initial delay between reconnect attempts;
+	// it doubles per consecutive failure, with jitter (default 100ms).
+	ReconnectBackoff time.Duration
+	// MaxBackoff caps the reconnect delay (default 10s).
+	MaxBackoff time.Duration
+	// BreakerThreshold is the number of consecutive transport failures
+	// that trips the breaker open (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// half-open probe through (default 2s).
+	BreakerCooldown time.Duration
+
+	// Clock supplies "now" for backoff and cooldown bookkeeping; defaults
+	// to time.Now. The simulation harness injects virtual time so breaker
+	// timing composes with virtual-clock test runs.
+	Clock func() time.Time
+	// Rand supplies jitter in [0,1); defaults to math/rand. Tests inject
+	// a constant for determinism.
+	Rand func() float64
+	// Dial opens the underlying connection; defaults to Dial. Tests
+	// inject failing or counting dialers.
+	Dial func(addr, clientName string, opts ...DialOption) (*Client, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 10 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Rand == nil {
+		o.Rand = rand.Float64
+	}
+	if o.Dial == nil {
+		o.Dial = Dial
+	}
+	return o
+}
+
+// Health is a point-in-time snapshot of a managed connection, suitable for
+// logs, tests, and a future metrics endpoint.
+type Health struct {
+	// Addr is the remote daemon address.
+	Addr string
+	// State is the breaker state at snapshot time.
+	State BreakerState
+	// Connected reports whether a live connection is held.
+	Connected bool
+	// ConsecutiveFailures counts transport failures since the last
+	// success.
+	ConsecutiveFailures int
+	// TotalFailures counts all transport failures over the client's life.
+	TotalFailures uint64
+	// Reconnects counts successful dials (the first connect included).
+	Reconnects uint64
+	// LastError is the most recent transport error, empty if none.
+	LastError string
+	// LastErrorAt is when LastError happened.
+	LastErrorAt time.Time
+	// StateChangedAt is when State was last entered.
+	StateChangedAt time.Time
+}
+
+// ManagedClient supervises one node's RPC connection: it dials lazily,
+// reconnects after transport failures with exponential backoff plus jitter,
+// and trips a per-node circuit breaker after repeated failures so a dead
+// node costs an error return, not a network timeout, on every collection
+// iteration. The zero value is not usable; create with NewManagedClient.
+//
+// Remote handler errors (RemoteError) prove the node is alive and do not
+// count as failures. Calls are serialized, matching Client's semantics.
+type ManagedClient struct {
+	addr string
+	name string
+	opt  Options
+
+	mu         sync.Mutex
+	client     *Client
+	closed     bool
+	state      BreakerState
+	stateSince time.Time
+	cooldownAt time.Time // open state: when a half-open probe is allowed
+	fails      int       // consecutive transport failures
+	totalFails uint64
+	reconnects uint64
+	lastErr    error
+	lastErrAt  time.Time
+	backoff    time.Duration // next reconnect delay
+	nextDialAt time.Time     // no dialing before this instant
+
+	// accumulated wire bytes of connections already closed
+	closedSent, closedRecv uint64
+}
+
+// NewManagedClient supervises the daemon at addr. No connection is opened
+// until the first Call, so construction never fails and a daemon that is
+// down at start-up is simply retried by the caller's normal schedule.
+func NewManagedClient(addr, clientName string, opt Options) *ManagedClient {
+	o := opt.withDefaults()
+	return &ManagedClient{
+		addr:       addr,
+		name:       clientName,
+		opt:        o,
+		state:      BreakerClosed,
+		stateSince: o.Clock(),
+		backoff:    o.ReconnectBackoff,
+	}
+}
+
+// Addr returns the remote address this client supervises.
+func (m *ManagedClient) Addr() string { return m.addr }
+
+// Call invokes method on the managed connection, dialing or reconnecting as
+// needed. While the breaker is open it fails fast with an error wrapping
+// ErrBreakerOpen. Transport failures close the connection; the next call
+// redials once its backoff delay has elapsed.
+func (m *ManagedClient) Call(method string, params, result any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	now := m.opt.Clock()
+
+	if m.state == BreakerOpen {
+		if now.Before(m.cooldownAt) {
+			return fmt.Errorf("%w: node %s (%d consecutive failures, last: %v)",
+				ErrBreakerOpen, m.addr, m.fails, m.lastErr)
+		}
+		// Cooldown over: let this call through as the half-open probe.
+		m.toState(BreakerHalfOpen, now)
+		m.nextDialAt = time.Time{}
+	}
+
+	if m.client == nil {
+		if now.Before(m.nextDialAt) {
+			// Inside the reconnect backoff window: fail fast without
+			// hammering the network. Not counted as a new failure.
+			return fmt.Errorf("rpc: node %s reconnect pending (retry at %s, last: %v)",
+				m.addr, m.nextDialAt.Format(time.RFC3339Nano), m.lastErr)
+		}
+		c, err := m.opt.Dial(m.addr, m.name, WithCallTimeout(m.opt.CallTimeout))
+		if err != nil {
+			m.onFailure(now, err)
+			return fmt.Errorf("rpc: node %s unreachable: %w", m.addr, err)
+		}
+		m.client = c
+		m.reconnects++
+	}
+
+	err := m.client.Call(method, params, result)
+	var remote *RemoteError
+	if err == nil || errors.As(err, &remote) {
+		// The node answered: transport is healthy even if the handler
+		// returned an application error.
+		m.onSuccess(now)
+		return err
+	}
+
+	// Transport failure: drop the connection so the next call redials.
+	s, r := m.client.Stats()
+	m.closedSent += s
+	m.closedRecv += r
+	_ = m.client.Close()
+	m.client = nil
+	m.onFailure(now, err)
+	return fmt.Errorf("rpc: node %s: %w", m.addr, err)
+}
+
+// onSuccess resets failure bookkeeping and re-closes the breaker.
+func (m *ManagedClient) onSuccess(now time.Time) {
+	m.fails = 0
+	m.backoff = m.opt.ReconnectBackoff
+	m.nextDialAt = time.Time{}
+	if m.state != BreakerClosed {
+		m.toState(BreakerClosed, now)
+	}
+}
+
+// onFailure records a transport failure, schedules the next reconnect with
+// exponential backoff plus jitter, and trips the breaker when warranted.
+func (m *ManagedClient) onFailure(now time.Time, err error) {
+	m.fails++
+	m.totalFails++
+	m.lastErr = err
+	m.lastErrAt = now
+
+	// Full jitter on the current backoff: delay in [backoff/2, backoff].
+	delay := m.backoff/2 + time.Duration(m.opt.Rand()*float64(m.backoff/2))
+	m.nextDialAt = now.Add(delay)
+	m.backoff *= 2
+	if m.backoff > m.opt.MaxBackoff {
+		m.backoff = m.opt.MaxBackoff
+	}
+
+	switch {
+	case m.state == BreakerHalfOpen:
+		// Failed probe: back to open for another cooldown.
+		m.toState(BreakerOpen, now)
+		m.cooldownAt = now.Add(m.opt.BreakerCooldown)
+	case m.state == BreakerClosed && m.fails >= m.opt.BreakerThreshold:
+		m.toState(BreakerOpen, now)
+		m.cooldownAt = now.Add(m.opt.BreakerCooldown)
+	}
+}
+
+func (m *ManagedClient) toState(s BreakerState, now time.Time) {
+	m.state = s
+	m.stateSince = now
+}
+
+// Health returns a point-in-time snapshot of the connection.
+func (m *ManagedClient) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{
+		Addr:                m.addr,
+		State:               m.state,
+		Connected:           m.client != nil,
+		ConsecutiveFailures: m.fails,
+		TotalFailures:       m.totalFails,
+		Reconnects:          m.reconnects,
+		LastErrorAt:         m.lastErrAt,
+		StateChangedAt:      m.stateSince,
+	}
+	if m.lastErr != nil {
+		h.LastError = m.lastErr.Error()
+	}
+	return h
+}
+
+// Stats reports wire bytes across every connection this client has opened,
+// closed connections included, preserving the Table 4 bandwidth accounting
+// under reconnects.
+func (m *ManagedClient) Stats() (bytesSent, bytesReceived uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bytesSent, bytesReceived = m.closedSent, m.closedRecv
+	if m.client != nil {
+		s, r := m.client.Stats()
+		bytesSent += s
+		bytesReceived += r
+	}
+	return bytesSent, bytesReceived
+}
+
+// Close tears down the connection, if any. Subsequent calls return
+// ErrClosed.
+func (m *ManagedClient) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.client != nil {
+		err := m.client.Close()
+		m.client = nil
+		return err
+	}
+	return nil
+}

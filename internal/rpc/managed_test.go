@@ -1,0 +1,401 @@
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic backoff and
+// cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newEchoServer starts a server whose "echo" method returns its params.
+func newEchoServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer("echo-test")
+	srv.Handle("echo", func(params json.RawMessage) (any, error) {
+		return params, nil
+	})
+	srv.Handle("boom", func(json.RawMessage) (any, error) {
+		return nil, errors.New("handler exploded")
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, addr.String()
+}
+
+// refusedAddr returns an address that actively refuses connections.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// managedOpts returns deterministic options on the fake clock: no jitter,
+// tiny backoff, threshold 3, 2s cooldown.
+func managedOpts(clk *fakeClock) Options {
+	return Options{
+		CallTimeout:      2 * time.Second,
+		ReconnectBackoff: 10 * time.Millisecond,
+		MaxBackoff:       80 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  2 * time.Second,
+		Clock:            clk.now,
+		Rand:             func() float64 { return 1.0 },
+	}
+}
+
+func TestManagedClientCallAndHealth(t *testing.T) {
+	_, addr := newEchoServer(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	var out string
+	if err := mc.Call("echo", "hello", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello" {
+		t.Fatalf("echo returned %q", out)
+	}
+	h := mc.Health()
+	if h.State != BreakerClosed || !h.Connected || h.Reconnects != 1 || h.ConsecutiveFailures != 0 {
+		t.Errorf("unexpected health after success: %+v", h)
+	}
+	if h.Addr != addr {
+		t.Errorf("health addr = %q, want %q", h.Addr, addr)
+	}
+}
+
+func TestManagedClientRemoteErrorIsNotATransportFailure(t *testing.T) {
+	_, addr := newEchoServer(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	err := mc.Call("boom", nil, nil)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	h := mc.Health()
+	if h.State != BreakerClosed || h.ConsecutiveFailures != 0 || h.TotalFailures != 0 {
+		t.Errorf("remote error counted as transport failure: %+v", h)
+	}
+}
+
+func TestManagedClientBreakerOpensAfterThreshold(t *testing.T) {
+	addr := refusedAddr(t)
+	clk := newFakeClock()
+	dials := 0
+	opt := managedOpts(clk)
+	baseDial := opt.withDefaults().Dial
+	opt.Dial = func(a, n string, os ...DialOption) (*Client, error) {
+		dials++
+		return baseDial(a, n, os...)
+	}
+	mc := NewManagedClient(addr, "test", opt)
+	defer func() { _ = mc.Close() }()
+
+	// Three failing calls trip the breaker (threshold 3). Advance the
+	// clock past the backoff window between attempts so each call
+	// actually dials.
+	for i := 0; i < 3; i++ {
+		if err := mc.Call("echo", nil, nil); err == nil {
+			t.Fatal("call against refused addr succeeded")
+		}
+		clk.advance(200 * time.Millisecond)
+	}
+	h := mc.Health()
+	if h.State != BreakerOpen {
+		t.Fatalf("breaker state = %v after %d failures, want open", h.State, h.ConsecutiveFailures)
+	}
+	if h.ConsecutiveFailures != 3 || h.TotalFailures != 3 {
+		t.Errorf("failure counters: %+v", h)
+	}
+	if h.LastError == "" {
+		t.Error("health is missing the last error")
+	}
+
+	// While open, calls fail fast with ErrBreakerOpen and never dial.
+	dialsBefore := dials
+	for i := 0; i < 5; i++ {
+		err := mc.Call("echo", nil, nil)
+		if !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+		}
+	}
+	if dials != dialsBefore {
+		t.Errorf("open breaker still dialed: %d extra attempts", dials-dialsBefore)
+	}
+}
+
+func TestManagedClientHalfOpenProbeFailureReopens(t *testing.T) {
+	addr := refusedAddr(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	for i := 0; i < 3; i++ {
+		_ = mc.Call("echo", nil, nil)
+		clk.advance(200 * time.Millisecond)
+	}
+	if s := mc.Health().State; s != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", s)
+	}
+
+	// After the cooldown a probe is let through; it fails (addr still
+	// refused), so the breaker re-opens.
+	clk.advance(3 * time.Second)
+	if err := mc.Call("echo", nil, nil); errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe call was rejected by the breaker: %v", err)
+	} else if err == nil {
+		t.Fatal("probe against refused addr succeeded")
+	}
+	if s := mc.Health().State; s != BreakerOpen {
+		t.Fatalf("breaker state after failed probe = %v, want open", s)
+	}
+	// And the very next call fails fast again.
+	if err := mc.Call("echo", nil, nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want fast-fail after failed probe, got %v", err)
+	}
+}
+
+func TestManagedClientHalfOpenProbeSuccessRecloses(t *testing.T) {
+	// Reserve an address, leave it refused to trip the breaker, then
+	// bring a server up on it and watch the probe re-attach.
+	addr := refusedAddr(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	for i := 0; i < 3; i++ {
+		_ = mc.Call("echo", nil, nil)
+		clk.advance(200 * time.Millisecond)
+	}
+	if s := mc.Health().State; s != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", s)
+	}
+
+	srv := NewServer("echo-test")
+	srv.Handle("echo", func(params json.RawMessage) (any, error) { return params, nil })
+	if _, err := srv.Listen(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	clk.advance(3 * time.Second) // past cooldown: next call is the probe
+	var out string
+	if err := mc.Call("echo", "back", &out); err != nil {
+		t.Fatalf("probe against revived server failed: %v", err)
+	}
+	if out != "back" {
+		t.Fatalf("probe echoed %q", out)
+	}
+	h := mc.Health()
+	if h.State != BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Errorf("breaker did not re-close after successful probe: %+v", h)
+	}
+	if h.Reconnects == 0 {
+		t.Error("successful probe did not count a reconnect")
+	}
+}
+
+func TestManagedClientReconnectsAfterDroppedConns(t *testing.T) {
+	srv, addr := newEchoServer(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	if err := mc.Call("echo", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.DropConns(); n != 1 {
+		t.Fatalf("DropConns dropped %d connections, want 1", n)
+	}
+	// The in-flight connection is gone: the next call fails in transit...
+	if err := mc.Call("echo", 2, nil); err == nil {
+		t.Fatal("call on severed connection succeeded")
+	}
+	// ...and after the backoff window the client silently reconnects.
+	clk.advance(time.Second)
+	if err := mc.Call("echo", 3, nil); err != nil {
+		t.Fatalf("reconnect call failed: %v", err)
+	}
+	h := mc.Health()
+	if h.Reconnects != 2 || h.State != BreakerClosed {
+		t.Errorf("after reconnect: %+v", h)
+	}
+}
+
+func TestManagedClientBackoffGatesDialing(t *testing.T) {
+	addr := refusedAddr(t)
+	clk := newFakeClock()
+	dials := 0
+	opt := managedOpts(clk)
+	opt.BreakerThreshold = 100 // keep the breaker out of this test
+	baseDial := opt.withDefaults().Dial
+	opt.Dial = func(a, n string, os ...DialOption) (*Client, error) {
+		dials++
+		return baseDial(a, n, os...)
+	}
+	mc := NewManagedClient(addr, "test", opt)
+	defer func() { _ = mc.Close() }()
+
+	_ = mc.Call("echo", nil, nil) // dial #1 fails, schedules backoff
+	if dials != 1 {
+		t.Fatalf("dials = %d, want 1", dials)
+	}
+	// Calls inside the backoff window fail fast without dialing.
+	for i := 0; i < 3; i++ {
+		if err := mc.Call("echo", nil, nil); err == nil {
+			t.Fatal("call inside backoff window succeeded")
+		}
+	}
+	if dials != 1 {
+		t.Fatalf("dials inside backoff window = %d, want 1", dials)
+	}
+	clk.advance(50 * time.Millisecond) // past the 10ms initial backoff
+	_ = mc.Call("echo", nil, nil)
+	if dials != 2 {
+		t.Fatalf("dials after backoff = %d, want 2", dials)
+	}
+}
+
+func TestServerFaultRefuseNew(t *testing.T) {
+	srv, addr := newEchoServer(t)
+	srv.SetFaults(Faults{RefuseNew: true})
+
+	if _, err := Dial(addr, "test", WithCallTimeout(time.Second)); err == nil {
+		t.Fatal("dial succeeded against a RefuseNew server")
+	}
+	srv.SetFaults(Faults{})
+	c, err := Dial(addr, "test", WithCallTimeout(time.Second))
+	if err != nil {
+		t.Fatalf("dial after clearing faults: %v", err)
+	}
+	_ = c.Close()
+}
+
+func TestServerFaultDelayForcesTimeout(t *testing.T) {
+	srv, addr := newEchoServer(t)
+	srv.SetFaults(Faults{Delay: 300 * time.Millisecond})
+
+	c, err := Dial(addr, "test", WithCallTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	start := time.Now()
+	if err := c.Call("echo", "x", nil); err == nil {
+		t.Fatal("call against delayed server beat its own timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timed-out call took %v", elapsed)
+	}
+}
+
+func TestManagedClientCloseIsTerminal(t *testing.T) {
+	_, addr := newEchoServer(t)
+	mc := NewManagedClient(addr, "test", Options{})
+	if err := mc.Call("echo", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Call("echo", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close = %v, want ErrClosed", err)
+	}
+	if err := mc.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "BreakerState(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestManagedClientStatsSurviveReconnect(t *testing.T) {
+	srv, addr := newEchoServer(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	if err := mc.Call("echo", "payload-one", nil); err != nil {
+		t.Fatal(err)
+	}
+	s1, r1 := mc.Stats()
+	if s1 == 0 || r1 == 0 {
+		t.Fatalf("no bytes accounted: sent=%d recv=%d", s1, r1)
+	}
+	srv.DropConns()
+	_ = mc.Call("echo", "payload-two", nil) // fails, flushes counters
+	clk.advance(time.Second)
+	if err := mc.Call("echo", "payload-three", nil); err != nil {
+		t.Fatal(err)
+	}
+	s2, r2 := mc.Stats()
+	if s2 <= s1 || r2 <= r1 {
+		t.Errorf("stats lost bytes across reconnect: sent %d->%d recv %d->%d", s1, s2, r1, r2)
+	}
+}
+
+func ExampleManagedClient() {
+	srv := NewServer("example")
+	srv.Handle("ping", func(json.RawMessage) (any, error) { return "pong", nil })
+	addr, _ := srv.Listen("127.0.0.1:0")
+	defer func() { _ = srv.Close() }()
+
+	mc := NewManagedClient(addr.String(), "example-client", Options{
+		BreakerThreshold: 3,
+		CallTimeout:      time.Second,
+	})
+	defer func() { _ = mc.Close() }()
+	var out string
+	_ = mc.Call("ping", nil, &out)
+	fmt.Println(out, mc.Health().State)
+	// Output: pong closed
+}

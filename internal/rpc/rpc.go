@@ -134,6 +134,18 @@ func readFrame(r io.Reader, v any) error {
 // the returned value is marshaled as the result.
 type HandlerFunc func(params json.RawMessage) (any, error)
 
+// Faults configures server-side fault injection, used by tests and chaos
+// drills to exercise the collection plane's failure handling without a real
+// network. The zero value injects nothing.
+type Faults struct {
+	// RefuseNew closes newly accepted connections before the hello
+	// exchange, simulating a daemon that is up but wedged.
+	RefuseNew bool
+	// Delay sleeps this long before every response, simulating a slow
+	// node; pair with a short client CallTimeout to force timeouts.
+	Delay time.Duration
+}
+
 // Server dispatches calls to registered handlers. The zero value is not
 // usable; create with NewServer.
 type Server struct {
@@ -144,6 +156,7 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
+	faults   Faults
 
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
@@ -212,6 +225,34 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
+// SetFaults replaces the server's injected faults; it applies to new
+// connections and to responses on existing ones.
+func (s *Server) SetFaults(f Faults) {
+	s.mu.Lock()
+	s.faults = f
+	s.mu.Unlock()
+}
+
+// DropConns abruptly closes every active connection while keeping the
+// listener up, simulating a network partition that severs established
+// connections. It returns the number of connections dropped.
+func (s *Server) DropConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for conn := range s.conns {
+		_ = conn.Close()
+		n++
+	}
+	return n
+}
+
+func (s *Server) currentFaults() Faults {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
 func (s *Server) serveConn(raw net.Conn) {
 	cc := &countingConn{Conn: raw}
 	defer func() {
@@ -222,6 +263,10 @@ func (s *Server) serveConn(raw net.Conn) {
 		delete(s.conns, raw)
 		s.mu.Unlock()
 	}()
+
+	if s.currentFaults().RefuseNew {
+		return // injected fault: drop the connection before hello
+	}
 
 	var hello helloRequest
 	if err := readFrame(cc, &hello); err != nil {
@@ -247,6 +292,9 @@ func (s *Server) serveConn(raw net.Conn) {
 			return
 		}
 		resp := s.dispatch(&req)
+		if d := s.currentFaults().Delay; d > 0 {
+			time.Sleep(d) // injected fault: slow node
+		}
 		if err := writeFrame(cc, resp); err != nil {
 			return
 		}
