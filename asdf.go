@@ -129,6 +129,12 @@ func WithErrorHandler(f func(instanceID string, err error)) EngineOption {
 // WithLogger sets the engine's diagnostic logger.
 func WithLogger(l core.Logger) EngineOption { return core.WithLogger(l) }
 
+// WithParallelism sets the step-mode wavefront width: dirty instances at
+// the same topological depth run on up to n concurrent goroutines, with
+// sink output byte-identical to the serial schedule. n = 1 (the default)
+// keeps the strictly serial scheduler; n <= 0 selects GOMAXPROCS.
+func WithParallelism(n int) EngineOption { return core.WithParallelism(n) }
+
 // TrainModel fits a black-box model on fault-free raw metric vectors:
 // log-scaling sigmas plus k centroids from k-means (§4.5 of the paper).
 func TrainModel(points [][]float64, k int, seed int64) (*Model, error) {

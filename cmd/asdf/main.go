@@ -37,6 +37,11 @@ func run(args []string) int {
 	reconnectBackoff := fs.Duration("reconnect-backoff", 0, "initial reconnect backoff to a dead daemon (0 = default 100ms)")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures before a node's circuit breaker opens (0 = default 5)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe (0 = default 2s)")
+	parallelism := fs.Int("parallelism", 1,
+		"engine wavefront width for step-mode (tick-driven) scheduling: 1 = serial, "+
+			"0 = GOMAXPROCS; output is byte-identical at any width. The online "+
+			"real-time mode used by this command already runs every module instance "+
+			"on its own goroutine regardless")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,9 +76,11 @@ func run(args []string) int {
 	// Module run errors (a dead collection daemon, a parse failure) are
 	// supervised: logged with the node's address and retried on the next
 	// period, never fatal.
-	eng, err := asdf.NewEngine(reg, cfg, asdf.WithErrorHandler(func(id string, err error) {
-		log.Printf("asdf: module %s: %v", id, err)
-	}))
+	eng, err := asdf.NewEngine(reg, cfg,
+		asdf.WithParallelism(*parallelism),
+		asdf.WithErrorHandler(func(id string, err error) {
+			log.Printf("asdf: module %s: %v", id, err)
+		}))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asdf: %v\n", err)
 		return 1

@@ -32,6 +32,11 @@ func run(args []string) int {
 	ttPath := fs.String("tasktracker-log", "", "path to the TaskTracker log file")
 	dnPath := fs.String("datanode-log", "", "path to the DataNode log file")
 	poll := fs.Duration("poll", 500*time.Millisecond, "log tail poll interval")
+	fromEnd := fs.Bool("from-end", false,
+		"start tailing at the current end of each log instead of replaying it; "+
+			"avoids re-parsing a large log after a daemon restart, but any lines "+
+			"written while the daemon was down are never served (a gap the control "+
+			"node's timestamp sync resolves by deadline/quorum, if configured)")
 	injectRefuse := fs.Bool("inject-refuse", false, "fault drill: refuse all new connections")
 	injectDelay := fs.Duration("inject-delay", 0, "fault drill: delay every response by this duration")
 	if err := fs.Parse(args); err != nil {
@@ -44,12 +49,13 @@ func run(args []string) int {
 
 	ttBuf := hadooplog.NewBuffer(0)
 	dnBuf := hadooplog.NewBuffer(0)
+	tailOpt := hadooplog.TailOptions{Poll: *poll, FromEnd: *fromEnd}
 	var tails []*hadooplog.Tailer
 	if *ttPath != "" {
-		tails = append(tails, hadooplog.NewTailer(*ttPath, ttBuf, *poll))
+		tails = append(tails, hadooplog.NewTailerOpts(*ttPath, ttBuf, tailOpt))
 	}
 	if *dnPath != "" {
-		tails = append(tails, hadooplog.NewTailer(*dnPath, dnBuf, *poll))
+		tails = append(tails, hadooplog.NewTailerOpts(*dnPath, dnBuf, tailOpt))
 	}
 
 	srv := rpc.NewServer(modules.ServiceHadoopLog)

@@ -60,6 +60,14 @@ type BlackBox struct {
 	next        int
 	samples     int
 	sinceWindow int
+
+	// pooled per-evaluation buffers: with a sliding window a new evaluation
+	// fires every WindowSlide samples, so the per-node state histograms and
+	// median scratch are reused rather than reallocated each time. Only the
+	// returned WindowResult (which escapes to the caller) is fresh.
+	vecs   [][]float64 // Nodes × NumStates histograms
+	median []float64   // NumStates
+	medCol []float64   // Nodes; sorting scratch for the median
 }
 
 // NewBlackBox creates the analyzer. It returns an error for nonsensical
@@ -81,9 +89,18 @@ func NewBlackBox(cfg BlackBoxConfig) (*BlackBox, error) {
 		return nil, fmt.Errorf("analysis: blackbox: WindowSlide %d exceeds WindowSize %d",
 			cfg.WindowSlide, cfg.WindowSize)
 	}
-	b := &BlackBox{cfg: cfg, ring: make([][]int, cfg.WindowSize)}
+	b := &BlackBox{
+		cfg:    cfg,
+		ring:   make([][]int, cfg.WindowSize),
+		vecs:   make([][]float64, cfg.Nodes),
+		median: make([]float64, cfg.NumStates),
+		medCol: make([]float64, cfg.Nodes),
+	}
 	for i := range b.ring {
 		b.ring[i] = make([]int, cfg.Nodes)
+	}
+	for n := range b.vecs {
+		b.vecs[n] = make([]float64, cfg.NumStates)
 	}
 	return b, nil
 }
@@ -121,18 +138,19 @@ func (b *BlackBox) Observe(states []int) (*WindowResult, error) {
 // evaluate computes StateVectors, the median, and L1 flags for the current
 // full window.
 func (b *BlackBox) evaluate() *WindowResult {
-	vectors := make([][]float64, b.cfg.Nodes)
-	for n := range vectors {
-		vectors[n] = make([]float64, b.cfg.NumStates)
+	for n := range b.vecs {
+		v := b.vecs[n]
+		for d := range v {
+			v[d] = 0
+		}
 	}
 	for i := 0; i < b.cfg.WindowSize; i++ {
 		for n, s := range b.ring[i] {
-			vectors[n][s]++
+			b.vecs[n][s]++
 		}
 	}
-	median, err := stats.MedianVector(vectors)
-	if err != nil {
-		// Unreachable: vectors is non-empty with equal dimensions.
+	if err := stats.MedianVectorInto(b.median, b.medCol, b.vecs); err != nil {
+		// Unreachable: the pooled buffers are sized by the constructor.
 		panic(err)
 	}
 	res := &WindowResult{
@@ -140,8 +158,8 @@ func (b *BlackBox) evaluate() *WindowResult {
 		Scores:   make([]float64, b.cfg.Nodes),
 		Flagged:  make([]bool, b.cfg.Nodes),
 	}
-	for n, v := range vectors {
-		d, err := stats.L1(v, median)
+	for n, v := range b.vecs {
+		d, err := stats.L1(v, b.median)
 		if err != nil {
 			panic(err)
 		}

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/asdf-project/asdf/internal/stats"
 )
@@ -46,6 +49,12 @@ func TrainScaler(points [][]float64) (*LogScaler, error) {
 // Apply transforms one raw metric vector.
 func (s *LogScaler) Apply(x []float64) ([]float64, error) {
 	return stats.LogScale(x, s.Sigma)
+}
+
+// ApplyInto transforms one raw metric vector into dst without allocating;
+// dst must have the input's length and may alias x.
+func (s *LogScaler) ApplyInto(dst, x []float64) error {
+	return stats.LogScaleInto(dst, x, s.Sigma)
 }
 
 // ApplyAll transforms a batch of raw metric vectors.
@@ -116,15 +125,12 @@ func KMeans(points [][]float64, k int, seed int64, maxIters int) ([][]float64, e
 	}
 
 	assign := make([]int, len(points))
+	flat := make([]float64, k*dim) // row-major centroid matrix, rebuilt per iteration
 	for iter := 0; iter < maxIters; iter++ {
-		changed := false
-		for i, p := range points {
-			a, _ := nearest(p, centroids)
-			if a != assign[i] {
-				assign[i] = a
-				changed = true
-			}
+		for c, cen := range centroids {
+			copy(flat[c*dim:(c+1)*dim], cen)
 		}
+		changed := assignPoints(points, flat, assign)
 		if !changed && iter > 0 {
 			break
 		}
@@ -153,6 +159,75 @@ func KMeans(points [][]float64, k int, seed int64, maxIters int) ([][]float64, e
 		}
 	}
 	return centroids, nil
+}
+
+// nearestFlat returns the index of the closest centroid in a row-major
+// k×dim matrix. It mirrors nearest exactly (same accumulation order, same
+// strict-less tie-break), so the two agree bit-for-bit.
+func nearestFlat(p, flat []float64) int {
+	dim := len(p)
+	best := 0
+	bestD := math.Inf(1)
+	for i, off := 0, 0; off+dim <= len(flat); i, off = i+1, off+dim {
+		row := flat[off : off+dim]
+		var s float64
+		for d, x := range p {
+			diff := x - row[d]
+			s += diff * diff
+		}
+		if s < bestD {
+			bestD = s
+			best = i
+		}
+	}
+	return best
+}
+
+// assignPoints writes each point's nearest-centroid index into assign and
+// reports whether any assignment changed, splitting the points across up to
+// GOMAXPROCS goroutines. Each point's computation is independent and the
+// only writes are per-point integers, so the result is bit-identical to the
+// serial loop regardless of worker count or chunking.
+func assignPoints(points [][]float64, flat []float64, assign []int) bool {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		changed := false
+		for i, p := range points {
+			if a := nearestFlat(p, flat); a != assign[i] {
+				assign[i] = a
+				changed = true
+			}
+		}
+		return changed
+	}
+	var changed atomic.Bool
+	var wg sync.WaitGroup
+	chunk := (len(points) + workers - 1) / workers
+	for lo := 0; lo < len(points); lo += chunk {
+		hi := lo + chunk
+		if hi > len(points) {
+			hi = len(points)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ch := false
+			for i := lo; i < hi; i++ {
+				if a := nearestFlat(points[i], flat); a != assign[i] {
+					assign[i] = a
+					ch = true
+				}
+			}
+			if ch {
+				changed.Store(true)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return changed.Load()
 }
 
 // nearest returns the index of and distance to the closest centroid.

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
+
+	"github.com/asdf-project/asdf/internal/stats"
 )
 
 // Model is the trained black-box model: the log-scaling sigmas and the
@@ -20,6 +23,35 @@ type Model struct {
 	// accordingly. This carries the black-box metric selection (a la the
 	// authors' Ganesha work) inside the model file.
 	MetricIndexes []int `json:"metric_indexes,omitempty"`
+
+	// flat caches Centroids flattened row-major (k×dim, contiguous) so the
+	// per-sample 1-NN scan walks one cache-friendly slab instead of chasing
+	// k slice headers. Built on first classification; Centroids must not be
+	// mutated afterwards.
+	flatOnce sync.Once
+	flat     []float64
+	flatDim  int
+}
+
+// flatten builds the row-major centroid matrix once. A ragged centroid set
+// (which Validate rejects) leaves flat empty with flatDim -1.
+func (m *Model) flatten() {
+	m.flatOnce.Do(func() {
+		if len(m.Centroids) == 0 {
+			return
+		}
+		m.flatDim = len(m.Centroids[0])
+		for _, c := range m.Centroids {
+			if len(c) != m.flatDim {
+				m.flatDim = -1
+				return
+			}
+		}
+		m.flat = make([]float64, 0, len(m.Centroids)*m.flatDim)
+		for _, c := range m.Centroids {
+			m.flat = append(m.flat, c...)
+		}
+	})
 }
 
 // Project applies the model's metric selection to a raw vector; it returns
@@ -59,16 +91,56 @@ func TrainModel(points [][]float64, k int, seed int64) (*Model, error) {
 // Classify scales a raw metric vector (after metric selection, when set)
 // and returns its 1-NN state index.
 func (m *Model) Classify(raw []float64) (int, error) {
-	projected, err := m.Project(raw)
-	if err != nil {
+	return m.ClassifyInto(raw, make([]float64, m.ScratchLen(raw)))
+}
+
+// ScratchLen reports the scratch length ClassifyInto needs for a raw vector
+// of the given length: the model's post-projection dimension.
+func (m *Model) ScratchLen(raw []float64) int {
+	if len(m.MetricIndexes) > 0 {
+		return len(m.MetricIndexes)
+	}
+	return len(raw)
+}
+
+// ClassifyInto is the allocation-free Classify: projection and log scaling
+// happen inside scratch (length >= ScratchLen(raw), reusable across calls),
+// and the 1-NN scan runs over the flattened row-major centroid matrix.
+// Safe for concurrent use with distinct scratch buffers.
+func (m *Model) ClassifyInto(raw, scratch []float64) (int, error) {
+	var p []float64
+	if n := len(m.MetricIndexes); n > 0 {
+		if len(scratch) < n {
+			return 0, fmt.Errorf("analysis: classify scratch length %d, want >= %d", len(scratch), n)
+		}
+		p = scratch[:n]
+		for i, idx := range m.MetricIndexes {
+			if idx < 0 || idx >= len(raw) {
+				return 0, fmt.Errorf("analysis: metric index %d out of range for %d-dim vector", idx, len(raw))
+			}
+			p[i] = raw[idx]
+		}
+	} else {
+		if len(scratch) < len(raw) {
+			return 0, fmt.Errorf("analysis: classify scratch length %d, want >= %d", len(scratch), len(raw))
+		}
+		p = scratch[:len(raw)]
+		copy(p, raw)
+	}
+	if err := stats.LogScaleInto(p, p, m.Sigma); err != nil {
 		return 0, err
 	}
-	scaler := LogScaler{Sigma: m.Sigma}
-	scaled, err := scaler.Apply(projected)
-	if err != nil {
-		return 0, err
+	m.flatten()
+	if m.flatDim < 0 {
+		return 0, fmt.Errorf("analysis: centroids have inconsistent dimensions")
 	}
-	return NearestCentroid(scaled, m.Centroids)
+	if len(m.flat) == 0 {
+		return 0, fmt.Errorf("analysis: no centroids")
+	}
+	if len(p) != m.flatDim {
+		return 0, fmt.Errorf("analysis: centroids have dimension %d, point has %d", m.flatDim, len(p))
+	}
+	return nearestFlat(p, m.flat), nil
 }
 
 // NumStates reports the number of centroids.

@@ -186,6 +186,21 @@ func (in *Instance) ResilienceParams() (ResilienceParams, error) {
 	return p, nil
 }
 
+// FanoutParam parses the `fanout` parameter shared by the multi-node
+// data-collection modules: the maximum number of per-node fetches issued
+// concurrently per collection iteration. 0 (absent) selects the module's
+// default of min(16, number of nodes); 1 forces the serial per-node loop.
+func (in *Instance) FanoutParam() (int, error) {
+	n, err := in.IntParam("fanout", 0)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("config: instance %q: fanout must be >= 0", in.ID)
+	}
+	return n, nil
+}
+
 // FloatListParam parses a comma-separated list of floats, or returns def
 // when the parameter is absent.
 func (in *Instance) FloatListParam(key string, def []float64) ([]float64, error) {

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/asdf-project/asdf/internal/config"
@@ -20,12 +23,23 @@ type Engine struct {
 	instances []*instanceState // in initialization (topological) order
 	byID      map[string]*instanceState
 
+	// parallelism is the wavefront width in step mode: how many dirty
+	// instances at the same topological depth run concurrently. 1 (the
+	// default) is the strictly serial scheduler.
+	parallelism int
+
 	// step-mode state; also reused as the notification lock in
 	// real-time mode.
 	stepMu  chan struct{} // binary semaphore guarding dirty/pending
 	dirty   []*instanceState
 	started bool
 	realtim bool
+
+	// tickNum / waveNum tag error-handler output so interleaved failures
+	// from concurrent modules can be correlated to a scheduling point.
+	tickNum atomic.Uint64
+	waveNum atomic.Uint64
+	errMu   sync.Mutex // serializes the default error handler's log lines
 }
 
 // instanceState is the engine-side representation of one module instance:
@@ -47,6 +61,7 @@ type instanceState struct {
 	nextDue time.Time     // step mode: next periodic deadline
 
 	order   int            // topological index
+	depth   int            // longest path from any source (wavefront level)
 	mailbox chan RunReason // real-time mode
 }
 
@@ -60,10 +75,30 @@ func WithLogger(l Logger) Option {
 
 // WithErrorHandler sets the callback invoked when a module's Run returns an
 // error. The default logs and continues, matching the paper's
-// keep-monitoring-despite-module-errors behaviour.
+// keep-monitoring-despite-module-errors behaviour. The handler may be
+// invoked concurrently from several goroutines (real-time mode, or step mode
+// with parallelism > 1); the default handler serializes its log lines.
 func WithErrorHandler(f func(instanceID string, err error)) Option {
 	return func(e *Engine) { e.onErr = f }
 }
+
+// WithParallelism sets the step-mode wavefront width: dirty instances at the
+// same topological depth run on up to n concurrent goroutines, joined per
+// wavefront. n = 1 (the default) is the strictly serial scheduler; n <= 0
+// selects GOMAXPROCS. Because a wavefront never contains two instances
+// connected by an edge, and every input port drains in configuration order,
+// sink output is byte-identical to the serial scheduler's for any n.
+func WithParallelism(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		e.parallelism = n
+	}
+}
+
+// Parallelism reports the engine's wavefront width (1 = serial).
+func (e *Engine) Parallelism() int { return e.parallelism }
 
 // NewEngine builds the module DAG from the parsed configuration, following
 // the paper's four-step construction (§3.3): create a vertex per instance,
@@ -76,15 +111,24 @@ func NewEngine(reg *Registry, file *config.File, opts ...Option) (*Engine, error
 		return nil, fmt.Errorf("core: NewEngine requires a registry and a configuration")
 	}
 	e := &Engine{
-		byID:   make(map[string]*instanceState),
-		stepMu: make(chan struct{}, 1),
+		byID:        make(map[string]*instanceState),
+		stepMu:      make(chan struct{}, 1),
+		parallelism: 1,
 	}
 	e.stepMu <- struct{}{}
 	for _, o := range opts {
 		o(e)
 	}
 	if e.onErr == nil {
-		e.onErr = func(id string, err error) { e.logf("module %s: run error: %v", id, err) }
+		// Concurrent modules (real-time mode, wavefront mode) may fail at
+		// the same moment; the lock keeps their log lines whole, and the
+		// tick/wavefront tag says which scheduling point each belongs to.
+		e.onErr = func(id string, err error) {
+			e.errMu.Lock()
+			defer e.errMu.Unlock()
+			e.logf("module %s: run error (tick %d, wavefront %d): %v",
+				id, e.tickNum.Load(), e.waveNum.Load(), err)
+		}
 	}
 
 	// Step 1: a vertex per configured instance.
@@ -188,6 +232,15 @@ func (e *Engine) initInstance(reg *Registry, inst *instanceState) error {
 				inst.id, ref.Name, ref.Instance, ref.Output)
 		}
 		e.wire(inst, ref.Name, found)
+	}
+
+	// Wavefront level: one past the deepest upstream. Instances at equal
+	// depth share no edge, so a wavefront may run them concurrently.
+	inst.depth = 0
+	for _, in := range inst.inputs {
+		if d := in.source.owner.depth + 1; d > inst.depth {
+			inst.depth = d
+		}
 	}
 
 	ictx := &InitContext{inst: inst, engine: e}

@@ -5,32 +5,104 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Tick advances the engine's virtual clock to now (step mode): every
 // periodic module whose deadline has passed runs, and input-triggered
 // modules run — in topological order — until no more triggers are pending.
-// Tick is deterministic and single-threaded; it must not be mixed with Run.
+// With WithParallelism(1) (the default) Tick is strictly single-threaded;
+// with a wider wavefront, due instances at the same topological depth run
+// concurrently, with output byte-identical to the serial schedule. Tick is
+// deterministic either way; it must not be mixed with Run.
 func (e *Engine) Tick(now time.Time) error {
 	if e.realtim {
 		return fmt.Errorf("core: Tick called on an engine running in real-time mode")
 	}
 	e.started = true
-	for _, inst := range e.instances {
-		if inst.period <= 0 {
-			continue
-		}
-		if inst.nextDue.IsZero() {
-			inst.nextDue = now // first tick fires immediately
-		}
-		for !now.Before(inst.nextDue) {
-			e.runModule(inst, RunPeriodic, now)
-			inst.nextDue = inst.nextDue.Add(inst.period)
+	e.tickNum.Add(1)
+	if e.parallelism > 1 {
+		e.tickPeriodicParallel(now)
+	} else {
+		for _, inst := range e.instances {
+			e.firePeriodic(inst, now)
 		}
 	}
 	e.drainTriggers(now)
 	return nil
+}
+
+// firePeriodic runs one instance's due periodic fires (including catch-up
+// after a clock jump) and advances its deadline.
+func (e *Engine) firePeriodic(inst *instanceState, now time.Time) {
+	if inst.period <= 0 {
+		return
+	}
+	if inst.nextDue.IsZero() {
+		inst.nextDue = now // first tick fires immediately
+	}
+	for !now.Before(inst.nextDue) {
+		e.runModule(inst, RunPeriodic, now)
+		inst.nextDue = inst.nextDue.Add(inst.period)
+	}
+}
+
+// tickPeriodicParallel fires due periodic instances wavefront by wavefront:
+// all due instances at one topological depth run concurrently (each
+// instance's own catch-up fires stay serial within its goroutine), and
+// depths run in ascending order, mirroring the serial topological sweep.
+func (e *Engine) tickPeriodicParallel(now time.Time) {
+	byDepth := make(map[int][]*instanceState)
+	maxDepth := 0
+	for _, inst := range e.instances {
+		if inst.period <= 0 {
+			continue
+		}
+		byDepth[inst.depth] = append(byDepth[inst.depth], inst)
+		if inst.depth > maxDepth {
+			maxDepth = inst.depth
+		}
+	}
+	for d := 0; d <= maxDepth; d++ {
+		front := byDepth[d]
+		if len(front) == 0 {
+			continue
+		}
+		e.waveNum.Add(1)
+		e.runFront(front, func(inst *instanceState) { e.firePeriodic(inst, now) })
+	}
+}
+
+// runFront executes fn for every instance of one wavefront on up to
+// e.parallelism goroutines and waits for all of them.
+func (e *Engine) runFront(front []*instanceState, fn func(*instanceState)) {
+	if len(front) == 1 || e.parallelism <= 1 {
+		for _, inst := range front {
+			fn(inst)
+		}
+		return
+	}
+	workers := e.parallelism
+	if workers > len(front) {
+		workers = len(front)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(front) {
+					return
+				}
+				fn(front[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Flush runs every module once with RunFlush (in topological order) and
@@ -47,9 +119,15 @@ func (e *Engine) Flush(now time.Time) error {
 	return nil
 }
 
-// drainTriggers repeatedly runs the lowest-topological-order dirty instance
-// until quiescence.
+// drainTriggers runs dirty instances until quiescence. Serially it always
+// picks the lowest topological order; in wavefront mode it extracts every
+// dirty instance at the minimum depth and runs them concurrently. The two
+// schedules deliver identical per-port sample sequences: an instance runs
+// only after all its dirty ancestors (which have strictly smaller order and
+// depth) have run, so trigger batching — and therefore module run counts,
+// queue drops, and sink output — cannot differ.
 func (e *Engine) drainTriggers(now time.Time) {
+	serial := e.parallelism <= 1
 	for {
 		e.lock()
 		if len(e.dirty) == 0 {
@@ -57,12 +135,37 @@ func (e *Engine) drainTriggers(now time.Time) {
 			return
 		}
 		sort.Slice(e.dirty, func(i, j int) bool { return e.dirty[i].order < e.dirty[j].order })
-		inst := e.dirty[0]
-		e.dirty = e.dirty[1:]
-		inst.queued = false
+		var front []*instanceState
+		if serial {
+			front = []*instanceState{e.dirty[0]}
+			e.dirty = e.dirty[1:]
+		} else {
+			// Instances at the minimum depth form the wavefront: no edge
+			// connects two of them, so they are safe to run concurrently,
+			// and nothing shallower can be triggered by running them.
+			minDepth := e.dirty[0].depth
+			for _, inst := range e.dirty[1:] {
+				if inst.depth < minDepth {
+					minDepth = inst.depth
+				}
+			}
+			rest := e.dirty[:0]
+			for _, inst := range e.dirty {
+				if inst.depth == minDepth {
+					front = append(front, inst)
+				} else {
+					rest = append(rest, inst)
+				}
+			}
+			e.dirty = rest
+		}
+		for _, inst := range front {
+			inst.queued = false
+		}
 		e.unlock()
 
-		e.runModule(inst, RunInputs, now)
+		e.waveNum.Add(1)
+		e.runFront(front, func(inst *instanceState) { e.runModule(inst, RunInputs, now) })
 	}
 }
 

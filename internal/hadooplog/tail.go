@@ -12,26 +12,47 @@ import (
 // yet (waiting for them to appear) and files that are truncated or rotated
 // (reopening from the start).
 type Tailer struct {
-	path string
-	buf  *Buffer
-	poll time.Duration
+	path    string
+	buf     *Buffer
+	poll    time.Duration
+	fromEnd bool // skip existing content on the first open
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// NewTailer starts tailing path into buf, polling at the given interval
-// (default 500ms when non-positive). Call Stop to end the goroutine.
+// TailOptions tunes a Tailer.
+type TailOptions struct {
+	// Poll is the polling interval (default 500ms when non-positive).
+	Poll time.Duration
+	// FromEnd starts the tail at the file's current end instead of
+	// replaying existing content — the right choice when a daemon restarts
+	// against a large live log, at the cost of never serving the lines
+	// written while the daemon was down. It applies only to the first open;
+	// a file that is later rotated or truncated is read from its start.
+	FromEnd bool
+}
+
+// NewTailer starts tailing path into buf from the beginning of the file,
+// polling at the given interval (default 500ms when non-positive). Call
+// Stop to end the goroutine.
 func NewTailer(path string, buf *Buffer, poll time.Duration) *Tailer {
-	if poll <= 0 {
-		poll = 500 * time.Millisecond
+	return NewTailerOpts(path, buf, TailOptions{Poll: poll})
+}
+
+// NewTailerOpts starts tailing path into buf with explicit options. Call
+// Stop to end the goroutine.
+func NewTailerOpts(path string, buf *Buffer, opt TailOptions) *Tailer {
+	if opt.Poll <= 0 {
+		opt.Poll = 500 * time.Millisecond
 	}
 	t := &Tailer{
-		path: path,
-		buf:  buf,
-		poll: poll,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		path:    path,
+		buf:     buf,
+		poll:    opt.Poll,
+		fromEnd: opt.FromEnd,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go t.run()
 	return t
@@ -66,6 +87,14 @@ func (t *Tailer) run() {
 				continue // not created yet
 			}
 			offset = 0
+			if t.fromEnd {
+				// Only the very first open skips history; rotated or
+				// truncated files are new content and read in full.
+				t.fromEnd = false
+				if info, err := f.Stat(); err == nil {
+					offset = info.Size()
+				}
+			}
 		}
 		info, err := f.Stat()
 		if err != nil {

@@ -90,6 +90,44 @@ func TestTailerHandlesTruncation(t *testing.T) {
 	}
 }
 
+func TestTailerFromEndSkipsHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.log")
+	if err := os.WriteFile(path, []byte("old1\nold2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(0)
+	tail := NewTailerOpts(path, buf, TailOptions{Poll: 10 * time.Millisecond, FromEnd: true})
+	defer tail.Stop()
+
+	time.Sleep(50 * time.Millisecond)
+	if buf.Len() != 0 {
+		lines, _ := buf.ReadFrom(0)
+		t.Fatalf("from-end tail replayed history: %v", lines)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "fresh")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := waitLines(t, buf, 1)
+	if lines[0] != "fresh" {
+		t.Errorf("lines = %v", lines)
+	}
+
+	// Truncation after the first open is new content: read from the start.
+	if err := os.WriteFile(path, []byte("rotated\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines = waitLines(t, buf, 2)
+	if lines[1] != "rotated" {
+		t.Errorf("post-truncation line = %q", lines[1])
+	}
+}
+
 func TestTailerStopIsPrompt(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "x.log")

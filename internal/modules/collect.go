@@ -12,104 +12,177 @@ import (
 	"github.com/asdf-project/asdf/internal/sadc"
 )
 
-// sadcModule is the black-box data-collection module (§3.5): it samples one
-// node's OS performance counters each period and publishes the node-level
-// metric vector (64 metrics) on output0. Per-interface vectors (18 metrics)
-// and per-process vectors (19 metrics) are exposed as additional outputs on
-// request, completing the paper's full metric surface.
+// sadcModule is the black-box data-collection module (§3.5): it samples OS
+// performance counters each period and publishes node-level metric vectors
+// (64 metrics). In the single-node form (node =) the vector appears on
+// output0, with per-interface vectors (18 metrics) and per-process vectors
+// (19 metrics) as additional outputs on request, completing the paper's
+// full metric surface. In the multi-node form (nodes =) one instance polls
+// every listed node concurrently under a bounded worker pool and publishes
+// one output per node, named after the node — so per-tick collection
+// latency stays O(nodes/fanout) round trips instead of O(nodes).
 //
 // Parameters:
 //
-//	node   = <node name>            (required)
+//	node   = <node name>            (single-node form)
+//	nodes  = n1,n2,...              (multi-node form; excludes node/ifaces/pids)
 //	period = <duration>             (default 1s)
 //	mode   = local | rpc            (default local)
-//	addr   = host:port              (required for rpc mode)
-//	ifaces = eth0,eth1              (optional: adds outputs net_<iface>)
-//	pids   = 3001,3002              (optional: adds outputs proc_<pid>)
+//	addr   = host:port              (rpc, single-node form)
+//	addrs  = host1:p,host2:p,...    (rpc, multi-node form; parallel to nodes)
+//	fanout = <int>                  (multi-node: max concurrent collects;
+//	                                 default min(16, numNodes), 1 = serial)
+//	ifaces = eth0,eth1              (single-node: adds outputs net_<iface>)
+//	pids   = 3001,3002              (single-node: adds outputs proc_<pid>)
+//
+// In rpc mode each node keeps its own supervised ManagedClient, so breaker
+// state and reconnect backoff stay per node regardless of fanout.
 type sadcModule struct {
-	env    *Env
-	node   string
-	source MetricSource
-	client rpc.Caller // rpc mode only; nil in local mode
-	out    *core.OutputPort
+	env     *Env
+	nodes   []string
+	single  bool // the node= form: output0 plus iface/pid extras
+	sources []MetricSource
+	clients []rpc.Caller // rpc mode: parallel to nodes; nil otherwise
+	outs    []*core.OutputPort
+	fanout  int
 
 	ifaceOuts map[string]*core.OutputPort
 	pidOuts   map[int]*core.OutputPort
+
+	// fan-out scratch, indexed by node; results are merged in node order
+	// after the concurrent sweep so output stays deterministic.
+	recs []*sadc.Record
+	errs []error
 }
 
 func (m *sadcModule) Init(ctx *core.InitContext) error {
 	cfg := ctx.Config()
-	m.node = cfg.StringParam("node", "")
-	if m.node == "" {
+	node := cfg.StringParam("node", "")
+	nodesParam := cfg.StringParam("nodes", "")
+	switch {
+	case node != "" && nodesParam != "":
+		return fmt.Errorf("sadc: node and nodes are mutually exclusive")
+	case node != "":
+		m.nodes = []string{node}
+		m.single = true
+	case nodesParam != "":
+		m.nodes = splitList(nodesParam)
+		if len(m.nodes) == 0 {
+			return fmt.Errorf("sadc: empty node list")
+		}
+	default:
 		return errMissingParam("sadc", "node")
 	}
 	period, err := cfg.DurationParam("period", time.Second)
 	if err != nil {
 		return err
 	}
+	if m.fanout, err = cfg.FanoutParam(); err != nil {
+		return err
+	}
 	mode := cfg.StringParam("mode", "local")
 	switch mode {
 	case "local":
-		provider, ok := m.env.Procfs[m.node]
-		if !ok {
-			return fmt.Errorf("sadc: no procfs provider registered for node %q", m.node)
+		for _, n := range m.nodes {
+			provider, ok := m.env.Procfs[n]
+			if !ok {
+				return fmt.Errorf("sadc: no procfs provider registered for node %q", n)
+			}
+			m.sources = append(m.sources, sadc.NewCollector(provider))
 		}
-		m.source = sadc.NewCollector(provider)
 	case "rpc":
-		addr := cfg.StringParam("addr", "")
-		if addr == "" {
-			return errMissingParam("sadc", "addr")
-		}
 		rp, err := cfg.ResilienceParams()
 		if err != nil {
 			return err
 		}
-		client, err := m.env.dial(addr, "asdf-sadc", rp)
-		if err != nil {
-			return fmt.Errorf("sadc[%s]: dial %s: %w", m.node, addr, err)
+		var addrs []string
+		if m.single {
+			addr := cfg.StringParam("addr", "")
+			if addr == "" {
+				return errMissingParam("sadc", "addr")
+			}
+			addrs = []string{addr}
+		} else {
+			addrsParam := cfg.StringParam("addrs", "")
+			if addrsParam == "" {
+				return errMissingParam("sadc", "addrs")
+			}
+			addrs = splitList(addrsParam)
+			if len(addrs) != len(m.nodes) {
+				return fmt.Errorf("sadc: %d addrs for %d nodes", len(addrs), len(m.nodes))
+			}
 		}
-		m.client = client
-		m.source = NewRPCMetricSource(client)
+		for i, a := range addrs {
+			client, err := m.env.dial(a, "asdf-sadc", rp)
+			if err != nil {
+				return fmt.Errorf("sadc[%s]: dial %s: %w", m.nodes[i], a, err)
+			}
+			m.clients = append(m.clients, client)
+			m.sources = append(m.sources, NewRPCMetricSource(client))
+		}
 	default:
 		return fmt.Errorf("sadc: unknown mode %q", mode)
 	}
-	m.out, err = ctx.NewOutput("output0", core.Origin{
-		Node:   m.node,
-		Source: "sadc",
-		Metric: "node-metrics",
-	})
-	if err != nil {
-		return err
-	}
 
-	m.ifaceOuts = make(map[string]*core.OutputPort)
-	for _, iface := range splitList(cfg.StringParam("ifaces", "")) {
-		out, err := ctx.NewOutput("net_"+iface, core.Origin{
-			Node:   m.node,
+	if m.single {
+		out, err := ctx.NewOutput("output0", core.Origin{
+			Node:   m.nodes[0],
 			Source: "sadc",
-			Metric: "net-metrics:" + iface,
+			Metric: "node-metrics",
 		})
 		if err != nil {
 			return err
 		}
-		m.ifaceOuts[iface] = out
-	}
-	m.pidOuts = make(map[int]*core.OutputPort)
-	for _, p := range splitList(cfg.StringParam("pids", "")) {
-		pid, err := strconv.Atoi(p)
-		if err != nil {
-			return fmt.Errorf("sadc: pid %q: %w", p, err)
+		m.outs = []*core.OutputPort{out}
+
+		m.ifaceOuts = make(map[string]*core.OutputPort)
+		for _, iface := range splitList(cfg.StringParam("ifaces", "")) {
+			out, err := ctx.NewOutput("net_"+iface, core.Origin{
+				Node:   m.nodes[0],
+				Source: "sadc",
+				Metric: "net-metrics:" + iface,
+			})
+			if err != nil {
+				return err
+			}
+			m.ifaceOuts[iface] = out
 		}
-		out, err := ctx.NewOutput("proc_"+p, core.Origin{
-			Node:   m.node,
-			Source: "sadc",
-			Metric: "proc-metrics:" + p,
-		})
-		if err != nil {
-			return err
+		m.pidOuts = make(map[int]*core.OutputPort)
+		for _, p := range splitList(cfg.StringParam("pids", "")) {
+			pid, err := strconv.Atoi(p)
+			if err != nil {
+				return fmt.Errorf("sadc: pid %q: %w", p, err)
+			}
+			out, err := ctx.NewOutput("proc_"+p, core.Origin{
+				Node:   m.nodes[0],
+				Source: "sadc",
+				Metric: "proc-metrics:" + p,
+			})
+			if err != nil {
+				return err
+			}
+			m.pidOuts[pid] = out
 		}
-		m.pidOuts[pid] = out
+	} else {
+		for _, p := range []string{"ifaces", "pids", "addr"} {
+			if _, ok := cfg.Param(p); ok {
+				return fmt.Errorf("sadc: parameter %q requires the single-node (node =) form", p)
+			}
+		}
+		for _, n := range m.nodes {
+			out, err := ctx.NewOutput(n, core.Origin{
+				Node:   n,
+				Source: "sadc",
+				Metric: "node-metrics",
+			})
+			if err != nil {
+				return err
+			}
+			m.outs = append(m.outs, out)
+		}
 	}
+	m.recs = make([]*sadc.Record, len(m.nodes))
+	m.errs = make([]error, len(m.nodes))
 	return ctx.SchedulePeriodic(period)
 }
 
@@ -128,36 +201,63 @@ func (m *sadcModule) Run(ctx *core.RunContext) error {
 	if ctx.Reason != core.RunPeriodic {
 		return nil
 	}
-	rec, err := m.source.Collect()
-	if err != nil {
-		return fmt.Errorf("sadc[%s]: %w", m.node, err)
-	}
-	if rec.Warmup {
-		// Rates need a second snapshot; skip the warmup record.
-		return nil
-	}
-	// Black-box samples are timestamped on the control node (§3.7).
-	m.out.Publish(core.Sample{Time: ctx.Now, Values: rec.Node})
-	for iface, out := range m.ifaceOuts {
-		if v, ok := rec.Net[iface]; ok {
-			out.Publish(core.Sample{Time: ctx.Now, Values: v})
+	fanOut(len(m.sources), resolveFanout(m.fanout, len(m.sources)), func(i int) {
+		m.recs[i], m.errs[i] = m.sources[i].Collect()
+	})
+	var firstErr error
+	for i, rec := range m.recs {
+		if err := m.errs[i]; err != nil {
+			// One unreachable node must not stop collection from the rest.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sadc[%s]: %w", m.nodes[i], err)
+			}
+			continue
+		}
+		if rec.Warmup {
+			// Rates need a second snapshot; skip the warmup record.
+			continue
+		}
+		// Black-box samples are timestamped on the control node (§3.7).
+		m.outs[i].Publish(core.Sample{Time: ctx.Now, Values: rec.Node})
+		if m.single {
+			for iface, out := range m.ifaceOuts {
+				if v, ok := rec.Net[iface]; ok {
+					out.Publish(core.Sample{Time: ctx.Now, Values: v})
+				}
+			}
+			for pid, out := range m.pidOuts {
+				if v, ok := rec.Proc[pid]; ok {
+					out.Publish(core.Sample{Time: ctx.Now, Values: v})
+				}
+			}
 		}
 	}
-	for pid, out := range m.pidOuts {
-		if v, ok := rec.Proc[pid]; ok {
-			out.Publish(core.Sample{Time: ctx.Now, Values: v})
-		}
-	}
-	return nil
+	return firstErr
 }
 
-// ClientHealth reports the supervised connection's health in rpc mode; ok
-// is false in local mode or with an unsupervised custom dialer.
+// ClientHealth reports the supervised connection's health for the
+// single-node rpc form; ok is false in local mode, the multi-node form, or
+// with an unsupervised custom dialer.
 func (m *sadcModule) ClientHealth() (rpc.Health, bool) {
-	if m.client == nil {
+	if !m.single || len(m.clients) == 0 {
 		return rpc.Health{}, false
 	}
-	return sourceHealth(m.client)
+	return sourceHealth(m.clients[0])
+}
+
+// ClientHealths reports per-node connection health in rpc mode (nil in
+// local mode or with an unsupervised custom dialer), keyed by node name.
+func (m *sadcModule) ClientHealths() map[string]rpc.Health {
+	if m.clients == nil {
+		return nil
+	}
+	out := make(map[string]rpc.Health, len(m.clients))
+	for i, c := range m.clients {
+		if h, ok := sourceHealth(c); ok {
+			out[m.nodes[i]] = h
+		}
+	}
+	return out
 }
 
 var _ core.Module = (*sadcModule)(nil)
@@ -186,12 +286,18 @@ var _ core.Module = (*sadcModule)(nil)
 //	period        = <duration>              (default 1s)
 //	mode          = local | rpc             (default local)
 //	addrs         = host1:p,host2:p,...     (required for rpc; parallel to nodes)
+//	fanout        = <int>                   (max concurrent fetches per period;
+//	                                         default min(16, numNodes), 1 = serial)
 //	sync_deadline = <duration>              (default 0: strict §3.7 sync)
 //	sync_quorum   = <int>                   (default 0: all nodes)
 //
-// In rpc mode the resilience knobs reconnect_backoff, call_timeout,
-// breaker_threshold, and breaker_cooldown tune the per-node managed
-// connections.
+// Per-node fetches run concurrently under a bounded worker pool (fanout),
+// but results are merged into the synchronization state in node-index
+// order, so publish order and the strict/degraded sync semantics are
+// identical to a serial sweep. In rpc mode the resilience knobs
+// reconnect_backoff, call_timeout, breaker_threshold, and breaker_cooldown
+// tune the per-node managed connections, each of which keeps its own
+// breaker state regardless of fanout.
 type hadoopLogModule struct {
 	env     *Env
 	kind    hadooplog.Kind
@@ -199,6 +305,11 @@ type hadoopLogModule struct {
 	sources []LogSource
 	clients []rpc.Caller // rpc mode: parallel to nodes; nil otherwise
 	outs    []*core.OutputPort
+	fanout  int
+
+	// fan-out scratch, indexed by node; merged serially in node order.
+	fetched [][]hadooplog.StateVector
+	errs    []error
 
 	syncDeadline time.Duration // 0 = strict: wait for every node
 	syncQuorum   int           // minimum reporters for a partial publish
@@ -241,6 +352,9 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 
 	period, err := cfg.DurationParam("period", time.Second)
 	if err != nil {
+		return err
+	}
+	if m.fanout, err = cfg.FanoutParam(); err != nil {
 		return err
 	}
 	rp, err := cfg.ResilienceParams()
@@ -309,6 +423,8 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	for i := range m.pending {
 		m.pending[i] = make(map[int64][]float64)
 	}
+	m.fetched = make([][]hadooplog.StateVector, len(m.nodes))
+	m.errs = make([]error, len(m.nodes))
 	return ctx.SchedulePeriodic(period)
 }
 
@@ -317,9 +433,15 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 	if now.IsZero() {
 		now = m.env.now()
 	}
+	// Fetch every node concurrently; merge serially by node index below so
+	// the sync state (and therefore publish order) matches a serial sweep.
+	fanOut(len(m.sources), resolveFanout(m.fanout, len(m.sources)), func(i int) {
+		m.fetched[i], m.errs[i] = m.sources[i].Fetch(now)
+	})
 	var firstErr error
-	for i, src := range m.sources {
-		vecs, err := src.Fetch(now)
+	for i := range m.sources {
+		vecs, err := m.fetched[i], m.errs[i]
+		m.fetched[i] = nil
 		if err != nil {
 			// One unreachable node must not stop collection from the rest.
 			if firstErr == nil {

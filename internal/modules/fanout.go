@@ -1,0 +1,65 @@
+package modules
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultFanoutCap bounds per-node collection concurrency when an instance
+// does not set the fanout parameter: min(16, numNodes) workers. The cap
+// keeps a large cluster from opening hundreds of simultaneous RPCs from one
+// control node while still collapsing per-tick latency from O(nodes) round
+// trips to O(nodes/fanout).
+const defaultFanoutCap = 16
+
+// resolveFanout turns a configured fanout (0 = default) into a concrete
+// worker count for n nodes.
+func resolveFanout(configured, n int) int {
+	w := configured
+	if w <= 0 {
+		w = defaultFanoutCap
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// fanOut invokes fn(i) for every i in [0, n), running up to width calls
+// concurrently, and returns once all have completed. Workers pull indexes
+// from a shared counter, so a slow node delays only its own slot, not the
+// whole sweep. Callers store results by index, which keeps downstream
+// processing deterministic (merged by node position, not arrival order).
+func fanOut(n, width int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -25,6 +25,12 @@ type mavgvecModule struct {
 	sinceEmit  int
 	meanOut    *core.OutputPort
 	varOut     *core.OutputPort
+
+	// meanScratch is the reusable intermediate for the variance pass.
+	// Published mean/variance slices must stay freshly allocated: a
+	// published Sample's Values live on in downstream port queues, so
+	// reusing those buffers would corrupt queued samples.
+	meanScratch []float64
 }
 
 func (m *mavgvecModule) Init(ctx *core.InitContext) error {
@@ -61,6 +67,7 @@ func (m *mavgvecModule) Run(ctx *core.RunContext) error {
 	for _, s := range ctx.Inputs()[0].Read() {
 		if m.window == nil {
 			m.window = stats.NewVectorWindow(m.windowSize, len(s.Values))
+			m.meanScratch = make([]float64, len(s.Values))
 		}
 		if err := m.window.Push(s.Values); err != nil {
 			return fmt.Errorf("mavgvec: %w", err)
@@ -68,8 +75,10 @@ func (m *mavgvecModule) Run(ctx *core.RunContext) error {
 		m.sinceEmit++
 		if m.window.Full() && m.sinceEmit >= m.slide {
 			m.sinceEmit = 0
-			m.meanOut.Publish(core.Sample{Time: s.Time, Values: m.window.Mean()})
-			m.varOut.Publish(core.Sample{Time: s.Time, Values: m.window.Variance()})
+			mean := m.window.MeanInto(make([]float64, m.window.Dim()))
+			m.meanOut.Publish(core.Sample{Time: s.Time, Values: mean})
+			variance := m.window.VarianceInto(make([]float64, m.window.Dim()), m.meanScratch)
+			m.varOut.Publish(core.Sample{Time: s.Time, Values: variance})
 		}
 	}
 	return nil
@@ -87,8 +96,9 @@ var _ core.Module = (*mavgvecModule)(nil)
 //	sigma      = s1,s2,...              (inline alternative to model_file)
 //	centroids  = c11,c12;c21,c22;...    (inline alternative)
 type knnModule struct {
-	model *analysis.Model
-	out   *core.OutputPort
+	model   *analysis.Model
+	out     *core.OutputPort
+	scratch []float64 // classify scratch: projection/scaling workspace
 }
 
 func (m *knnModule) Init(ctx *core.InitContext) error {
@@ -143,7 +153,10 @@ func (m *knnModule) Init(ctx *core.InitContext) error {
 
 func (m *knnModule) Run(ctx *core.RunContext) error {
 	for _, s := range ctx.Inputs()[0].Read() {
-		state, err := m.model.Classify(s.Values)
+		if need := m.model.ScratchLen(s.Values); len(m.scratch) < need {
+			m.scratch = make([]float64, need)
+		}
+		state, err := m.model.ClassifyInto(s.Values, m.scratch)
 		if err != nil {
 			return fmt.Errorf("knn: %w", err)
 		}

@@ -1,0 +1,173 @@
+package modules
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/sadc"
+)
+
+// inlineKNNModel returns inline sigma/centroids parameters for a knn
+// instance over full sadc node-metric vectors, avoiding a slow training
+// run. Two synthetic workload states are enough to exercise the pipeline.
+func inlineKNNModel() (sigma, centroids string) {
+	dim := len(sadc.NodeMetricNames)
+	ones := make([]string, dim)
+	lo := make([]string, dim)
+	hi := make([]string, dim)
+	for i := 0; i < dim; i++ {
+		ones[i] = "1"
+		lo[i] = "0"
+		hi[i] = "2"
+	}
+	return strings.Join(ones, ","), strings.Join(lo, ",") + ";" + strings.Join(hi, ",")
+}
+
+// blackboxConfig mirrors examples/blackbox: per-node sadc -> knn ->
+// ibuffer fan-in to analysis_bb, ending in a print alarm sink.
+func blackboxConfig(nodes []string) string {
+	sigma, centroids := inlineKNNModel()
+	var b strings.Builder
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nperiod = 1\n\n", i, n)
+		fmt.Fprintf(&b, "[knn]\nid = onenn%d\nsigma = %s\ncentroids = %s\ninput[in] = sadc%d.output0\n\n",
+			i, sigma, centroids, i)
+		fmt.Fprintf(&b, "[ibuffer]\nid = buf%d\nsize = 10\ninput[input] = onenn%d.output0\n\n", i, i)
+	}
+	b.WriteString("[analysis_bb]\nid = bb\nthreshold = 0.5\nwindow = 20\nslide = 5\nstates = 2\n")
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[l%d] = @buf%d\n", i, i)
+	}
+	b.WriteString("\n[print]\nid = BlackBoxAlarm\nlabel = BB\nonly_nonzero = false\ninput[a] = @bb\n")
+	return b.String()
+}
+
+// whiteboxConfig mirrors examples/whitebox: multi-node hadoop_log into
+// analysis_wb, ending in a print alarm sink.
+func whiteboxConfig(nodes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_tt\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n",
+		strings.Join(nodes, ","))
+	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nk = 2\nwindow = 20\nslide = 5\n")
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[s%d] = hl_tt.%s\n", i, nodes[i])
+	}
+	b.WriteString("\n[print]\nid = TaskTrackerAlarm\nlabel = WB\nonly_nonzero = false\ninput[a] = @wb\n")
+	return b.String()
+}
+
+// paperConfig mirrors examples/paperconfig (Figure 4): both pipelines in
+// one DAG, the shape the wavefront scheduler must keep byte-identical.
+func paperConfig(nodes []string) string {
+	return blackboxConfig(nodes) + "\n" + whiteboxConfig(nodes)
+}
+
+// smoothingCSVConfig exercises the mavgvec Into-variant hot path and the
+// csv sink: per-node sadc -> mavgvec with both outputs logged to CSV.
+func smoothingCSVConfig(nodes []string) string {
+	var b strings.Builder
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "[sadc]\nid = sadc%d\nnode = %s\nperiod = 1\n\n", i, n)
+		fmt.Fprintf(&b, "[mavgvec]\nid = smooth%d\nwindow = 10\ninput[in] = sadc%d.output0\n\n", i, i)
+	}
+	b.WriteString("[csv]\nid = log\npath = %CSVPATH%\n")
+	for i := range nodes {
+		fmt.Fprintf(&b, "input[m%d] = smooth%d.output0\ninput[v%d] = smooth%d.output1\n", i, i, i, i)
+	}
+	return b.String()
+}
+
+// runWavefrontCase drives one configuration over an identically seeded
+// simulated cluster and returns every sink byte it produced: the alarm
+// writer output plus, when the config contains a csv instance, the CSV
+// file contents.
+func runWavefrontCase(t *testing.T, build func([]string) string, slaves int, seed int64, parallelism int) []byte {
+	t.Helper()
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simEnv(c)
+	var alarms bytes.Buffer
+	env.AlarmWriter = &alarms
+
+	names := make([]string, slaves)
+	for i, n := range c.Slaves() {
+		names[i] = n.Name
+	}
+	cfgText := build(names)
+	csvPath := ""
+	if strings.Contains(cfgText, "%CSVPATH%") {
+		csvPath = filepath.Join(t.TempDir(), "out.csv")
+		cfgText = strings.ReplaceAll(cfgText, "%CSVPATH%", csvPath)
+	}
+	cfg, err := config.ParseString(cfgText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(NewRegistry(env), cfg, core.WithParallelism(parallelism))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, c, e, 60)
+	if err := c.InjectFault(1, hadoopsim.FaultCPUHog); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, c, e, 60)
+	if err := e.Flush(c.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	out := alarms.Bytes()
+	if csvPath != "" {
+		data, err := os.ReadFile(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data...)
+	}
+	return out
+}
+
+// TestWavefrontMatchesSerialSinkOutput asserts the wavefront scheduler
+// produces byte-identical sink output to the serial scheduler on the seed
+// pipeline configurations from examples/ (each example generates its
+// config programmatically; these builders mirror them). Identical cluster
+// seeds give identical inputs, so any divergence is a scheduling bug.
+func TestWavefrontMatchesSerialSinkOutput(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func([]string) string
+		slaves int
+		seed   int64
+	}{
+		{"blackbox", blackboxConfig, 4, 101},
+		{"whitebox", whiteboxConfig, 4, 202},
+		{"paper-two-pipeline", paperConfig, 4, 303},
+		{"smoothing-csv", smoothingCSVConfig, 3, 404},
+	}
+	widths := []int{2, 4, 8}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := runWavefrontCase(t, tc.build, tc.slaves, tc.seed, 1)
+			if len(serial) == 0 {
+				t.Fatalf("serial run produced no sink output; the comparison would be vacuous")
+			}
+			for _, w := range widths {
+				parallel := runWavefrontCase(t, tc.build, tc.slaves, tc.seed, w)
+				if !bytes.Equal(serial, parallel) {
+					t.Errorf("parallelism=%d sink output differs from serial\nserial:   %d bytes\nparallel: %d bytes\nserial head: %s\nparallel head: %s",
+						w, len(serial), len(parallel),
+						firstLines(string(serial), 3), firstLines(string(parallel), 3))
+				}
+			}
+		})
+	}
+}

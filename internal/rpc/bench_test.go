@@ -5,6 +5,52 @@ import (
 	"testing"
 )
 
+// BenchmarkManagedClientOverhead compares a supervised ManagedClient call
+// against a bare Client call on the same echo server, isolating the cost of
+// the breaker/reconnect bookkeeping per healthy round trip.
+func BenchmarkManagedClientOverhead(b *testing.B) {
+	srv := NewServer("bench")
+	srv.Handle("echo", func(params json.RawMessage) (any, error) {
+		var v map[string]any
+		if err := json.Unmarshal(params, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	payload := map[string]any{"metrics": []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+
+	b.Run("client=bare", func(b *testing.B) {
+		c, err := Dial(addr.String(), "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = c.Close() }()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var out map[string]any
+			if err := c.Call("echo", payload, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("client=managed", func(b *testing.B) {
+		m := NewManagedClient(addr.String(), "bench", Options{})
+		defer func() { _ = m.Close() }()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var out map[string]any
+			if err := m.Call("echo", payload, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkCallRoundTrip(b *testing.B) {
 	srv := NewServer("bench")
 	srv.Handle("echo", func(params json.RawMessage) (any, error) {

@@ -108,31 +108,64 @@ func MustMedian(xs []float64) float64 {
 	return m
 }
 
+// MedianInPlace computes the median of xs, sorting xs as a side effect.
+// Use Median when the input must be preserved.
+func MedianInPlace(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid], nil
+	}
+	// Averaging halves first avoids overflow for extreme magnitudes.
+	return xs[mid-1]/2 + xs[mid]/2, nil
+}
+
 // MedianVector computes the component-wise median across a set of
 // equal-length vectors, as used by the peer-comparison analyses.
 func MedianVector(vs [][]float64) ([]float64, error) {
 	if len(vs) == 0 {
 		return nil, ErrEmpty
 	}
+	out := make([]float64, len(vs[0]))
+	if err := MedianVectorInto(out, make([]float64, len(vs)), vs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MedianVectorInto is the allocation-free MedianVector: the component-wise
+// medians are written to dst (length = vector dimension), using col (length
+// = len(vs)) as sorting scratch. Both buffers may be reused across calls.
+func MedianVectorInto(dst, col []float64, vs [][]float64) error {
+	if len(vs) == 0 {
+		return ErrEmpty
+	}
 	dim := len(vs[0])
 	for i, v := range vs {
 		if len(v) != dim {
-			return nil, fmt.Errorf("stats: vector %d has dimension %d, want %d", i, len(v), dim)
+			return fmt.Errorf("stats: vector %d has dimension %d, want %d", i, len(v), dim)
 		}
 	}
-	out := make([]float64, dim)
-	col := make([]float64, len(vs))
+	if len(dst) != dim {
+		return fmt.Errorf("stats: median dst has dimension %d, want %d", len(dst), dim)
+	}
+	if len(col) != len(vs) {
+		return fmt.Errorf("stats: median scratch has length %d, want %d", len(col), len(vs))
+	}
 	for d := 0; d < dim; d++ {
 		for i, v := range vs {
 			col[i] = v[d]
 		}
-		m, err := Median(col)
+		m, err := MedianInPlace(col)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[d] = m
+		dst[d] = m
 	}
-	return out, nil
+	return nil
 }
 
 // L1 computes the L1 (Manhattan) distance between a and b.
@@ -164,16 +197,29 @@ func L2(a, b []float64) (float64, error) {
 // component-wise. Sigma components that are zero or negative are treated as 1
 // so that constant metrics do not blow up the scaled space.
 func LogScale(x, sigma []float64) ([]float64, error) {
-	if len(x) != len(sigma) {
-		return nil, fmt.Errorf("stats: LogScale dimension mismatch: %d vs %d", len(x), len(sigma))
-	}
 	out := make([]float64, len(x))
+	if err := LogScaleInto(out, x, sigma); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LogScaleInto is the allocation-free LogScale: the transformed vector is
+// written to dst, which must have the input's length and may alias x (the
+// transform is element-wise).
+func LogScaleInto(dst, x, sigma []float64) error {
+	if len(x) != len(sigma) {
+		return fmt.Errorf("stats: LogScale dimension mismatch: %d vs %d", len(x), len(sigma))
+	}
+	if len(dst) != len(x) {
+		return fmt.Errorf("stats: LogScale dst length %d, want %d", len(dst), len(x))
+	}
 	for i, v := range x {
 		s := sigma[i]
 		if s <= 0 {
 			s = 1
 		}
-		out[i] = math.Log1p(math.Max(v, 0)) / s
+		dst[i] = math.Log1p(math.Max(v, 0)) / s
 	}
-	return out, nil
+	return nil
 }

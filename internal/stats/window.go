@@ -117,40 +117,64 @@ func (w *VectorWindow) Push(v []float64) error {
 
 // Mean computes the component-wise mean over the current window contents.
 func (w *VectorWindow) Mean() []float64 {
-	out := make([]float64, w.dim)
+	return w.MeanInto(make([]float64, w.dim))
+}
+
+// MeanInto computes the component-wise mean into dst (length Dim) and
+// returns it, allocating nothing. It panics on a wrong-sized dst (a
+// programming error, matching the constructor's contract).
+func (w *VectorWindow) MeanInto(dst []float64) []float64 {
+	if len(dst) != w.dim {
+		panic(fmt.Sprintf("stats: vector window mean dst dimension %d, want %d", len(dst), w.dim))
+	}
+	for d := range dst {
+		dst[d] = 0
+	}
 	if w.n == 0 {
-		return out
+		return dst
 	}
 	for i := 0; i < w.n; i++ {
 		row := w.rows[(w.head+i)%len(w.rows)]
 		for d, x := range row {
-			out[d] += x
+			dst[d] += x
 		}
 	}
-	for d := range out {
-		out[d] /= float64(w.n)
+	for d := range dst {
+		dst[d] /= float64(w.n)
 	}
-	return out
+	return dst
 }
 
 // Variance computes the component-wise population variance over the window.
 func (w *VectorWindow) Variance() []float64 {
-	out := make([]float64, w.dim)
-	if w.n < 2 {
-		return out
+	return w.VarianceInto(make([]float64, w.dim), make([]float64, w.dim))
+}
+
+// VarianceInto computes the component-wise population variance into dst,
+// using meanScratch (length Dim) for the intermediate mean, and returns
+// dst. The two buffers must not alias.
+func (w *VectorWindow) VarianceInto(dst, meanScratch []float64) []float64 {
+	if len(dst) != w.dim {
+		panic(fmt.Sprintf("stats: vector window variance dst dimension %d, want %d", len(dst), w.dim))
 	}
-	mean := w.Mean()
+	for d := range dst {
+		dst[d] = 0
+	}
+	if w.n < 2 {
+		return dst
+	}
+	mean := w.MeanInto(meanScratch)
 	for i := 0; i < w.n; i++ {
 		row := w.rows[(w.head+i)%len(w.rows)]
 		for d, x := range row {
 			diff := x - mean[d]
-			out[d] += diff * diff
+			dst[d] += diff * diff
 		}
 	}
-	for d := range out {
-		out[d] /= float64(w.n)
+	for d := range dst {
+		dst[d] /= float64(w.n)
 	}
-	return out
+	return dst
 }
 
 // StdDev computes the component-wise population standard deviation.
