@@ -34,6 +34,8 @@
 package asdf
 
 import (
+	"time"
+
 	"github.com/asdf-project/asdf/internal/analysis"
 	"github.com/asdf-project/asdf/internal/config"
 	"github.com/asdf-project/asdf/internal/core"
@@ -134,6 +136,67 @@ func WithLogger(l core.Logger) EngineOption { return core.WithLogger(l) }
 // sink output byte-identical to the serial schedule. n = 1 (the default)
 // keeps the strictly serial scheduler; n <= 0 selects GOMAXPROCS.
 func WithParallelism(n int) EngineOption { return core.WithParallelism(n) }
+
+// Supervised-runtime types: structured failures, per-instance health
+// snapshots, and the quarantine lifecycle (see internal/core/supervisor.go
+// and DESIGN.md §5d).
+type (
+	InstanceError   = core.InstanceError
+	InstanceHealth  = core.InstanceHealth
+	FailureKind     = core.FailureKind
+	SupervisorState = core.SupervisorState
+	DegradePolicy   = core.DegradePolicy
+)
+
+// Failure kinds, supervisor states, and degrade policies.
+const (
+	FailureError   = core.FailureError
+	FailurePanic   = core.FailurePanic
+	FailureTimeout = core.FailureTimeout
+
+	SupervisorHealthy     = core.SupervisorHealthy
+	SupervisorQuarantined = core.SupervisorQuarantined
+	SupervisorProbing     = core.SupervisorProbing
+
+	DegradeSkip = core.DegradeSkip
+	DegradeHold = core.DegradeHold
+	DegradeZero = core.DegradeZero
+)
+
+// WithWatchdog sets the default per-run watchdog deadline: a module Run
+// exceeding it is abandoned (never double-run) and counted as a timeout
+// failure. 0 disables the watchdog; the per-instance run_timeout parameter
+// overrides it.
+func WithWatchdog(d time.Duration) EngineOption { return core.WithWatchdog(d) }
+
+// WithQuarantine sets the default failure budget: after threshold
+// consecutive failures an instance is quarantined until a half-open probe
+// after cooldown re-admits it. threshold 0 disables quarantine; the
+// per-instance quarantine_threshold / quarantine_cooldown parameters
+// override it.
+func WithQuarantine(threshold int, cooldown time.Duration) EngineOption {
+	return core.WithQuarantine(threshold, cooldown)
+}
+
+// WithDegrade sets the default gap-fill policy for quarantined instances'
+// outputs; the per-instance degrade parameter overrides it.
+func WithDegrade(p DegradePolicy) EngineOption { return core.WithDegrade(p) }
+
+// ParseDegradePolicy parses "skip", "hold", or "zero" ("" = skip).
+func ParseDegradePolicy(s string) (DegradePolicy, error) { return core.ParseDegradePolicy(s) }
+
+// StatusReport is the operator snapshot served by cmd/asdf's /status
+// endpoint: supervisor, breaker, and sync state for one engine.
+type StatusReport = modules.StatusReport
+
+// MethodStatus is the RPC method serving a StatusReport on the address
+// given by cmd/asdf -status-rpc-addr.
+const MethodStatus = modules.MethodStatus
+
+// CollectStatus assembles a StatusReport from a live engine.
+func CollectStatus(eng *Engine, now time.Time) StatusReport {
+	return modules.CollectStatus(eng, now)
+}
 
 // TrainModel fits a black-box model on fault-free raw metric vectors:
 // log-scaling sigmas plus k centroids from k-means (§4.5 of the paper).

@@ -6,23 +6,34 @@
 // in `mode = rpc` poll the per-node sadc-rpcd and hadoop-log-rpcd daemons.
 // Alarms from print modules go to stdout.
 //
+// With -status-addr the control node also serves an operator health
+// endpoint: GET /healthz answers ok/degraded, and GET /status returns a
+// JSON snapshot of per-instance supervisor state, per-node breaker health,
+// and timestamp-sync counters. -status-rpc-addr serves the same snapshot
+// over the native RPC protocol for tooling that already speaks it.
+//
 // Usage:
 //
 //	asdf -config fpt.conf
+//	asdf -config fpt.conf -status-addr 127.0.0.1:7070
 //	asdf -list-modules
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	asdf "github.com/asdf-project/asdf"
+	"github.com/asdf-project/asdf/internal/modules"
 )
 
 func main() {
@@ -42,7 +53,18 @@ func run(args []string) int {
 			"0 = GOMAXPROCS; output is byte-identical at any width. The online "+
 			"real-time mode used by this command already runs every module instance "+
 			"on its own goroutine regardless")
+	runTimeout := fs.Duration("run-timeout", 0, "watchdog deadline per module Run; a wedged Run is abandoned and counted as a timeout failure (0 = no watchdog)")
+	quarThreshold := fs.Int("quarantine-threshold", 0, "consecutive module failures (error/panic/timeout) before an instance is quarantined (0 = never)")
+	quarCooldown := fs.Duration("quarantine-cooldown", 0, "quarantined-instance wait before a half-open re-probe (0 = default 10s)")
+	degrade := fs.String("degrade", "skip", "gap-fill policy for a quarantined instance's outputs: skip, hold, or zero")
+	statusAddr := fs.String("status-addr", "", "serve the operator health endpoint (GET /healthz, GET /status) on this address")
+	statusRPCAddr := fs.String("status-rpc-addr", "", "serve the status snapshot over the native RPC protocol on this address")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	degradePolicy, err := asdf.ParseDegradePolicy(*degrade)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asdf: %v\n", err)
 		return 2
 	}
 
@@ -73,11 +95,14 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "asdf: %v\n", err)
 		return 1
 	}
-	// Module run errors (a dead collection daemon, a parse failure) are
-	// supervised: logged with the node's address and retried on the next
-	// period, never fatal.
+	// Module failures (a dead collection daemon, a parse failure, a panic,
+	// a wedged Run) are supervised: logged and retried, quarantined past
+	// the failure budget, never fatal.
 	eng, err := asdf.NewEngine(reg, cfg,
 		asdf.WithParallelism(*parallelism),
+		asdf.WithWatchdog(*runTimeout),
+		asdf.WithQuarantine(*quarThreshold, *quarCooldown),
+		asdf.WithDegrade(degradePolicy),
 		asdf.WithErrorHandler(func(id string, err error) {
 			log.Printf("asdf: module %s: %v", id, err)
 		}))
@@ -87,6 +112,25 @@ func run(args []string) int {
 	}
 	log.Printf("asdf: %d module instances wired: %v", len(eng.Instances()), eng.Instances())
 
+	if *statusAddr != "" {
+		httpSrv, addr, err := serveStatusHTTP(*statusAddr, eng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asdf: status endpoint: %v\n", err)
+			return 1
+		}
+		defer func() { _ = httpSrv.Close() }()
+		log.Printf("asdf: status endpoint on http://%s/status", addr)
+	}
+	if *statusRPCAddr != "" {
+		rpcSrv, addr, err := modules.ListenStatus(*statusRPCAddr, eng, time.Now)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asdf: status rpc: %v\n", err)
+			return 1
+		}
+		defer func() { _ = rpcSrv.Close() }()
+		log.Printf("asdf: status rpc on %s", addr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("asdf: fingerpointing online; interrupt to stop")
@@ -95,4 +139,42 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// serveStatusHTTP starts the operator health endpoint on addr and returns
+// the server with its bound address. GET /healthz answers 200 "ok" while
+// no instance is quarantined or wedged and no collection breaker is open,
+// 503 "degraded" otherwise; GET /status returns the full JSON snapshot.
+func serveStatusHTTP(addr string, eng *asdf.Engine) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		rep := asdf.CollectStatus(eng, time.Now())
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if rep.Healthy {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "degraded")
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		rep := asdf.CollectStatus(eng, time.Now())
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Printf("asdf: status encode: %v", err)
+		}
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("asdf: status endpoint: %v", err)
+		}
+	}()
+	return srv, ln.Addr(), nil
 }

@@ -1,9 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	asdf "github.com/asdf-project/asdf"
 )
 
 func TestRunListModules(t *testing.T) {
@@ -39,5 +46,94 @@ func TestRunInvalidConfig(t *testing.T) {
 	}
 	if code := run([]string{"-config", path}); code != 1 {
 		t.Errorf("exit with invalid config = %d, want 1", code)
+	}
+}
+
+func TestRunBadDegrade(t *testing.T) {
+	if code := run([]string{"-degrade", "sideways", "-list-modules"}); code != 2 {
+		t.Errorf("exit with bad -degrade = %d, want 2", code)
+	}
+}
+
+// brokenSource errors on every run; used to drive an engine unhealthy.
+type brokenSource struct{}
+
+func (m *brokenSource) Init(ctx *asdf.InitContext) error {
+	if _, err := ctx.NewOutput("output0", asdf.Origin{Source: "broken"}); err != nil {
+		return err
+	}
+	return ctx.SchedulePeriodic(time.Second)
+}
+
+func (m *brokenSource) Run(ctx *asdf.RunContext) error {
+	if ctx.Reason == asdf.RunFlush {
+		return nil
+	}
+	return errors.New("broken")
+}
+
+// TestStatusEndpoints drives the operator HTTP surface through both
+// answers: 200 "ok" on a healthy engine, 503 "degraded" once an instance is
+// quarantined, with /status carrying the full JSON snapshot either way.
+func TestStatusEndpoints(t *testing.T) {
+	reg := asdf.NewBareRegistry()
+	reg.Register("broken", func() asdf.Module { return &brokenSource{} })
+	cfg, err := asdf.ParseConfigString("[broken]\nid = f\nperiod = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := asdf.NewEngine(reg, cfg,
+		asdf.WithQuarantine(1, time.Minute),
+		asdf.WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	base := "http://" + addr.String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthy /healthz = %d %q, want 200 ok", code, body)
+	}
+	var rep asdf.StatusReport
+	if _, body := get("/status"); json.Unmarshal([]byte(body), &rep) != nil {
+		t.Fatalf("bad /status JSON: %s", body)
+	}
+	if !rep.Healthy || len(rep.Instances) != 1 {
+		t.Errorf("healthy /status = %+v, want healthy with 1 instance", rep)
+	}
+
+	// One failing tick exhausts the threshold-1 budget.
+	if err := eng.Tick(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || body != "degraded\n" {
+		t.Errorf("degraded /healthz = %d %q, want 503 degraded", code, body)
+	}
+	if _, body := get("/status"); json.Unmarshal([]byte(body), &rep) != nil {
+		t.Fatalf("bad /status JSON: %s", body)
+	}
+	if rep.Healthy {
+		t.Error("/status claims healthy with a quarantined instance")
+	}
+	if len(rep.Instances) != 1 || rep.Instances[0].State != asdf.SupervisorQuarantined {
+		t.Errorf("/status instances = %+v, want f quarantined", rep.Instances)
 	}
 }

@@ -186,6 +186,59 @@ func (in *Instance) ResilienceParams() (ResilienceParams, error) {
 	return p, nil
 }
 
+// SupervisorParams are the per-instance supervised-runtime knobs read by
+// the engine core (not by the module itself). Zero values mean "not set":
+// the engine falls back to its option-level defaults — except
+// QuarantineThreshold, where -1 means unset so an explicit 0 can disable
+// quarantine for one instance while the engine default enables it.
+type SupervisorParams struct {
+	// RunTimeout is the watchdog deadline for one Run call (0 = engine
+	// default; the engine's default of 0 disables the watchdog).
+	RunTimeout time.Duration
+	// QuarantineThreshold is the number of consecutive failures (error,
+	// panic, or timeout) after which the instance is quarantined
+	// (-1 = engine default, 0 = disabled for this instance).
+	QuarantineThreshold int
+	// QuarantineCooldown is how long a quarantined instance waits before
+	// its half-open re-probe (0 = engine default).
+	QuarantineCooldown time.Duration
+	// Degrade is the gap-fill policy for a quarantined instance's
+	// outputs: "skip", "hold", or "zero" ("" = engine default).
+	Degrade string
+}
+
+// SupervisorParams parses the supervised-runtime parameters (run_timeout,
+// quarantine_threshold, quarantine_cooldown, degrade) from the instance.
+func (in *Instance) SupervisorParams() (SupervisorParams, error) {
+	p := SupervisorParams{QuarantineThreshold: -1}
+	var err error
+	if p.RunTimeout, err = in.DurationParam("run_timeout", 0); err != nil {
+		return p, err
+	}
+	if p.QuarantineThreshold, err = in.IntParam("quarantine_threshold", -1); err != nil {
+		return p, err
+	}
+	if p.QuarantineCooldown, err = in.DurationParam("quarantine_cooldown", 0); err != nil {
+		return p, err
+	}
+	p.Degrade = in.StringParam("degrade", "")
+	if p.RunTimeout < 0 {
+		return p, fmt.Errorf("config: instance %q: run_timeout must be >= 0", in.ID)
+	}
+	if p.QuarantineThreshold < -1 {
+		return p, fmt.Errorf("config: instance %q: quarantine_threshold must be >= 0", in.ID)
+	}
+	if p.QuarantineCooldown < 0 {
+		return p, fmt.Errorf("config: instance %q: quarantine_cooldown must be >= 0", in.ID)
+	}
+	switch p.Degrade {
+	case "", "skip", "hold", "zero":
+	default:
+		return p, fmt.Errorf("config: instance %q: degrade must be skip, hold, or zero, got %q", in.ID, p.Degrade)
+	}
+	return p, nil
+}
+
 // FanoutParam parses the `fanout` parameter shared by the multi-node
 // data-collection modules: the maximum number of per-node fetches issued
 // concurrently per collection iteration. 0 (absent) selects the module's

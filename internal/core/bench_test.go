@@ -83,3 +83,55 @@ func BenchmarkEngineTick(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSupervisorOverhead guards the no-fault hot path: a zero-work
+// fan DAG (the supervisor's per-dispatch cost is the whole signal) ticked
+// under each supervision layer. sup=recover is the mandatory baseline
+// (panic recovery + failure accounting), sup=quarantine arms a failure
+// budget that never trips, and sup=watchdog adds the goroutine-per-dispatch
+// deadline — the one layer with real cost, which is why it is opt-in.
+// The sup=... sub-names deliberately match none of the CI benchstat greps
+// (mode=..., client=...); this benchmark tracks the recover/quarantine
+// layers staying within noise of each other, not serial vs parallel.
+func BenchmarkSupervisorOverhead(b *testing.B) {
+	const stages = 8
+	reg := testRegistry()
+
+	var sb strings.Builder
+	sb.WriteString("[counter]\nid = src\nperiod = 1s\n")
+	for i := 0; i < stages; i++ {
+		fmt.Fprintf(&sb, "[doubler]\nid = w%d\ninput[in] = src.output0\n", i)
+	}
+	sb.WriteString("[recorder]\nid = sink\n")
+	for i := 0; i < stages; i++ {
+		fmt.Fprintf(&sb, "input[i%d] = w%d.output0\n", i, i)
+	}
+	file, err := config.ParseString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, sup := range []struct {
+		name string
+		opts []Option
+	}{
+		{"recover", nil},
+		{"quarantine", []Option{WithQuarantine(5, 10*time.Second)}},
+		{"watchdog", []Option{WithWatchdog(time.Second)}},
+	} {
+		b.Run("sup="+sup.name, func(b *testing.B) {
+			eng, err := NewEngine(reg, file, sup.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Unix(1_700_000_000, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Tick(start.Add(time.Duration(i+1) * time.Second)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

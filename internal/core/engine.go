@@ -28,6 +28,14 @@ type Engine struct {
 	// default) is the strictly serial scheduler.
 	parallelism int
 
+	// Engine-level supervision defaults; per-instance configuration
+	// parameters (run_timeout, quarantine_threshold, quarantine_cooldown,
+	// degrade) override them.
+	watchdogDefault   time.Duration
+	quarThresholdDflt int
+	quarCooldownDflt  time.Duration
+	degradeDefault    DegradePolicy
+
 	// step-mode state; also reused as the notification lock in
 	// real-time mode.
 	stepMu  chan struct{} // binary semaphore guarding dirty/pending
@@ -63,6 +71,8 @@ type instanceState struct {
 	order   int            // topological index
 	depth   int            // longest path from any source (wavefront level)
 	mailbox chan RunReason // real-time mode
+
+	sup *supervisor // per-instance supervised runtime
 }
 
 // Option customizes engine construction.
@@ -100,6 +110,36 @@ func WithParallelism(n int) Option {
 // Parallelism reports the engine's wavefront width (1 = serial).
 func (e *Engine) Parallelism() int { return e.parallelism }
 
+// WithWatchdog sets the default per-run watchdog deadline: a module Run
+// exceeding it is abandoned (the instance stays flagged until the leaked
+// goroutine returns, so it is never double-run) and counted as a timeout
+// failure. 0 (the default) disables the watchdog. The per-instance
+// run_timeout configuration parameter overrides this. The deadline is
+// wall-clock even in step mode: a wedged module does not advance virtual
+// time.
+func WithWatchdog(d time.Duration) Option {
+	return func(e *Engine) { e.watchdogDefault = d }
+}
+
+// WithQuarantine sets the default failure budget: after threshold
+// consecutive failures (error, panic, or timeout) an instance is
+// quarantined — skipped, its outputs gap-filled per its degrade policy —
+// until a half-open probe after cooldown re-admits it. threshold 0 (the
+// default) disables quarantine; cooldown 0 selects 10s. The per-instance
+// quarantine_threshold / quarantine_cooldown parameters override this.
+func WithQuarantine(threshold int, cooldown time.Duration) Option {
+	return func(e *Engine) {
+		e.quarThresholdDflt = threshold
+		e.quarCooldownDflt = cooldown
+	}
+}
+
+// WithDegrade sets the default degrade policy applied to quarantined
+// instances' outputs; the per-instance degrade parameter overrides it.
+func WithDegrade(p DegradePolicy) Option {
+	return func(e *Engine) { e.degradeDefault = p }
+}
+
 // NewEngine builds the module DAG from the parsed configuration, following
 // the paper's four-step construction (§3.3): create a vertex per instance,
 // count unsatisfied inputs, initialize instances whose inputs are satisfied
@@ -126,8 +166,9 @@ func NewEngine(reg *Registry, file *config.File, opts ...Option) (*Engine, error
 		e.onErr = func(id string, err error) {
 			e.errMu.Lock()
 			defer e.errMu.Unlock()
-			e.logf("module %s: run error (tick %d, wavefront %d): %v",
-				id, e.tickNum.Load(), e.waveNum.Load(), err)
+			// err is an *InstanceError carrying the failure kind and the
+			// tick/wavefront scheduling point.
+			e.logf("module %s: %v", id, err)
 		}
 	}
 
@@ -207,6 +248,9 @@ func NewEngine(reg *Registry, file *config.File, opts ...Option) (*Engine, error
 func (e *Engine) initInstance(reg *Registry, inst *instanceState) error {
 	factory, _ := reg.Lookup(inst.cfg.Module)
 	inst.module = factory()
+	if err := e.initSupervisor(inst); err != nil {
+		return err
+	}
 
 	for _, ref := range inst.cfg.Inputs {
 		up := e.byID[ref.Instance]
@@ -342,11 +386,62 @@ func (e *Engine) notifyInput(in *InputPort) {
 	}
 }
 
-// runModule invokes Run once with the given reason, routing errors to the
-// error handler.
+// initSupervisor builds the instance's supervisor from its configuration
+// parameters layered over the engine's option-level defaults.
+func (e *Engine) initSupervisor(inst *instanceState) error {
+	sp, err := inst.cfg.SupervisorParams()
+	if err != nil {
+		return err
+	}
+	sup := &supervisor{inst: inst}
+	sup.runTimeout = sp.RunTimeout
+	if sup.runTimeout == 0 {
+		sup.runTimeout = e.watchdogDefault
+	}
+	sup.threshold = sp.QuarantineThreshold
+	if sup.threshold < 0 {
+		sup.threshold = e.quarThresholdDflt
+	}
+	sup.cooldown = sp.QuarantineCooldown
+	if sup.cooldown == 0 {
+		sup.cooldown = e.quarCooldownDflt
+	}
+	if sup.cooldown == 0 {
+		sup.cooldown = defaultQuarantineCooldown
+	}
+	if sp.Degrade == "" {
+		sup.degrade = e.degradeDefault
+	} else if sup.degrade, err = ParseDegradePolicy(sp.Degrade); err != nil {
+		return fmt.Errorf("core: instance %q: %w", inst.id, err)
+	}
+	inst.sup = sup
+	return nil
+}
+
+// runModule dispatches one Run through the instance's supervisor: panics
+// become structured InstanceErrors, a configured watchdog abandons wedged
+// runs, and a quarantined instance is skipped with its outputs gap-filled
+// per its degrade policy. Failures route to the error handler, never up.
 func (e *Engine) runModule(inst *instanceState, reason RunReason, now time.Time) {
-	rctx := &RunContext{inst: inst, engine: e, Reason: reason, Now: now}
-	if err := inst.module.Run(rctx); err != nil {
-		e.onErr(inst.id, err)
+	switch inst.sup.admit(reason, now) {
+	case admitRun:
+		e.settle(inst, e.invoke(inst, reason, now), reason, now)
+	case admitSkip:
+		inst.sup.gapFill(now)
+	case admitWedged:
+		// The previous Run is still in flight: refuse to double-run, and
+		// count the lost dispatch as a timeout failure so a permanently
+		// wedged instance exhausts its failure budget.
+		e.settle(inst, &wedgeError{stillRunning: true}, reason, now)
+	case admitDrop:
+	}
+}
+
+// settle records the dispatch outcome and routes any failure to the error
+// handler as a structured InstanceError.
+func (e *Engine) settle(inst *instanceState, err error, reason RunReason, now time.Time) {
+	ierr := inst.sup.settle(err, reason, now, e.tickNum.Load(), e.waveNum.Load())
+	if ierr != nil {
+		e.onErr(inst.id, ierr)
 	}
 }

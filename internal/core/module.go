@@ -191,6 +191,20 @@ func (c *RunContext) Logf(format string, args ...any) {
 	c.engine.logf("["+c.inst.id+"] "+format, args...)
 }
 
+// Instances returns every instance id in the engine, in initialization
+// (topological) order. Together with ModuleOf and SupervisorSnapshots it
+// lets observer modules (the print/csv sinks) record engine-wide health
+// counters alongside the data they log.
+func (c *RunContext) Instances() []string { return c.engine.Instances() }
+
+// ModuleOf returns the module implementation behind the named instance.
+func (c *RunContext) ModuleOf(id string) (Module, bool) { return c.engine.ModuleOf(id) }
+
+// SupervisorSnapshots reports every instance's supervisor state.
+func (c *RunContext) SupervisorSnapshots() []InstanceHealth {
+	return c.engine.SupervisorSnapshots()
+}
+
 // Logger abstracts the engine's diagnostic log destination.
 type Logger interface {
 	Printf(format string, args ...any)

@@ -37,6 +37,10 @@ type Sample struct {
 	Time time.Time
 	// Values is the numeric payload. Receivers must not mutate it.
 	Values []float64
+	// Degraded marks a gap-fill substitute published by the supervised
+	// runtime on behalf of a quarantined instance (degrade = hold|zero)
+	// rather than a value the module actually produced.
+	Degraded bool
 }
 
 // Scalar returns the first value, or 0 for an empty sample. Most alarm and

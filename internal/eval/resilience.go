@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -21,13 +22,33 @@ import (
 type ResilienceConfig struct {
 	Slaves int
 	Seed   int64
-	// Victim is the slave index whose daemons are killed.
-	Victim int
+	// Victim is the slave index whose daemons are killed. ExtraVictims
+	// lists additional slave indexes killed and revived on the same
+	// schedule; report fields keyed to "the victim" track Victim.
+	Victim       int
+	ExtraVictims []int
 	// KillAtTick / ReviveAtTick / Ticks partition the run into healthy,
 	// outage, and recovered phases.
 	KillAtTick   int
 	ReviveAtTick int
 	Ticks        int
+	// FlapPeriodTicks > 0 turns the outage into daemon flapping: instead
+	// of staying dead, the victims' daemons come back up after each
+	// FlapPeriodTicks down and die again after the same time up, until
+	// ReviveAtTick leaves them up for good. Cycles shorter than the
+	// breaker cooldown exercise the half-open probe against a daemon
+	// that keeps disappearing.
+	FlapPeriodTicks int
+	// SlowNode, when InjectDelay > 0, is the slave index whose daemons
+	// answer every call InjectDelay late during the outage window —
+	// asymmetric slowness rather than death. Pair InjectDelay with a
+	// shorter CallTimeout to force client-side timeouts. SlowNode must
+	// not be a victim (a dead daemon cannot also be slow).
+	SlowNode    int
+	InjectDelay time.Duration
+	// CallTimeout is the managed clients' per-RPC deadline (0 = the rpc
+	// package default of 10s).
+	CallTimeout time.Duration
 	// SyncDeadlineSec and SyncQuorum configure degraded-mode timestamp
 	// sync for the white-box collector.
 	SyncDeadlineSec int
@@ -36,6 +57,22 @@ type ResilienceConfig struct {
 	// circuit breakers.
 	BreakerThreshold   int
 	BreakerCooldownSec int
+	// TraceWriter, when non-nil, receives one counter line per tick (the
+	// CI fault drill points this at its artifact file).
+	TraceWriter io.Writer
+}
+
+// victims returns every victim index: Victim plus ExtraVictims, deduped.
+func (cfg ResilienceConfig) victims() []int {
+	out := []int{cfg.Victim}
+	seen := map[int]bool{cfg.Victim: true}
+	for _, v := range cfg.ExtraVictims {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // DefaultResilienceConfig is the 3-node kill-one scenario used by the test
@@ -86,6 +123,16 @@ type ResilienceReport struct {
 	// RunErrors counts module run errors routed to the engine's error
 	// handler (the supervisor path: reported, never fatal).
 	RunErrors int
+	// VictimBreakersOpened counts how many victims' white-box breakers
+	// were observed open during the outage (multi-victim scenarios).
+	VictimBreakersOpened int
+	// SlowNodeFailures is the slow node's white-box transport-failure
+	// count at the end (delay-injection scenarios); > 0 proves the
+	// injected latency crossed the call timeout.
+	SlowNodeFailures uint64
+	// SlowNodeReclosed reports the slow node's breaker was closed again
+	// once the delay was lifted.
+	SlowNodeReclosed bool
 }
 
 // hlHealthReporter and sadcHealthReporter are the inspection surfaces the
@@ -162,11 +209,30 @@ func (d *nodeDaemons) close() { d.kill() }
 // real TCP daemons and returns what it observed. The caller asserts on the
 // report; this function only fails on setup errors.
 func RunCollectionResilience(cfg ResilienceConfig) (*ResilienceReport, error) {
-	if cfg.Victim < 0 || cfg.Victim >= cfg.Slaves {
-		return nil, fmt.Errorf("eval: victim %d out of range for %d slaves", cfg.Victim, cfg.Slaves)
+	victims := cfg.victims()
+	isVictim := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		if v < 0 || v >= cfg.Slaves {
+			return nil, fmt.Errorf("eval: victim %d out of range for %d slaves", v, cfg.Slaves)
+		}
+		isVictim[v] = true
+	}
+	if len(victims) >= cfg.Slaves {
+		return nil, fmt.Errorf("eval: need at least one survivor (%d victims of %d slaves)", len(victims), cfg.Slaves)
 	}
 	if cfg.KillAtTick >= cfg.ReviveAtTick || cfg.ReviveAtTick >= cfg.Ticks {
 		return nil, fmt.Errorf("eval: phases must satisfy kill < revive < ticks")
+	}
+	if cfg.FlapPeriodTicks < 0 {
+		return nil, fmt.Errorf("eval: flap period must be >= 0")
+	}
+	if cfg.InjectDelay > 0 {
+		if cfg.SlowNode < 0 || cfg.SlowNode >= cfg.Slaves {
+			return nil, fmt.Errorf("eval: slow node %d out of range for %d slaves", cfg.SlowNode, cfg.Slaves)
+		}
+		if isVictim[cfg.SlowNode] {
+			return nil, fmt.Errorf("eval: slow node %d is also a victim", cfg.SlowNode)
+		}
 	}
 	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(cfg.Slaves, cfg.Seed))
 	if err != nil {
@@ -209,6 +275,9 @@ breaker_threshold = %d
 breaker_cooldown = %d
 `, strings.Join(names, ","), strings.Join(hlogAddrs, ","),
 		cfg.SyncDeadlineSec, cfg.SyncQuorum, cfg.BreakerThreshold, cfg.BreakerCooldownSec)
+	if cfg.CallTimeout > 0 {
+		fmt.Fprintf(&b, "call_timeout = %s\n", cfg.CallTimeout)
+	}
 	for i, name := range names {
 		fmt.Fprintf(&b, `
 [sadc]
@@ -220,6 +289,9 @@ period = 1
 breaker_threshold = %d
 breaker_cooldown = %d
 `, i, name, sadcAddrs[i], cfg.BreakerThreshold, cfg.BreakerCooldownSec)
+		if cfg.CallTimeout > 0 {
+			fmt.Fprintf(&b, "call_timeout = %s\n", cfg.CallTimeout)
+		}
 	}
 	b.WriteString("\n[print]\nid = p\nonly_nonzero = false\ninput[hl] = @hl\n")
 	for i := range names {
@@ -258,7 +330,7 @@ breaker_cooldown = %d
 	survivorHL := func() uint64 {
 		var n uint64
 		for i, out := range hlOuts {
-			if i != cfg.Victim {
+			if !isVictim[i] {
 				n += out.Published()
 			}
 		}
@@ -266,6 +338,36 @@ breaker_cooldown = %d
 	}
 	victimHL := func() uint64 { return hlOuts[cfg.Victim].Published() }
 	victimSadcOut := eng.OutputPortsOf(fmt.Sprintf("s%d", cfg.Victim))[0]
+
+	// down tracks which victims' daemons are currently dead (flapping
+	// scenarios bring them up and down inside the outage window).
+	down := make(map[int]bool, len(victims))
+	killAll := func() {
+		for _, v := range victims {
+			if !down[v] {
+				daemons[v].kill()
+				down[v] = true
+			}
+		}
+	}
+	restartAll := func() error {
+		for _, v := range victims {
+			if down[v] {
+				if err := daemons[v].restart(); err != nil {
+					return err
+				}
+				down[v] = false
+			}
+		}
+		return nil
+	}
+	slowDaemons := func(f rpc.Faults) {
+		if cfg.InjectDelay > 0 {
+			daemons[cfg.SlowNode].sadc.SetFaults(f)
+			daemons[cfg.SlowNode].hlog.SetFaults(f)
+		}
+	}
+	openVictims := make(map[string]bool, len(victims))
 
 	var (
 		survivorAtKill, survivorLast   uint64
@@ -275,15 +377,28 @@ breaker_cooldown = %d
 	)
 	for tick := 1; tick <= cfg.Ticks; tick++ {
 		if tick == cfg.KillAtTick {
-			daemons[cfg.Victim].kill()
+			killAll()
+			slowDaemons(rpc.Faults{Delay: cfg.InjectDelay})
 			survivorAtKill = survivorHL()
 			survivorLast = survivorAtKill
 			victimSadcAtKill = victimSadcOut.Published()
 		}
+		if tick > cfg.KillAtTick && tick < cfg.ReviveAtTick && cfg.FlapPeriodTicks > 0 &&
+			(tick-cfg.KillAtTick)%cfg.FlapPeriodTicks == 0 {
+			// Flap: toggle the victims' daemons.
+			if down[cfg.Victim] {
+				if err := restartAll(); err != nil {
+					return nil, err
+				}
+			} else {
+				killAll()
+			}
+		}
 		if tick == cfg.ReviveAtTick {
-			if err := daemons[cfg.Victim].restart(); err != nil {
+			if err := restartAll(); err != nil {
 				return nil, err
 			}
+			slowDaemons(rpc.Faults{})
 			victimHLAtRevive = victimHL()
 			sadcAtRevive = victimSadcOut.Published()
 		}
@@ -303,11 +418,26 @@ breaker_cooldown = %d
 					report.MaxSurvivorGapTicks = gap
 				}
 			}
-			if h, ok := hl.ClientHealths()[victimName]; ok && h.State == rpc.BreakerOpen {
-				report.BreakerOpened = true
+			healths := hl.ClientHealths()
+			for _, v := range victims {
+				if h, ok := healths[names[v]]; ok && h.State == rpc.BreakerOpen {
+					openVictims[names[v]] = true
+				}
 			}
+			report.BreakerOpened = openVictims[victimName]
+		}
+		if cfg.TraceWriter != nil {
+			h := hl.ClientHealths()[victimName]
+			mu.Lock()
+			errs := report.RunErrors
+			mu.Unlock()
+			fmt.Fprintf(cfg.TraceWriter,
+				"tick=%d survivor_hl=%d victim.breaker=%s victim.failures=%d partial=%d dropped=%d errors=%d\n",
+				tick, survivorHL(), h.State, h.TotalFailures,
+				hl.PartialTimestamps(), hl.DroppedTimestamps(), errs)
 		}
 	}
+	report.VictimBreakersOpened = len(openVictims)
 
 	report.SurvivorHLDuringOutage = survivorLast - survivorAtKill
 	report.VictimSadcDuringOutage = sadcAtRevive - victimSadcAtKill
@@ -323,6 +453,12 @@ breaker_cooldown = %d
 	if h, ok := victimSadc.ClientHealth(); ok && h.State != rpc.BreakerClosed {
 		// The black-box plane must have re-attached too.
 		report.BreakerReclosed = false
+	}
+	if cfg.InjectDelay > 0 {
+		if h, ok := hl.ClientHealths()[names[cfg.SlowNode]]; ok {
+			report.SlowNodeFailures = h.TotalFailures
+			report.SlowNodeReclosed = h.State == rpc.BreakerClosed
+		}
 	}
 	return report, nil
 }

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"testing"
+	"time"
 )
 
 // TestCollectionResilience is the acceptance scenario for the resilient
@@ -65,6 +66,99 @@ func TestCollectionResilience(t *testing.T) {
 	}
 }
 
+// TestCollectionResilienceMultiVictim kills two of four slaves at once.
+// With the sync quorum still reachable, the survivors must keep publishing,
+// and both victims' breakers must open and re-close.
+func TestCollectionResilienceMultiVictim(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	cfg.Slaves = 4
+	cfg.Victim = 1
+	cfg.ExtraVictims = []int{2}
+	cfg.TraceWriter = faultTrace(t, "multi-victim")
+	rep, err := RunCollectionResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SurvivorHLDuringOutage == 0 {
+		t.Error("white-box collection stalled with two victims down")
+	}
+	if rep.VictimBreakersOpened != 2 {
+		t.Errorf("%d victim breakers opened, want 2", rep.VictimBreakersOpened)
+	}
+	if !rep.BreakerReclosed {
+		t.Error("primary victim's breaker did not re-close after restart")
+	}
+	if rep.VictimHLAfterRevive == 0 || rep.VictimSadcAfterRevive == 0 {
+		t.Error("primary victim did not re-attach on both planes")
+	}
+	if rep.MissingVictim == 0 {
+		t.Error("victim's missing seconds were not counted")
+	}
+}
+
+// TestCollectionResilienceFlapping flaps the victim's daemons on a cycle
+// shorter than the breaker cooldown: every half-open probe races a daemon
+// that may already be gone again. The engine must neither stall nor crash,
+// and once the flapping stops the victim must still re-attach.
+func TestCollectionResilienceFlapping(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	cfg.FlapPeriodTicks = 2 // < BreakerCooldownSec (3)
+	cfg.TraceWriter = faultTrace(t, "flapping")
+	rep, err := RunCollectionResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SurvivorHLDuringOutage == 0 {
+		t.Error("white-box collection stalled while the victim flapped")
+	}
+	if !rep.BreakerReclosed {
+		t.Error("victim's breaker did not re-close once the flapping stopped")
+	}
+	if rep.VictimHLAfterRevive == 0 || rep.VictimSadcAfterRevive == 0 {
+		t.Error("victim did not re-attach after the flapping stopped")
+	}
+	if rep.RunErrors == 0 {
+		t.Error("flapping daemons surfaced no module errors")
+	}
+}
+
+// TestCollectionResilienceSlowNode injects asymmetric latency just above
+// the call timeout on one surviving node while the victim is dead: calls to
+// the slow node must time out (counted as transport failures) without
+// stalling collection from the healthy nodes, and the slow node's breaker
+// must be closed again once the delay is lifted.
+func TestCollectionResilienceSlowNode(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	// A short window keeps the wall-clock cost down: every delayed call
+	// burns a real CallTimeout.
+	cfg.KillAtTick = 5
+	cfg.ReviveAtTick = 14
+	cfg.Ticks = 22
+	cfg.SlowNode = 0
+	cfg.InjectDelay = 150 * time.Millisecond
+	cfg.CallTimeout = 60 * time.Millisecond
+	// With the victim dead AND the slow node timing out, only one node
+	// reports; quorum 1 lets degraded-mode sync publish what it has.
+	cfg.SyncQuorum = 1
+	cfg.TraceWriter = faultTrace(t, "slow-node")
+	rep, err := RunCollectionResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SlowNodeFailures == 0 {
+		t.Error("injected delay above the call timeout produced no failures")
+	}
+	if !rep.SlowNodeReclosed {
+		t.Error("slow node's breaker was not closed again after the delay lifted")
+	}
+	if rep.SurvivorHLDuringOutage == 0 {
+		t.Error("white-box collection stalled behind the slow node")
+	}
+	if rep.RunErrors == 0 {
+		t.Error("timeouts surfaced no module errors")
+	}
+}
+
 // TestCollectionResilienceValidation covers config validation.
 func TestCollectionResilienceValidation(t *testing.T) {
 	bad := DefaultResilienceConfig()
@@ -76,5 +170,16 @@ func TestCollectionResilienceValidation(t *testing.T) {
 	bad.ReviveAtTick = bad.KillAtTick
 	if _, err := RunCollectionResilience(bad); err == nil {
 		t.Error("bad phase ordering accepted")
+	}
+	bad = DefaultResilienceConfig()
+	bad.ExtraVictims = []int{0, 2} // every slave a victim
+	if _, err := RunCollectionResilience(bad); err == nil {
+		t.Error("all-victims scenario accepted")
+	}
+	bad = DefaultResilienceConfig()
+	bad.InjectDelay = time.Millisecond
+	bad.SlowNode = bad.Victim
+	if _, err := RunCollectionResilience(bad); err == nil {
+		t.Error("victim doubling as slow node accepted")
 	}
 }

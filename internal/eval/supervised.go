@@ -1,0 +1,333 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+// The supervised-runtime acceptance scenario: a fan DAG whose instances
+// include a panicking module and a wedging module alongside healthy
+// siblings. The engine must keep producing correct sink output for the
+// unaffected instances on every tick, quarantine both offenders within
+// their failure budget, re-admit the panicker once it recovers, and report
+// all of it through the status surface — fetched here over the real status
+// RPC, end to end.
+
+// SupervisedConfig sizes the scenario. Ticks are virtual seconds; only the
+// watchdog deadline and the wedger's sleep are wall-clock (a wedged module
+// does not advance virtual time).
+type SupervisedConfig struct {
+	// Siblings is the number of healthy passthrough instances that must be
+	// unaffected by their misbehaving peers.
+	Siblings int
+	// Ticks is the total virtual-time run length.
+	Ticks int
+	// RunTimeout is the watchdog deadline configured on the wedger;
+	// WedgeFor is how long its Run actually sleeps (wall clock).
+	RunTimeout time.Duration
+	WedgeFor   time.Duration
+	// QuarantineThreshold / QuarantineCooldownSec configure the failure
+	// budget on both offenders (cooldown in virtual seconds).
+	QuarantineThreshold   int
+	QuarantineCooldownSec int
+	// The panicker runs clean before PanicFromTick, panics every run from
+	// then on, and is healthy again at PanicRecoverAtTick (0 = never
+	// recovers).
+	PanicFromTick      int
+	PanicRecoverAtTick int
+	// Degrade is the gap-fill policy on the offenders ("skip", "hold",
+	// "zero").
+	Degrade string
+	// TraceWriter, when non-nil, receives one counter line per tick (the
+	// CI fault drill points this at its artifact file).
+	TraceWriter io.Writer
+}
+
+// DefaultSupervisedConfig is the scenario the test suite runs: 3 healthy
+// siblings, a panicker that heals at tick 10, and a wedger that never does.
+func DefaultSupervisedConfig() SupervisedConfig {
+	return SupervisedConfig{
+		Siblings:              3,
+		Ticks:                 30,
+		RunTimeout:            10 * time.Millisecond,
+		WedgeFor:              60 * time.Millisecond,
+		QuarantineThreshold:   3,
+		QuarantineCooldownSec: 5,
+		PanicFromTick:         2,
+		PanicRecoverAtTick:    10,
+		Degrade:               "hold",
+	}
+}
+
+// SupervisedReport is what the scenario observed.
+type SupervisedReport struct {
+	// SamplesBySibling counts sink-received samples per healthy sibling;
+	// each must equal Ticks (no tick lost to a peer's panic or wedge).
+	SamplesBySibling map[string]uint64
+	// PanickerSamples / DegradedSamples count the panicker's real and
+	// gap-filled samples at the sink.
+	PanickerSamples uint64
+	DegradedSamples uint64
+	// PanickerQuarantinedTick / WedgerQuarantinedTick are the first ticks
+	// at which each offender was observed quarantined (0 = never).
+	PanickerQuarantinedTick int
+	WedgerQuarantinedTick   int
+	// PanickerReadmitted reports that a half-open probe re-admitted the
+	// recovered panicker.
+	PanickerReadmitted bool
+	// PanickerHealth / WedgerHealth are the final supervisor snapshots.
+	PanickerHealth core.InstanceHealth
+	WedgerHealth   core.InstanceHealth
+	// RunErrors counts failures routed to the error handler (never fatal).
+	RunErrors int
+	// StatusOverRPC is the final StatusReport as fetched over the native
+	// status RPC — the same bytes an operator tool would see.
+	StatusOverRPC modules.StatusReport
+}
+
+// evalSource emits an incrementing scalar every virtual second.
+type evalSource struct {
+	out  *core.OutputPort
+	next float64
+}
+
+func (m *evalSource) Init(ctx *core.InitContext) error {
+	var err error
+	if m.out, err = ctx.NewOutput("output0", core.Origin{Source: ctx.ID()}); err != nil {
+		return err
+	}
+	return ctx.SchedulePeriodic(time.Second)
+}
+
+func (m *evalSource) Run(ctx *core.RunContext) error {
+	if ctx.Reason != core.RunPeriodic {
+		return nil
+	}
+	m.out.Publish(core.NewScalar(ctx.Now, m.next))
+	m.next++
+	return nil
+}
+
+// passthrough republishes its inputs under its own origin, so the sink can
+// attribute samples per instance.
+type passthrough struct {
+	out *core.OutputPort
+}
+
+func (m *passthrough) Init(ctx *core.InitContext) error {
+	var err error
+	m.out, err = ctx.NewOutput("output0", core.Origin{Source: ctx.ID()})
+	return err
+}
+
+func (m *passthrough) Run(ctx *core.RunContext) error {
+	for _, in := range ctx.Inputs() {
+		for _, s := range in.Read() {
+			m.out.Publish(core.Sample{Time: s.Time, Values: s.Values})
+		}
+	}
+	return nil
+}
+
+// panicky is a passthrough that panics on every run whose tick falls in
+// [from, until); tick = seconds since start on the virtual clock.
+type panicky struct {
+	passthrough
+	start       time.Time
+	from, until int
+}
+
+func (m *panicky) Run(ctx *core.RunContext) error {
+	if ctx.Reason != core.RunFlush {
+		tick := int(ctx.Now.Sub(m.start)/time.Second) + 1
+		if tick >= m.from && (m.until == 0 || tick < m.until) {
+			panic(fmt.Sprintf("injected panic at tick %d", tick))
+		}
+	}
+	return m.passthrough.Run(ctx)
+}
+
+// wedgy is a passthrough whose every Run sleeps (wall clock) before
+// publishing — under a shorter watchdog deadline it is abandoned each time,
+// and its late publishes exercise the abandoned-goroutine path.
+type wedgy struct {
+	passthrough
+	sleep time.Duration
+}
+
+func (m *wedgy) Run(ctx *core.RunContext) error {
+	if ctx.Reason != core.RunFlush {
+		time.Sleep(m.sleep)
+	}
+	return m.passthrough.Run(ctx)
+}
+
+// evalSink counts received samples per origin source, splitting degraded
+// (gap-filled) samples out.
+type evalSink struct {
+	mu       sync.Mutex
+	byOrigin map[string]uint64
+	degraded map[string]uint64
+}
+
+func (m *evalSink) Init(ctx *core.InitContext) error {
+	if len(ctx.Inputs()) == 0 {
+		return fmt.Errorf("eval: sink requires inputs")
+	}
+	m.byOrigin = make(map[string]uint64)
+	m.degraded = make(map[string]uint64)
+	return nil
+}
+
+func (m *evalSink) Run(ctx *core.RunContext) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, in := range ctx.Inputs() {
+		for _, s := range in.Read() {
+			if s.Degraded {
+				m.degraded[in.Origin().Source]++
+			} else {
+				m.byOrigin[in.Origin().Source]++
+			}
+		}
+	}
+	return nil
+}
+
+func (m *evalSink) counts() (real, degraded map[string]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	real = make(map[string]uint64, len(m.byOrigin))
+	for k, v := range m.byOrigin {
+		real[k] = v
+	}
+	degraded = make(map[string]uint64, len(m.degraded))
+	for k, v := range m.degraded {
+		degraded[k] = v
+	}
+	return real, degraded
+}
+
+// RunSupervised runs the supervised-runtime scenario end to end and returns
+// what it observed. The caller asserts on the report; this function only
+// fails on setup errors.
+func RunSupervised(cfg SupervisedConfig) (*SupervisedReport, error) {
+	if cfg.Siblings < 1 || cfg.Ticks < 1 {
+		return nil, fmt.Errorf("eval: need at least one sibling and one tick")
+	}
+	if cfg.RunTimeout <= 0 || cfg.WedgeFor <= cfg.RunTimeout {
+		return nil, fmt.Errorf("eval: wedge duration must exceed the watchdog deadline")
+	}
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	reg := core.NewRegistry()
+	reg.Register("source", func() core.Module { return &evalSource{} })
+	reg.Register("well", func() core.Module { return &passthrough{} })
+	reg.Register("panicky", func() core.Module {
+		return &panicky{start: start, from: cfg.PanicFromTick, until: cfg.PanicRecoverAtTick}
+	})
+	reg.Register("wedgy", func() core.Module { return &wedgy{sleep: cfg.WedgeFor} })
+	reg.Register("sink", func() core.Module { return &evalSink{} })
+
+	var b strings.Builder
+	b.WriteString("[source]\nid = src\n")
+	for i := 0; i < cfg.Siblings; i++ {
+		fmt.Fprintf(&b, "[well]\nid = w%d\ninput[in] = src.output0\n", i)
+	}
+	supParams := fmt.Sprintf("quarantine_threshold = %d\nquarantine_cooldown = %d\ndegrade = %s\n",
+		cfg.QuarantineThreshold, cfg.QuarantineCooldownSec, cfg.Degrade)
+	fmt.Fprintf(&b, "[panicky]\nid = panic\ninput[in] = src.output0\n%s", supParams)
+	fmt.Fprintf(&b, "[wedgy]\nid = wedge\ninput[in] = src.output0\nrun_timeout = %s\n%s",
+		cfg.RunTimeout, supParams)
+	b.WriteString("[sink]\nid = sink\ninput[p] = panic.output0\ninput[wd] = wedge.output0\n")
+	for i := 0; i < cfg.Siblings; i++ {
+		fmt.Fprintf(&b, "input[i%d] = w%d.output0\n", i, i)
+	}
+
+	parsed, err := config.ParseString(b.String())
+	if err != nil {
+		return nil, err
+	}
+	report := &SupervisedReport{}
+	var mu sync.Mutex
+	eng, err := core.NewEngine(reg, parsed,
+		core.WithErrorHandler(func(string, error) {
+			mu.Lock()
+			report.RunErrors++
+			mu.Unlock()
+		}))
+	if err != nil {
+		return nil, err
+	}
+
+	for tick := 1; tick <= cfg.Ticks; tick++ {
+		now := start.Add(time.Duration(tick-1) * time.Second)
+		if err := eng.Tick(now); err != nil {
+			return nil, err
+		}
+		ph, _ := eng.InstanceHealthOf("panic")
+		wh, _ := eng.InstanceHealthOf("wedge")
+		if report.PanickerQuarantinedTick == 0 && ph.State == core.SupervisorQuarantined {
+			report.PanickerQuarantinedTick = tick
+		}
+		if report.WedgerQuarantinedTick == 0 && wh.State == core.SupervisorQuarantined {
+			report.WedgerQuarantinedTick = tick
+		}
+		if ph.Readmissions > 0 {
+			report.PanickerReadmitted = true
+		}
+		if cfg.TraceWriter != nil {
+			fmt.Fprintf(cfg.TraceWriter,
+				"tick=%d panic.state=%s panic.failures=%d wedge.state=%s wedge.timeouts=%d wedge.wedged=%v errors=%d\n",
+				tick, ph.State, ph.TotalFailures, wh.State, wh.Timeouts, wh.Wedged, report.RunErrors)
+		}
+	}
+	// Let the last abandoned wedger goroutine drain before the final
+	// snapshot, so LateReturns and Wedged settle deterministically.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		wh, _ := eng.InstanceHealthOf("wedge")
+		if !wh.Wedged || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sinkMod, _ := eng.ModuleOf("sink")
+	real, degraded := sinkMod.(*evalSink).counts()
+	report.SamplesBySibling = make(map[string]uint64, cfg.Siblings)
+	for i := 0; i < cfg.Siblings; i++ {
+		id := fmt.Sprintf("w%d", i)
+		report.SamplesBySibling[id] = real[id]
+	}
+	report.PanickerSamples = real["panic"]
+	report.DegradedSamples = degraded["panic"] + degraded["wedge"]
+	report.PanickerHealth, _ = eng.InstanceHealthOf("panic")
+	report.WedgerHealth, _ = eng.InstanceHealthOf("wedge")
+
+	// Fetch the final status over the real RPC surface, as an operator
+	// tool would.
+	endNow := start.Add(time.Duration(cfg.Ticks) * time.Second)
+	srv, addr, err := modules.ListenStatus("127.0.0.1:0", eng, func() time.Time { return endNow })
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := rpc.Dial(addr.String(), "eval-status", rpc.WithCallTimeout(5*time.Second))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = client.Close() }()
+	if err := client.Call(modules.MethodStatus, nil, &report.StatusOverRPC); err != nil {
+		return nil, err
+	}
+	return report, nil
+}

@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/core"
+)
+
+// faultTrace returns the writer for a scenario's per-tick counter trace:
+// the file named by ASDF_FAULT_TRACE (appended, as several tests share it —
+// the CI fault drill uploads it as an artifact), or nil.
+func faultTrace(t *testing.T, scenario string) io.Writer {
+	t.Helper()
+	path := os.Getenv("ASDF_FAULT_TRACE")
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open fault trace %s: %v", path, err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	fmt.Fprintf(f, "=== %s\n", scenario)
+	return f
+}
+
+// TestSupervisedRuntime is the acceptance scenario for the supervised
+// module runtime: a pipeline with a panicking-every-tick instance and a
+// wedging instance keeps producing correct sink output for the unaffected
+// instances, quarantines both offenders within their failure budget,
+// re-admits the recovered panicker after cooldown, and reports all of it
+// over the status RPC.
+func TestSupervisedRuntime(t *testing.T) {
+	cfg := DefaultSupervisedConfig()
+	cfg.TraceWriter = faultTrace(t, "supervised")
+	rep, err := RunSupervised(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy siblings were untouched: every tick's sample arrived.
+	for id, n := range rep.SamplesBySibling {
+		if n != uint64(cfg.Ticks) {
+			t.Errorf("sibling %s delivered %d samples, want %d", id, n, cfg.Ticks)
+		}
+	}
+
+	// Both offenders were quarantined within their failure budget plus a
+	// couple of scheduling ticks.
+	budget := cfg.PanicFromTick + cfg.QuarantineThreshold + 2
+	if rep.PanickerQuarantinedTick == 0 || rep.PanickerQuarantinedTick > budget {
+		t.Errorf("panicker quarantined at tick %d, want within %d", rep.PanickerQuarantinedTick, budget)
+	}
+	if rep.WedgerQuarantinedTick == 0 || rep.WedgerQuarantinedTick > cfg.QuarantineThreshold+2 {
+		t.Errorf("wedger quarantined at tick %d, want within %d", rep.WedgerQuarantinedTick, cfg.QuarantineThreshold+2)
+	}
+
+	// The panicker healed and a half-open probe re-admitted it; the wedger
+	// never did and stays quarantined.
+	if !rep.PanickerReadmitted {
+		t.Error("recovered panicker was never re-admitted")
+	}
+	if rep.PanickerHealth.State != core.SupervisorHealthy {
+		t.Errorf("final panicker state = %s, want healthy", rep.PanickerHealth.State)
+	}
+	if rep.PanickerHealth.Panics == 0 || rep.PanickerHealth.Readmissions == 0 {
+		t.Errorf("panicker health = %+v, want panics and a readmission", rep.PanickerHealth)
+	}
+	if rep.WedgerHealth.State != core.SupervisorQuarantined {
+		t.Errorf("final wedger state = %s, want quarantined", rep.WedgerHealth.State)
+	}
+	if rep.WedgerHealth.Timeouts == 0 {
+		t.Error("wedger recorded no timeout failures")
+	}
+
+	// The panicker resumed real publishes after readmission, and the hold
+	// policy gap-filled its quarantined ticks with Degraded samples.
+	if rep.PanickerSamples == 0 {
+		t.Error("panicker published nothing after recovery")
+	}
+	if rep.DegradedSamples == 0 {
+		t.Error("hold degrade policy produced no gap-fill samples")
+	}
+
+	// Failures were routed through the handler, never fatal.
+	if rep.RunErrors == 0 {
+		t.Error("no failures surfaced through the error handler")
+	}
+
+	// The status RPC reported the same picture an operator would act on.
+	st := rep.StatusOverRPC
+	if st.Healthy {
+		t.Error("status RPC reports healthy with a quarantined instance")
+	}
+	states := make(map[string]core.SupervisorState, len(st.Instances))
+	for _, ih := range st.Instances {
+		states[ih.ID] = ih.State
+	}
+	if states["wedge"] != core.SupervisorQuarantined {
+		t.Errorf("status RPC wedge state = %s, want quarantined", states["wedge"])
+	}
+	if states["panic"] != core.SupervisorHealthy {
+		t.Errorf("status RPC panic state = %s, want healthy", states["panic"])
+	}
+}
+
+// TestSupervisedValidation covers scenario-config validation.
+func TestSupervisedValidation(t *testing.T) {
+	bad := DefaultSupervisedConfig()
+	bad.Siblings = 0
+	if _, err := RunSupervised(bad); err == nil {
+		t.Error("zero siblings accepted")
+	}
+	bad = DefaultSupervisedConfig()
+	bad.WedgeFor = bad.RunTimeout / 2
+	if _, err := RunSupervised(bad); err == nil {
+		t.Error("wedge shorter than watchdog accepted")
+	}
+}

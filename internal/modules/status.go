@@ -1,0 +1,148 @@
+package modules
+
+import (
+	"encoding/json"
+	"net"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+// The operator status surface: a StatusReport aggregates, per engine, the
+// supervised runtime's per-instance state, the collection plane's per-node
+// breaker snapshots, and the timestamp-sync degradation counters — the
+// three places where the always-on fingerpointing pipeline can silently
+// degrade. cmd/asdf serves it over HTTP (/healthz, /status) and over the
+// native RPC protocol (ServiceStatus / MethodStatus).
+
+// ServiceStatus is the RPC service name announced by a status server, and
+// MethodStatus its single method.
+const (
+	ServiceStatus = "asdf_status"
+	MethodStatus  = "asdf.status"
+)
+
+// EngineView is the subset of the engine surface a StatusReport is
+// assembled from. Both *core.Engine and *core.RunContext satisfy it, so
+// the same collection logic serves the HTTP endpoint, the status RPC, and
+// the counter-emitting sinks.
+type EngineView interface {
+	Instances() []string
+	ModuleOf(id string) (core.Module, bool)
+	SupervisorSnapshots() []core.InstanceHealth
+}
+
+var (
+	_ EngineView = (*core.Engine)(nil)
+	_ EngineView = (*core.RunContext)(nil)
+)
+
+// BreakerReporter is implemented by collection modules that supervise
+// per-node RPC connections (sadc, hadoop_log in rpc mode).
+type BreakerReporter interface {
+	ClientHealths() map[string]rpc.Health
+}
+
+// SyncReporter is implemented by collection modules that perform cross-node
+// timestamp synchronization (hadoop_log).
+type SyncReporter interface {
+	PartialTimestamps() uint64
+	DroppedTimestamps() uint64
+	MissingByNode() map[string]uint64
+}
+
+// SyncStatus is one instance's timestamp-sync degradation counters.
+type SyncStatus struct {
+	// Partial counts timestamps published without data from every node.
+	Partial uint64 `json:"partial"`
+	// Dropped counts timestamps discarded below the sync quorum.
+	Dropped uint64 `json:"dropped"`
+	// MissingByNode counts, per node, resolved seconds that lacked that
+	// node's data.
+	MissingByNode map[string]uint64 `json:"missing_by_node,omitempty"`
+}
+
+// StatusReport is the full operator snapshot of one engine.
+type StatusReport struct {
+	// Time is when the snapshot was taken.
+	Time time.Time `json:"time"`
+	// Healthy is false when any instance is quarantined or wedged, or any
+	// collection breaker is open.
+	Healthy bool `json:"healthy"`
+	// Instances is every instance's supervisor snapshot, in topological
+	// order.
+	Instances []core.InstanceHealth `json:"instances"`
+	// Breakers maps instance id -> node name -> connection health for
+	// every rpc-mode collection module.
+	Breakers map[string]map[string]rpc.Health `json:"breakers,omitempty"`
+	// Sync maps instance id -> timestamp-sync counters for every
+	// synchronizing collection module.
+	Sync map[string]SyncStatus `json:"sync,omitempty"`
+}
+
+// CollectStatus assembles a StatusReport from a live engine (or, inside a
+// module Run, from its RunContext).
+func CollectStatus(v EngineView, now time.Time) StatusReport {
+	rep := StatusReport{Time: now, Healthy: true}
+	rep.Instances = v.SupervisorSnapshots()
+	for _, ih := range rep.Instances {
+		if ih.State != core.SupervisorHealthy || ih.Wedged {
+			rep.Healthy = false
+		}
+	}
+	for _, id := range v.Instances() {
+		mod, ok := v.ModuleOf(id)
+		if !ok {
+			continue
+		}
+		if br, ok := mod.(BreakerReporter); ok {
+			if hs := br.ClientHealths(); len(hs) > 0 {
+				if rep.Breakers == nil {
+					rep.Breakers = make(map[string]map[string]rpc.Health)
+				}
+				rep.Breakers[id] = hs
+				for _, h := range hs {
+					if h.State == rpc.BreakerOpen {
+						rep.Healthy = false
+					}
+				}
+			}
+		}
+		if sr, ok := mod.(SyncReporter); ok {
+			if rep.Sync == nil {
+				rep.Sync = make(map[string]SyncStatus)
+			}
+			rep.Sync[id] = SyncStatus{
+				Partial:       sr.PartialTimestamps(),
+				Dropped:       sr.DroppedTimestamps(),
+				MissingByNode: sr.MissingByNode(),
+			}
+		}
+	}
+	return rep
+}
+
+// RegisterStatusServer exposes the engine's status over the native RPC
+// protocol as MethodStatus (no parameters; returns a StatusReport). clock
+// defaults to time.Now.
+func RegisterStatusServer(srv *rpc.Server, view EngineView, clock func() time.Time) {
+	if clock == nil {
+		clock = time.Now
+	}
+	srv.Handle(MethodStatus, func(json.RawMessage) (any, error) {
+		return CollectStatus(view, clock()), nil
+	})
+}
+
+// ListenStatus starts a status RPC server on addr (e.g. "127.0.0.1:0") and
+// returns it with its bound address. Close the server to stop.
+func ListenStatus(addr string, view EngineView, clock func() time.Time) (*rpc.Server, net.Addr, error) {
+	srv := rpc.NewServer(ServiceStatus)
+	RegisterStatusServer(srv, view, clock)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, bound, nil
+}

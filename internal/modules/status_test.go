@@ -1,0 +1,282 @@
+package modules
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+// flakySource publishes once, then fails every run — a minimal way to
+// drive an instance into quarantine so the status and sink surfaces have
+// something to report.
+type flakySource struct {
+	out  *core.OutputPort
+	runs int
+}
+
+func (m *flakySource) Init(ctx *core.InitContext) error {
+	var err error
+	if m.out, err = ctx.NewOutput("output0", core.Origin{Source: "flaky", Node: "n0"}); err != nil {
+		return err
+	}
+	return ctx.SchedulePeriodic(time.Second)
+}
+
+func (m *flakySource) Run(ctx *core.RunContext) error {
+	if ctx.Reason == core.RunFlush {
+		return nil
+	}
+	m.runs++
+	if m.runs == 1 {
+		m.out.Publish(core.NewScalar(ctx.Now, 5))
+		return nil
+	}
+	return errors.New("boom")
+}
+
+// TestSinkCountersAndDegradedTagging quarantines a flaky instance under
+// degrade=hold and checks that both sinks tag its gap-fill substitutes and
+// emit the supervisor counters at flush.
+func TestSinkCountersAndDegradedTagging(t *testing.T) {
+	env := NewEnv()
+	var alarms bytes.Buffer
+	env.AlarmWriter = &alarms
+	csvPath := filepath.Join(t.TempDir(), "out.csv")
+
+	cfg, err := config.ParseString(fmt.Sprintf(`
+[flaky]
+id = f
+quarantine_threshold = 2
+quarantine_cooldown = 100
+degrade = hold
+
+[print]
+id = p
+only_nonzero = false
+counters = true
+input[in] = f.output0
+
+[csv]
+id = c
+path = %s
+counters = true
+input[in] = f.output0
+`, csvPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(env)
+	reg.Register("flaky", func() core.Module { return &flakySource{} })
+	e, err := core.NewEngine(reg, cfg, core.WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 8; i++ {
+		if err := e.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(start.Add(8 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	if ih, _ := e.InstanceHealthOf("f"); ih.State != core.SupervisorQuarantined {
+		t.Fatalf("flaky state = %s, want quarantined", ih.State)
+	}
+	out := alarms.String()
+	if !strings.Contains(out, " degraded=1") {
+		t.Errorf("print output does not tag gap-fill samples:\n%s", out)
+	}
+	if !strings.Contains(out, "counters instance=f state=quarantined") {
+		t.Errorf("print output missing supervisor counter line:\n%s", out)
+	}
+	if !strings.Contains(out, "gapfills=") {
+		t.Errorf("print counter line missing gap-fill counter:\n%s", out)
+	}
+
+	data, err := readFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, ";degraded\n") {
+		t.Errorf("csv rows do not tag gap-fill samples:\n%s", data)
+	}
+	if !strings.Contains(data, ",f,asdf_counters,supervisor_quarantined,") {
+		t.Errorf("csv missing supervisor counter row:\n%s", data)
+	}
+}
+
+// TestStatusReportAndRPCRoundTrip drives an rpc-mode white-box collector
+// with one dead daemon until its breaker opens, then checks the status
+// surface end to end: CollectStatus directly, the same report fetched over
+// the native status RPC (all enums round-tripping), and the breaker/sync
+// counter lines in both sinks.
+func TestStatusReportAndRPCRoundTrip(t *testing.T) {
+	const slaves = 2
+	c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(slaves, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers []*rpc.Server
+	var addrs, names []string
+	for _, n := range c.Slaves() {
+		srv := rpc.NewServer(ServiceHadoopLog)
+		RegisterHadoopLogServer(srv, n.TaskTrackerLog(), n.DataNodeLog(), c.Now)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, addr.String())
+		names = append(names, n.Name)
+	}
+	defer func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}()
+
+	env := NewEnv()
+	env.Clock = c.Now
+	var alarms bytes.Buffer
+	env.AlarmWriter = &alarms
+	csvPath := filepath.Join(t.TempDir(), "out.csv")
+	cfgText := fmt.Sprintf(`
+[hadoop_log]
+id = hl
+kind = tasktracker
+mode = rpc
+nodes = %s
+addrs = %s
+period = 1
+sync_deadline = 2
+sync_quorum = 1
+breaker_threshold = 3
+breaker_cooldown = 600
+
+[print]
+id = p
+only_nonzero = false
+counters = true
+input[x] = @hl
+
+[csv]
+id = c
+path = %s
+counters = true
+input[x] = @hl
+`, strings.Join(names, ","), strings.Join(addrs, ","), csvPath)
+	cfg, err := config.ParseString(cfgText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(NewRegistry(env), cfg,
+		core.WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			c.Tick()
+			if err := e.Tick(c.Now()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(10)
+
+	rep := CollectStatus(e, c.Now())
+	if !rep.Healthy {
+		t.Errorf("healthy cluster reported unhealthy: %+v", rep)
+	}
+
+	// Kill node 1's daemon; three failures open its breaker.
+	_ = servers[1].Close()
+	step(10)
+
+	rep = CollectStatus(e, c.Now())
+	if rep.Healthy {
+		t.Error("open breaker did not mark the report unhealthy")
+	}
+	if got := rep.Breakers["hl"][names[1]].State; got != rpc.BreakerOpen {
+		t.Errorf("dead node breaker state = %s, want open", got)
+	}
+	if rep.Sync["hl"].Partial == 0 {
+		t.Error("no partial timestamps in the sync counters")
+	}
+	if rep.Sync["hl"].MissingByNode[names[1]] == 0 {
+		t.Error("dead node's missing seconds not counted")
+	}
+	if len(rep.Instances) != 3 {
+		t.Errorf("report lists %d instances, want 3", len(rep.Instances))
+	}
+
+	// The same report over the native RPC protocol, enums and all.
+	srv, addr, err := ListenStatus("127.0.0.1:0", e, c.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := rpc.Dial(addr.String(), "status-test", rpc.WithCallTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	var remote StatusReport
+	if err := client.Call(MethodStatus, nil, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Healthy {
+		t.Error("RPC-fetched report claims healthy")
+	}
+	if got := remote.Breakers["hl"][names[1]].State; got != rpc.BreakerOpen {
+		t.Errorf("RPC-fetched breaker state = %s, want open (round-trip)", got)
+	}
+	if len(remote.Instances) != 3 {
+		t.Errorf("RPC-fetched report lists %d instances, want 3", len(remote.Instances))
+	}
+	for _, ih := range remote.Instances {
+		if ih.State != core.SupervisorHealthy {
+			t.Errorf("instance %s state = %s over RPC, want healthy", ih.ID, ih.State)
+		}
+	}
+
+	// Both sinks surface the breaker and sync counters at flush.
+	if err := e.Flush(c.Now()); err != nil {
+		t.Fatal(err)
+	}
+	out := alarms.String()
+	for _, want := range []string{
+		"counters instance=hl state=healthy",
+		"sync partial=",
+		"breaker node=" + names[1] + " state=open",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print counters missing %q:\n%s", want, out)
+		}
+	}
+	data, err := readFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		",hl,asdf_counters,sync,",
+		",hl:" + names[1] + ",asdf_counters,breaker_open,",
+		",hl:" + names[1] + ",asdf_counters,sync_missing,",
+	} {
+		if !strings.Contains(data, want) {
+			t.Errorf("csv counters missing %q:\n%s", want, data)
+		}
+	}
+}

@@ -54,6 +54,28 @@ func (s BreakerState) String() string {
 	}
 }
 
+// MarshalJSON renders the state as its string form, so Health snapshots
+// read naturally on the status endpoint.
+func (s BreakerState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string form written by MarshalJSON, so Health
+// snapshots round-trip over the status RPC.
+func (s *BreakerState) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"closed"`:
+		*s = BreakerClosed
+	case `"open"`:
+		*s = BreakerOpen
+	case `"half-open"`:
+		*s = BreakerHalfOpen
+	default:
+		return fmt.Errorf("rpc: unknown breaker state %s", b)
+	}
+	return nil
+}
+
 // Options tunes a ManagedClient. The zero value selects the defaults noted
 // on each field.
 type Options struct {
