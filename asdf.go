@@ -41,6 +41,7 @@ import (
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/modules"
 	"github.com/asdf-project/asdf/internal/sadc"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // Engine is an fpt-core instance: the module DAG plus its scheduler.
@@ -197,6 +198,20 @@ const MethodStatus = modules.MethodStatus
 func CollectStatus(eng *Engine, now time.Time) StatusReport {
 	return modules.CollectStatus(eng, now)
 }
+
+// Telemetry is a metrics registry with Prometheus text exposition: pass one
+// registry to WithTelemetry and Env.Metrics, then serve it with WriteTo (as
+// cmd/asdf does on GET /metrics). See internal/telemetry and DESIGN.md §5e.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// WithTelemetry registers the engine's runtime metrics — per-instance run
+// latency, tick/wavefront durations, queue depth, supervisor transition
+// counters — on reg. Set Env.Metrics to the same registry to add the
+// collection plane's RPC and timestamp-sync metrics.
+func WithTelemetry(reg *Telemetry) EngineOption { return core.WithTelemetry(reg) }
 
 // TrainModel fits a black-box model on fault-free raw metric vectors:
 // log-scaling sigmas plus k centroids from k-means (§4.5 of the paper).

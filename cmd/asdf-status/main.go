@@ -1,0 +1,261 @@
+// Command asdf-status is a watch-style operator console for a running asdf
+// control node: it polls the status surface at an interval and renders a
+// refreshing per-instance / per-node table — supervisor state, breaker
+// state, sync counters — with deltas since the previous poll, so a degrading
+// deployment is visible as it degrades rather than at the next post-mortem.
+//
+// The snapshot comes from either the HTTP endpoint (GET /status on the
+// address given to asdf -status-addr) or the native status RPC
+// (-status-rpc-addr); the RPC path runs over a supervised ManagedClient, so
+// a control node restart shows up as a few failed polls, not a dead console.
+//
+// Usage:
+//
+//	asdf-status -addr 127.0.0.1:7070              # watch over HTTP, 2s
+//	asdf-status -rpc-addr 127.0.0.1:7071 -interval 1s
+//	asdf-status -addr 127.0.0.1:7070 -once        # one snapshot, exit
+//	asdf-status -addr 127.0.0.1:7070 -json -once  # machine-readable
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asdf-status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	httpAddr := fs.String("addr", "", "control-node status HTTP address (the asdf -status-addr value)")
+	rpcAddr := fs.String("rpc-addr", "", "control-node status RPC address (the asdf -status-rpc-addr value)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "fetch and render a single snapshot, then exit")
+	asJSON := fs.Bool("json", false, "emit each snapshot as one line of JSON (for scripting)")
+	noClear := fs.Bool("no-clear", false, "append refreshes instead of clearing the screen")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*httpAddr == "") == (*rpcAddr == "") {
+		fmt.Fprintln(stderr, "asdf-status: exactly one of -addr or -rpc-addr is required (see -h)")
+		return 2
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(stderr, "asdf-status: -interval must be positive")
+		return 2
+	}
+
+	var fetch func() (modules.StatusReport, error)
+	if *httpAddr != "" {
+		base := "http://" + *httpAddr
+		client := &http.Client{Timeout: 10 * time.Second}
+		fetch = func() (modules.StatusReport, error) { return fetchHTTP(client, base) }
+	} else {
+		// The managed client reconnects with backoff across control-node
+		// restarts, exactly like the collection plane's node connections.
+		mc := rpc.NewManagedClient(*rpcAddr, "asdf-status", rpc.Options{CallTimeout: 10 * time.Second})
+		defer func() { _ = mc.Close() }()
+		fetch = func() (modules.StatusReport, error) {
+			var rep modules.StatusReport
+			err := mc.Call(modules.MethodStatus, nil, &rep)
+			return rep, err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var prev *modules.StatusReport
+	for {
+		rep, err := fetch()
+		switch {
+		case err != nil && *once:
+			fmt.Fprintf(stderr, "asdf-status: %v\n", err)
+			return 1
+		case err != nil:
+			fmt.Fprintf(stderr, "asdf-status: %v\n", err)
+		case *asJSON:
+			line, jerr := json.Marshal(rep)
+			if jerr != nil {
+				fmt.Fprintf(stderr, "asdf-status: encode: %v\n", jerr)
+				return 1
+			}
+			fmt.Fprintln(stdout, string(line))
+			prev = &rep
+		default:
+			if !*once && !*noClear {
+				fmt.Fprint(stdout, "\x1b[H\x1b[2J") // cursor home + clear
+			}
+			render(stdout, rep, prev, *interval)
+			prev = &rep
+		}
+		if *once {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return 0
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// fetchHTTP reads one /status snapshot.
+func fetchHTTP(client *http.Client, base string) (modules.StatusReport, error) {
+	var rep modules.StatusReport
+	resp, err := client.Get(base + "/status")
+	if err != nil {
+		return rep, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("GET /status: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("GET /status: bad JSON: %w", err)
+	}
+	return rep, nil
+}
+
+// delta renders "cur" or "cur(+d)" against the previous poll's value.
+func delta(cur, prevVal uint64, havePrev bool) string {
+	if !havePrev || cur == prevVal {
+		return fmt.Sprintf("%d", cur)
+	}
+	// Counters only move up; a smaller value means the control node
+	// restarted, worth flagging as such.
+	if cur < prevVal {
+		return fmt.Sprintf("%d(reset)", cur)
+	}
+	return fmt.Sprintf("%d(+%d)", cur, cur-prevVal)
+}
+
+// render writes the full console: header, per-instance supervisor table,
+// per-node breaker table, and sync counters, with deltas against prev.
+func render(w io.Writer, rep modules.StatusReport, prev *modules.StatusReport, interval time.Duration) {
+	health := "HEALTHY"
+	if !rep.Healthy {
+		health = "DEGRADED"
+	}
+	fmt.Fprintf(w, "asdf-status — %s  %s  (every %s; Δ since last poll)\n\n",
+		rep.Time.Format(time.RFC3339), health, interval)
+
+	prevInst := map[string]core.InstanceHealth{}
+	if prev != nil {
+		for _, ih := range prev.Instances {
+			prevInst[ih.ID] = ih
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "INSTANCE\tSTATE\tFAILS\tPANICS\tTIMEOUTS\tERRORS\tQUAR\tREADMIT\tGAPFILL\tLAST FAILURE")
+	for _, ih := range rep.Instances {
+		prevIH, havePrev := prevInst[ih.ID]
+		failsPrev, quarPrev := prevIH.TotalFailures, prevIH.Quarantines
+		state := ih.State.String()
+		if ih.Wedged {
+			state += "+wedged"
+		}
+		last := ih.LastFailure
+		if last == "" {
+			last = "-"
+		} else if len(last) > 48 {
+			last = last[:45] + "..."
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%d\t%d\t%s\n",
+			ih.ID, state,
+			delta(ih.TotalFailures, failsPrev, havePrev),
+			ih.Panics, ih.Timeouts, ih.Errors,
+			delta(ih.Quarantines, quarPrev, havePrev),
+			ih.Readmissions, ih.GapFills, last)
+	}
+	_ = tw.Flush()
+
+	if len(rep.Breakers) > 0 {
+		fmt.Fprintln(w, "\nBREAKERS")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "INSTANCE\tNODE\tADDR\tSTATE\tCONNECTED\tFAILS\tRECONNECTS\tLAST ERROR")
+		for _, inst := range sortedKeys(rep.Breakers) {
+			nodes := rep.Breakers[inst]
+			for _, node := range sortedKeys(nodes) {
+				h := nodes[node]
+				failsPrev := uint64(0)
+				havePrev := false
+				if prev != nil {
+					if ph, ok := prev.Breakers[inst][node]; ok {
+						failsPrev = ph.TotalFailures
+						havePrev = true
+					}
+				}
+				last := h.LastError
+				if last == "" {
+					last = "-"
+				} else if len(last) > 40 {
+					last = last[:37] + "..."
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%v\t%s\t%d\t%s\n",
+					inst, node, h.Addr, h.State, h.Connected,
+					delta(h.TotalFailures, failsPrev, havePrev), h.Reconnects, last)
+			}
+		}
+		_ = tw.Flush()
+	}
+
+	if len(rep.Sync) > 0 {
+		fmt.Fprintln(w, "\nSYNC")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "INSTANCE\tPARTIAL\tDROPPED\tMISSING BY NODE")
+		for _, inst := range sortedKeys(rep.Sync) {
+			s := rep.Sync[inst]
+			partialPrev, droppedPrev := uint64(0), uint64(0)
+			havePrev := false
+			if prev != nil {
+				if ps, ok := prev.Sync[inst]; ok {
+					partialPrev, droppedPrev = ps.Partial, ps.Dropped
+					havePrev = true
+				}
+			}
+			var missing []string
+			for _, n := range sortedKeys(s.MissingByNode) {
+				if v := s.MissingByNode[n]; v > 0 {
+					missing = append(missing, fmt.Sprintf("%s:%d", n, v))
+				}
+			}
+			miss := "-"
+			if len(missing) > 0 {
+				miss = strings.Join(missing, " ")
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", inst,
+				delta(s.Partial, partialPrev, havePrev),
+				delta(s.Dropped, droppedPrev, havePrev), miss)
+		}
+		_ = tw.Flush()
+	}
+}
+
+// sortedKeys returns m's keys in lexical order, keeping the table layout
+// stable across refreshes.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

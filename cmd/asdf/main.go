@@ -7,10 +7,13 @@
 // Alarms from print modules go to stdout.
 //
 // With -status-addr the control node also serves an operator health
-// endpoint: GET /healthz answers ok/degraded, and GET /status returns a
-// JSON snapshot of per-instance supervisor state, per-node breaker health,
-// and timestamp-sync counters. -status-rpc-addr serves the same snapshot
-// over the native RPC protocol for tooling that already speaks it.
+// endpoint: GET /healthz answers ok/degraded, GET /status returns a JSON
+// snapshot of per-instance supervisor state, per-node breaker health, and
+// timestamp-sync counters, and GET /metrics exposes the same runtime — run
+// latency histograms, tick/wavefront durations, supervisor transitions,
+// breaker states, sync counters — in Prometheus text format for scraping.
+// -status-rpc-addr serves the status snapshot over the native RPC protocol
+// for tooling that already speaks it (see cmd/asdf-status).
 //
 // Usage:
 //
@@ -68,8 +71,14 @@ func run(args []string) int {
 		return 2
 	}
 
+	// One registry covers the whole control node: the engine's scheduler
+	// and supervisor metrics, the collection plane's per-node RPC metrics,
+	// and the sync counters all land here, served on GET /metrics.
+	metrics := asdf.NewTelemetry()
+
 	env := asdf.NewEnv()
 	env.AlarmWriter = os.Stdout
+	env.Metrics = metrics
 	// Collection-plane resilience defaults; per-instance configuration
 	// parameters override these.
 	env.RPCOptions.CallTimeout = *callTimeout
@@ -99,6 +108,7 @@ func run(args []string) int {
 	// a wedged Run) are supervised: logged and retried, quarantined past
 	// the failure budget, never fatal.
 	eng, err := asdf.NewEngine(reg, cfg,
+		asdf.WithTelemetry(metrics),
 		asdf.WithParallelism(*parallelism),
 		asdf.WithWatchdog(*runTimeout),
 		asdf.WithQuarantine(*quarThreshold, *quarCooldown),
@@ -113,7 +123,7 @@ func run(args []string) int {
 	log.Printf("asdf: %d module instances wired: %v", len(eng.Instances()), eng.Instances())
 
 	if *statusAddr != "" {
-		httpSrv, addr, err := serveStatusHTTP(*statusAddr, eng)
+		httpSrv, addr, err := serveStatusHTTP(*statusAddr, eng, metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asdf: status endpoint: %v\n", err)
 			return 1
@@ -144,8 +154,9 @@ func run(args []string) int {
 // serveStatusHTTP starts the operator health endpoint on addr and returns
 // the server with its bound address. GET /healthz answers 200 "ok" while
 // no instance is quarantined or wedged and no collection breaker is open,
-// 503 "degraded" otherwise; GET /status returns the full JSON snapshot.
-func serveStatusHTTP(addr string, eng *asdf.Engine) (*http.Server, net.Addr, error) {
+// 503 "degraded" otherwise; GET /status returns the full JSON snapshot; and
+// GET /metrics serves the telemetry registry in Prometheus text format.
+func serveStatusHTTP(addr string, eng *asdf.Engine, metrics *asdf.Telemetry) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
@@ -160,6 +171,12 @@ func serveStatusHTTP(addr string, eng *asdf.Engine) (*http.Server, net.Addr, err
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "degraded")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := metrics.WriteTo(w); err != nil {
+			log.Printf("asdf: metrics write: %v", err)
+		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		rep := asdf.CollectStatus(eng, time.Now())

@@ -7,10 +7,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	asdf "github.com/asdf-project/asdf"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 func TestRunListModules(t *testing.T) {
@@ -88,7 +90,7 @@ func TestStatusEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng)
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, asdf.NewTelemetry())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,5 +137,78 @@ func TestStatusEndpoints(t *testing.T) {
 	}
 	if len(rep.Instances) != 1 || rep.Instances[0].State != asdf.SupervisorQuarantined {
 		t.Errorf("/status instances = %+v, want f quarantined", rep.Instances)
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /metrics from the operator server and
+// checks the exposed supervisor counters against the /status JSON snapshot
+// taken from the same quiesced engine — the acceptance contract for the
+// exposition surface.
+func TestMetricsEndpoint(t *testing.T) {
+	metrics := asdf.NewTelemetry()
+	reg := asdf.NewBareRegistry()
+	reg.Register("broken", func() asdf.Module { return &brokenSource{} })
+	cfg, err := asdf.ParseConfigString("[broken]\nid = f\nperiod = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := asdf.NewEngine(reg, cfg,
+		asdf.WithTelemetry(metrics),
+		asdf.WithQuarantine(3, time.Minute),
+		asdf.WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three failing ticks: two budget strikes, then quarantine entry.
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if err := eng.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	scraped, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+
+	var rep asdf.StatusReport
+	sresp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sresp.Body.Close() }()
+	if err := json.NewDecoder(sresp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+
+	ih := rep.Instances[0]
+	for series, want := range map[string]float64{
+		`asdf_supervisor_failures_total{instance="f",kind="error"}`: float64(ih.Errors),
+		`asdf_supervisor_quarantines_total{instance="f"}`:           float64(ih.Quarantines),
+		`asdf_supervisor_state{instance="f"}`:                       float64(ih.State),
+		"asdf_engine_tick_seconds_count":                            3,
+	} {
+		if got, ok := scraped[series]; !ok || got != want {
+			t.Errorf("scraped %s = %v (present=%v), want %v", series, got, ok, want)
+		}
+	}
+	if ih.Errors == 0 || ih.Quarantines == 0 {
+		t.Errorf("scenario did not exercise failures/quarantine: %+v", ih)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // slowStage models an analysis module with a fixed per-run cost: it sleeps
@@ -88,8 +89,10 @@ func BenchmarkEngineTick(b *testing.B) {
 // fan DAG (the supervisor's per-dispatch cost is the whole signal) ticked
 // under each supervision layer. sup=recover is the mandatory baseline
 // (panic recovery + failure accounting), sup=quarantine arms a failure
-// budget that never trips, and sup=watchdog adds the goroutine-per-dispatch
-// deadline — the one layer with real cost, which is why it is opt-in.
+// budget that never trips, sup=watchdog adds the goroutine-per-dispatch
+// deadline — the one layer with real cost, which is why it is opt-in —
+// and sup=telemetry attaches a metrics registry, which must stay within
+// noise of the baseline (atomic increments plus one clock read per run).
 // The sup=... sub-names deliberately match none of the CI benchstat greps
 // (mode=..., client=...); this benchmark tracks the recover/quarantine
 // layers staying within noise of each other, not serial vs parallel.
@@ -118,6 +121,7 @@ func BenchmarkSupervisorOverhead(b *testing.B) {
 		{"recover", nil},
 		{"quarantine", []Option{WithQuarantine(5, 10*time.Second)}},
 		{"watchdog", []Option{WithWatchdog(time.Second)}},
+		{"telemetry", []Option{WithTelemetry(telemetry.NewRegistry())}},
 	} {
 		b.Run("sup="+sup.name, func(b *testing.B) {
 			eng, err := NewEngine(reg, file, sup.opts...)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // Engine is an fpt-core instance: a DAG of module instances plus a
@@ -48,6 +49,13 @@ type Engine struct {
 	tickNum atomic.Uint64
 	waveNum atomic.Uint64
 	errMu   sync.Mutex // serializes the default error handler's log lines
+
+	// Telemetry (nil without WithTelemetry; every handle is nil-safe, so
+	// the schedulers never branch on whether metrics are wired).
+	metrics     *telemetry.Registry
+	mTick       *telemetry.Histogram // step-mode Tick wall time
+	mWave       *telemetry.Histogram // wavefront (runFront batch) wall time
+	mQueueDepth *telemetry.Gauge     // step-mode dirty-list length
 }
 
 // instanceState is the engine-side representation of one module instance:
@@ -73,6 +81,10 @@ type instanceState struct {
 	mailbox chan RunReason // real-time mode
 
 	sup *supervisor // per-instance supervised runtime
+
+	// mRunSeconds observes supervised Run latency (nil without telemetry;
+	// non-nil also gates the per-dispatch clock reads).
+	mRunSeconds *telemetry.Histogram
 }
 
 // Option customizes engine construction.
@@ -140,6 +152,15 @@ func WithDegrade(p DegradePolicy) Option {
 	return func(e *Engine) { e.degradeDefault = p }
 }
 
+// WithTelemetry registers the engine's runtime metrics — per-instance run
+// latency histograms, tick and wavefront durations, queue depth, and the
+// supervisor's transition counters — on reg, for exposition on a /metrics
+// endpoint. nil (the default) disables instrumentation entirely: the hot
+// path then performs no clock reads and no atomic operations for telemetry.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(e *Engine) { e.metrics = reg }
+}
+
 // NewEngine builds the module DAG from the parsed configuration, following
 // the paper's four-step construction (§3.3): create a vertex per instance,
 // count unsatisfied inputs, initialize instances whose inputs are satisfied
@@ -158,6 +179,14 @@ func NewEngine(reg *Registry, file *config.File, opts ...Option) (*Engine, error
 	e.stepMu <- struct{}{}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.metrics != nil {
+		e.mTick = e.metrics.Histogram("asdf_engine_tick_seconds",
+			"Wall-clock duration of one step-mode Tick, periodic fires and trigger drain included.", nil)
+		e.mWave = e.metrics.Histogram("asdf_engine_wavefront_seconds",
+			"Wall-clock duration of one wavefront batch (the concurrent instances at one topological depth).", nil)
+		e.mQueueDepth = e.metrics.Gauge("asdf_engine_queue_depth",
+			"Step-mode scheduler queue: instances currently triggered and waiting to run.")
 	}
 	if e.onErr == nil {
 		// Concurrent modules (real-time mode, wavefront mode) may fail at
@@ -375,6 +404,7 @@ func (e *Engine) notifyInput(in *InputPort) {
 	if enqueue {
 		inst.queued = true
 		e.dirty = append(e.dirty, inst)
+		e.mQueueDepth.Set(float64(len(e.dirty)))
 	}
 	e.unlock()
 
@@ -414,6 +444,28 @@ func (e *Engine) initSupervisor(inst *instanceState) error {
 	} else if sup.degrade, err = ParseDegradePolicy(sp.Degrade); err != nil {
 		return fmt.Errorf("core: instance %q: %w", inst.id, err)
 	}
+	if reg := e.metrics; reg != nil {
+		il := telemetry.L("instance", inst.id)
+		const failHelp = "Supervised module-run failures by instance and kind (error, panic, timeout)."
+		sup.mErrors = reg.Counter("asdf_supervisor_failures_total", failHelp,
+			il, telemetry.L("kind", FailureError.String()))
+		sup.mPanics = reg.Counter("asdf_supervisor_failures_total", failHelp,
+			il, telemetry.L("kind", FailurePanic.String()))
+		sup.mTimeouts = reg.Counter("asdf_supervisor_failures_total", failHelp,
+			il, telemetry.L("kind", FailureTimeout.String()))
+		sup.mQuarantines = reg.Counter("asdf_supervisor_quarantines_total",
+			"Entries into the quarantined state (failure budget exhausted or failed probe).", il)
+		sup.mReadmissions = reg.Counter("asdf_supervisor_readmissions_total",
+			"Successful half-open probes re-admitting a quarantined instance.", il)
+		sup.mLateReturns = reg.Counter("asdf_supervisor_late_returns_total",
+			"Watchdog-abandoned runs that eventually returned.", il)
+		sup.mGapFills = reg.Counter("asdf_supervisor_gap_fills_total",
+			"Degrade-policy publishes while quarantined.", il)
+		sup.mState = reg.Gauge("asdf_supervisor_state",
+			"Quarantine lifecycle position: 0 healthy, 1 quarantined, 2 probing.", il)
+		inst.mRunSeconds = reg.Histogram("asdf_module_run_seconds",
+			"Wall-clock latency of supervised module runs.", nil, il)
+	}
 	inst.sup = sup
 	return nil
 }
@@ -425,6 +477,15 @@ func (e *Engine) initSupervisor(inst *instanceState) error {
 func (e *Engine) runModule(inst *instanceState, reason RunReason, now time.Time) {
 	switch inst.sup.admit(reason, now) {
 	case admitRun:
+		if inst.mRunSeconds != nil {
+			// The non-nil histogram gates the clock reads too, keeping the
+			// uninstrumented dispatch path free of telemetry cost.
+			start := time.Now()
+			err := e.invoke(inst, reason, now)
+			inst.mRunSeconds.Observe(time.Since(start).Seconds())
+			e.settle(inst, err, reason, now)
+			return
+		}
 		e.settle(inst, e.invoke(inst, reason, now), reason, now)
 	case admitSkip:
 		inst.sup.gapFill(now)

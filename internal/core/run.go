@@ -22,6 +22,10 @@ func (e *Engine) Tick(now time.Time) error {
 	}
 	e.started = true
 	e.tickNum.Add(1)
+	var start time.Time
+	if e.mTick != nil {
+		start = time.Now()
+	}
 	if e.parallelism > 1 {
 		e.tickPeriodicParallel(now)
 	} else {
@@ -30,6 +34,9 @@ func (e *Engine) Tick(now time.Time) error {
 		}
 	}
 	e.drainTriggers(now)
+	if e.mTick != nil {
+		e.mTick.Observe(time.Since(start).Seconds())
+	}
 	return nil
 }
 
@@ -70,8 +77,20 @@ func (e *Engine) tickPeriodicParallel(now time.Time) {
 			continue
 		}
 		e.waveNum.Add(1)
-		e.runFront(front, func(inst *instanceState) { e.firePeriodic(inst, now) })
+		e.timedFront(front, func(inst *instanceState) { e.firePeriodic(inst, now) })
 	}
+}
+
+// timedFront is runFront with the per-wavefront duration histogram around
+// it; the nil check keeps uninstrumented engines clear of the clock reads.
+func (e *Engine) timedFront(front []*instanceState, fn func(*instanceState)) {
+	if e.mWave == nil {
+		e.runFront(front, fn)
+		return
+	}
+	start := time.Now()
+	e.runFront(front, fn)
+	e.mWave.Observe(time.Since(start).Seconds())
 }
 
 // runFront executes fn for every instance of one wavefront on up to
@@ -162,10 +181,11 @@ func (e *Engine) drainTriggers(now time.Time) {
 		for _, inst := range front {
 			inst.queued = false
 		}
+		e.mQueueDepth.Set(float64(len(e.dirty)))
 		e.unlock()
 
 		e.waveNum.Add(1)
-		e.runFront(front, func(inst *instanceState) { e.runModule(inst, RunInputs, now) })
+		e.timedFront(front, func(inst *instanceState) { e.runModule(inst, RunInputs, now) })
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // The supervised module runtime. ASDF's fingerpointing value depends on the
@@ -291,6 +293,15 @@ type supervisor struct {
 	gapFills                               uint64
 	lastFailure                            string
 	lastFailureAt                          time.Time
+
+	// Telemetry handles (nil without WithTelemetry; nil-safe). Incremented
+	// at exactly the points the counters above change, under the same mutex,
+	// so a /metrics scrape and a /status snapshot of a quiesced engine agree
+	// value for value.
+	mErrors, mPanics, mTimeouts *telemetry.Counter
+	mQuarantines, mReadmissions *telemetry.Counter
+	mLateReturns, mGapFills     *telemetry.Counter
+	mState                      *telemetry.Gauge
 }
 
 // admitDecision is the outcome of supervisor.admit.
@@ -327,6 +338,7 @@ func (s *supervisor) admit(reason RunReason, now time.Time) admitDecision {
 	case SupervisorQuarantined:
 		if !now.Before(s.reopenAt) {
 			s.state = SupervisorProbing
+			s.mState.Set(float64(SupervisorProbing))
 			return admitRun
 		}
 		return admitSkip
@@ -355,6 +367,8 @@ func (s *supervisor) settle(err error, reason RunReason, now time.Time, tick, wa
 			// A successful half-open probe re-admits the instance.
 			s.state = SupervisorHealthy
 			s.readmissions++
+			s.mReadmissions.Inc()
+			s.mState.Set(float64(SupervisorHealthy))
 		}
 		return nil
 	}
@@ -368,11 +382,14 @@ func (s *supervisor) settle(err error, reason RunReason, now time.Time, tick, wa
 		kind = FailurePanic
 		stack = string(pe.stack)
 		s.panics++
+		s.mPanics.Inc()
 	case errors.As(err, &we):
 		kind = FailureTimeout
 		s.timeouts++
+		s.mTimeouts.Inc()
 	default:
 		s.errs++
+		s.mErrors.Inc()
 	}
 	s.totalFailures++
 	s.lastFailure = err.Error()
@@ -385,6 +402,8 @@ func (s *supervisor) settle(err error, reason RunReason, now time.Time, tick, wa
 			(s.state == SupervisorHealthy && s.threshold > 0 && s.consecutive >= s.threshold) {
 			s.state = SupervisorQuarantined
 			s.quarantines++
+			s.mQuarantines.Inc()
+			s.mState.Set(float64(SupervisorQuarantined))
 			s.reopenAt = now.Add(s.cooldown)
 		}
 	}
@@ -410,6 +429,7 @@ func (s *supervisor) abandon(done <-chan error) {
 		s.mu.Lock()
 		s.wedged = false
 		s.lateReturns++
+		s.mLateReturns.Inc()
 		s.mu.Unlock()
 	}()
 }
@@ -438,6 +458,7 @@ func (s *supervisor) gapFill(now time.Time) {
 	if filled {
 		s.mu.Lock()
 		s.gapFills++
+		s.mGapFills.Inc()
 		s.mu.Unlock()
 	}
 }

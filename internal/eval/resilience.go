@@ -12,6 +12,7 @@ import (
 	"github.com/asdf-project/asdf/internal/hadoopsim"
 	"github.com/asdf-project/asdf/internal/modules"
 	"github.com/asdf-project/asdf/internal/rpc"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // ResilienceConfig sizes the collection-plane fault-injection scenario: a
@@ -60,6 +61,11 @@ type ResilienceConfig struct {
 	// TraceWriter, when non-nil, receives one counter line per tick (the
 	// CI fault drill points this at its artifact file).
 	TraceWriter io.Writer
+	// Metrics, when non-nil, receives the whole run's telemetry — engine,
+	// supervisor, per-node RPC, and sync metrics — exactly as cmd/asdf
+	// wires its registry. The acceptance test scrapes it and checks the
+	// values against the Status snapshot.
+	Metrics *telemetry.Registry
 }
 
 // victims returns every victim index: Victim plus ExtraVictims, deduped.
@@ -133,6 +139,10 @@ type ResilienceReport struct {
 	// SlowNodeReclosed reports the slow node's breaker was closed again
 	// once the delay was lifted.
 	SlowNodeReclosed bool
+	// Status is the final operator snapshot, taken from the quiesced
+	// engine after the last tick — the reference the scraped /metrics
+	// values must agree with.
+	Status modules.StatusReport
 }
 
 // hlHealthReporter and sadcHealthReporter are the inspection surfaces the
@@ -259,6 +269,7 @@ func RunCollectionResilience(cfg ResilienceConfig) (*ResilienceReport, error) {
 
 	env := modules.NewEnv()
 	env.Clock = c.Now
+	env.Metrics = cfg.Metrics
 
 	var b strings.Builder
 	fmt.Fprintf(&b, `
@@ -305,6 +316,7 @@ breaker_cooldown = %d
 	var mu sync.Mutex
 	report := &ResilienceReport{}
 	eng, err := core.NewEngine(modules.NewRegistry(env), parsed,
+		core.WithTelemetry(cfg.Metrics),
 		core.WithErrorHandler(func(string, error) {
 			mu.Lock()
 			report.RunErrors++
@@ -460,5 +472,6 @@ breaker_cooldown = %d
 			report.SlowNodeReclosed = h.State == rpc.BreakerClosed
 		}
 	}
+	report.Status = modules.CollectStatus(eng, c.Now())
 	return report, nil
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/modules"
 	"github.com/asdf-project/asdf/internal/rpc"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // The supervised-runtime acceptance scenario: a fan DAG whose instances
@@ -49,6 +50,10 @@ type SupervisedConfig struct {
 	// TraceWriter, when non-nil, receives one counter line per tick (the
 	// CI fault drill points this at its artifact file).
 	TraceWriter io.Writer
+	// Metrics, when non-nil, receives the engine and supervisor telemetry
+	// for the run; the acceptance test scrapes it and checks the values
+	// against StatusOverRPC.
+	Metrics *telemetry.Registry
 }
 
 // DefaultSupervisedConfig is the scenario the test suite runs: 3 healthy
@@ -259,6 +264,7 @@ func RunSupervised(cfg SupervisedConfig) (*SupervisedReport, error) {
 	report := &SupervisedReport{}
 	var mu sync.Mutex
 	eng, err := core.NewEngine(reg, parsed,
+		core.WithTelemetry(cfg.Metrics),
 		core.WithErrorHandler(func(string, error) {
 			mu.Lock()
 			report.RunErrors++

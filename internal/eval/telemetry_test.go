@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/telemetry"
+)
+
+// The telemetry acceptance contract: on a quiesced engine, every counter on
+// the /metrics exposition surface equals the corresponding field of the
+// /status snapshot — the two operator surfaces may never disagree. The
+// scenarios below drive real pipelines (TCP collection daemons with an
+// injected outage; a panicking and a wedging module under quarantine) and
+// then compare the scrape, series by series, to the StatusReport.
+
+// scrape serves reg over a real HTTP handler — the same WriteTo path
+// cmd/asdf mounts on GET /metrics — fetches it, and parses the exposition
+// text back into series values. When the ASDF_METRICS_DUMP environment
+// variable names a directory, the raw scraped text is also written there as
+// <TestName>.txt (the CI fault drill uploads the directory as an artifact).
+func scrape(t *testing.T, reg *telemetry.Registry) map[string]float64 {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := reg.WriteTo(w); err != nil {
+			t.Errorf("metrics write: %v", err)
+		}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir := os.Getenv("ASDF_METRICS_DUMP"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatalf("ASDF_METRICS_DUMP: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, t.Name()+".txt"), buf, 0o644); err != nil {
+			t.Fatalf("ASDF_METRICS_DUMP: %v", err)
+		}
+	}
+	vals, err := telemetry.ParseText(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	return vals
+}
+
+// check asserts one scraped series has exactly the expected value.
+func check(t *testing.T, scraped map[string]float64, series string, want float64) {
+	t.Helper()
+	got, ok := scraped[series]
+	if !ok {
+		t.Errorf("series %s missing from scrape (want %v)", series, want)
+		return
+	}
+	if got != want {
+		t.Errorf("scraped %s = %v, want %v (status snapshot)", series, got, want)
+	}
+}
+
+// TestResilienceMetricsMatchStatus runs the collection-plane fault drill —
+// real sadc/hadoop-log daemons over TCP, one node killed and revived — with
+// a telemetry registry attached, then checks every RPC, sync, and
+// supervisor series against the final StatusReport.
+func TestResilienceMetricsMatchStatus(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	cfg.Metrics = telemetry.NewRegistry()
+	rep, err := RunCollectionResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scraped := scrape(t, cfg.Metrics)
+	status := rep.Status
+
+	// Sanity: the scenario must actually have exercised the fault paths,
+	// otherwise the equalities below are vacuous zero == zero.
+	if rep.Partial == 0 || !rep.BreakerOpened || rep.VictimReconnects < 2 {
+		t.Fatalf("scenario did not degrade: partial=%d opened=%v reconnects=%d",
+			rep.Partial, rep.BreakerOpened, rep.VictimReconnects)
+	}
+
+	// Per-node RPC plane: every managed connection in the Breakers map has
+	// addr-labeled call, failure, reconnect, and breaker-state series.
+	for inst, nodes := range status.Breakers {
+		for node, h := range nodes {
+			al := fmt.Sprintf(`{addr=%q}`, h.Addr)
+			check(t, scraped, "asdf_rpc_transport_failures_total"+al, float64(h.TotalFailures))
+			check(t, scraped, "asdf_rpc_reconnects_total"+al, float64(h.Reconnects))
+			check(t, scraped, "asdf_rpc_breaker_state"+al, float64(h.State))
+			if _, ok := scraped["asdf_rpc_calls_total"+al]; !ok {
+				t.Errorf("no calls_total series for %s/%s (%s)", inst, node, h.Addr)
+			}
+		}
+	}
+	if status.Breakers["hl"] == nil {
+		t.Fatal("status has no hl breaker map; RPC comparison was vacuous")
+	}
+
+	// Sync plane.
+	for inst, s := range status.Sync {
+		il := fmt.Sprintf(`{instance=%q}`, inst)
+		check(t, scraped, "asdf_sync_partial_timestamps_total"+il, float64(s.Partial))
+		check(t, scraped, "asdf_sync_dropped_timestamps_total"+il, float64(s.Dropped))
+		for node, missing := range s.MissingByNode {
+			check(t, scraped,
+				fmt.Sprintf(`asdf_sync_missing_seconds_total{instance=%q,node=%q}`, inst, node),
+				float64(missing))
+		}
+	}
+	if len(status.Sync) == 0 {
+		t.Fatal("status has no sync counters; sync comparison was vacuous")
+	}
+
+	// Supervisor plane: the collection outage surfaces as module run errors.
+	for _, ih := range status.Instances {
+		il := fmt.Sprintf(`{instance=%q}`, ih.ID)
+		check(t, scraped, fmt.Sprintf(`asdf_supervisor_failures_total{instance=%q,kind="error"}`, ih.ID),
+			float64(ih.Errors))
+		check(t, scraped, "asdf_supervisor_state"+il, float64(ih.State))
+	}
+
+	// Engine plane: one tick histogram observation per engine tick.
+	check(t, scraped, "asdf_engine_tick_seconds_count", float64(cfg.Ticks))
+}
+
+// TestSupervisedMetricsMatchStatus runs the quarantine scenario — panicker,
+// wedger, healthy siblings — with telemetry attached and checks the
+// supervisor transition counters against the status RPC snapshot.
+func TestSupervisedMetricsMatchStatus(t *testing.T) {
+	cfg := DefaultSupervisedConfig()
+	cfg.Metrics = telemetry.NewRegistry()
+	rep, err := RunSupervised(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scraped := scrape(t, cfg.Metrics)
+
+	if rep.PanickerHealth.Panics == 0 || rep.WedgerHealth.Timeouts == 0 ||
+		rep.PanickerHealth.Quarantines == 0 || !rep.PanickerReadmitted {
+		t.Fatalf("scenario did not exercise the supervisor: panic=%+v wedge=%+v",
+			rep.PanickerHealth, rep.WedgerHealth)
+	}
+
+	for _, ih := range rep.StatusOverRPC.Instances {
+		il := fmt.Sprintf(`{instance=%q}`, ih.ID)
+		for kind, want := range map[string]uint64{
+			"error":   ih.Errors,
+			"panic":   ih.Panics,
+			"timeout": ih.Timeouts,
+		} {
+			check(t, scraped,
+				fmt.Sprintf(`asdf_supervisor_failures_total{instance=%q,kind=%q}`, ih.ID, kind),
+				float64(want))
+		}
+		check(t, scraped, "asdf_supervisor_quarantines_total"+il, float64(ih.Quarantines))
+		check(t, scraped, "asdf_supervisor_readmissions_total"+il, float64(ih.Readmissions))
+		check(t, scraped, "asdf_supervisor_late_returns_total"+il, float64(ih.LateReturns))
+		check(t, scraped, "asdf_supervisor_gap_fills_total"+il, float64(ih.GapFills))
+		check(t, scraped, "asdf_supervisor_state"+il, float64(ih.State))
+		// Every instance that ran has a latency histogram.
+		if _, ok := scraped["asdf_module_run_seconds_count"+il]; !ok {
+			t.Errorf("no run-latency histogram for %s", ih.ID)
+		}
+	}
+	check(t, scraped, "asdf_engine_tick_seconds_count", float64(cfg.Ticks))
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/asdf-project/asdf/internal/hadooplog"
 	"github.com/asdf-project/asdf/internal/rpc"
 	"github.com/asdf-project/asdf/internal/sadc"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // sadcModule is the black-box data-collection module (§3.5): it samples OS
@@ -321,6 +322,13 @@ type hadoopLogModule struct {
 	partial      uint64                // timestamps published without all nodes
 	missing      []uint64              // per node: resolved seconds it missed
 	statesPerVec int
+
+	// Telemetry mirrors of the sync counters above (nil without
+	// Env.Metrics; nil-safe), incremented at the same points so a scrape
+	// matches the SyncReporter surface.
+	mPartial *telemetry.Counter
+	mDropped *telemetry.Counter
+	mMissing []*telemetry.Counter // parallel to nodes
 }
 
 func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
@@ -422,6 +430,18 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	m.missing = make([]uint64, len(m.nodes))
 	for i := range m.pending {
 		m.pending[i] = make(map[int64][]float64)
+	}
+	if reg := m.env.Metrics; reg != nil {
+		il := telemetry.L("instance", ctx.ID())
+		m.mPartial = reg.Counter("asdf_sync_partial_timestamps_total",
+			"Timestamps published in degraded mode, without data from every node.", il)
+		m.mDropped = reg.Counter("asdf_sync_dropped_timestamps_total",
+			"Timestamps discarded below the sync quorum.", il)
+		m.mMissing = make([]*telemetry.Counter, len(m.nodes))
+		for i, n := range m.nodes {
+			m.mMissing[i] = reg.Counter("asdf_sync_missing_seconds_total",
+				"Resolved seconds that lacked this node's data.", il, telemetry.L("node", n))
+		}
 	}
 	m.fetched = make([][]hadooplog.StateVector, len(m.nodes))
 	m.errs = make([]error, len(m.nodes))
@@ -527,6 +547,9 @@ func (m *hadoopLogModule) emitSynchronized(now time.Time) {
 			counts, ok := m.pending[i][sec]
 			if !ok {
 				m.missing[i]++
+				if m.mMissing != nil {
+					m.mMissing[i].Inc()
+				}
 				continue
 			}
 			if emit {
@@ -538,8 +561,10 @@ func (m *hadoopLogModule) emitSynchronized(now time.Time) {
 		case complete:
 		case emit:
 			m.partial++
+			m.mPartial.Inc()
 		default:
 			m.dropped++
+			m.mDropped.Inc()
 		}
 		m.nextEmit = sec + 1
 	}

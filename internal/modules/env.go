@@ -19,6 +19,7 @@ import (
 	"github.com/asdf-project/asdf/internal/hadooplog"
 	"github.com/asdf-project/asdf/internal/procfs"
 	"github.com/asdf-project/asdf/internal/rpc"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // Env supplies the external resources modules refer to by node name in
@@ -46,6 +47,12 @@ type Env struct {
 	// Clock supplies "now" for log flushing; defaults to time.Now. The
 	// offline evaluation harness injects virtual time.
 	Clock func() time.Time
+	// Metrics, when non-nil, registers module telemetry for /metrics
+	// exposition: per-node RPC connection metrics on managed clients and
+	// the timestamp-sync degradation counters. Use the same registry the
+	// engine was built with (core.WithTelemetry) so one scrape covers the
+	// whole control node.
+	Metrics *telemetry.Registry
 	// Actions are the named mitigations available to action modules
 	// (§5 of the paper: active mitigation once a problem is detected).
 	// Each maps a fingerpointed node name to a recovery step, e.g.
@@ -78,6 +85,9 @@ func (e *Env) dial(addr, client string, p config.ResilienceParams) (rpc.Caller, 
 // environment defaults.
 func (e *Env) rpcOptions(p config.ResilienceParams) rpc.Options {
 	opt := e.RPCOptions
+	if opt.Metrics == nil {
+		opt.Metrics = e.Metrics
+	}
 	if opt.Clock == nil {
 		// Breaker and backoff timing follow the same clock as
 		// collection, so virtual-time runs stay deterministic.

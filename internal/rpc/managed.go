@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // Caller is the call surface shared by Client and ManagedClient, letting the
@@ -103,6 +105,14 @@ type Options struct {
 	// Dial opens the underlying connection; defaults to Dial. Tests
 	// inject failing or counting dialers.
 	Dial func(addr, clientName string, opts ...DialOption) (*Client, error)
+
+	// Metrics, when non-nil, registers per-connection telemetry labeled by
+	// the daemon address: call counts and latency, transport failures,
+	// reconnects, and a breaker-state gauge. Two managed clients
+	// supervising the same address share series (registration is
+	// idempotent), which only matters for degenerate configurations that
+	// point two instances at one daemon.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -186,6 +196,15 @@ type ManagedClient struct {
 
 	// accumulated wire bytes of connections already closed
 	closedSent, closedRecv uint64
+
+	// Telemetry handles (nil without Options.Metrics; nil-safe). The
+	// counters move at exactly the points the fields above change, so a
+	// scrape agrees with Health() on a quiescent client.
+	mCalls       *telemetry.Counter
+	mFails       *telemetry.Counter
+	mReconnects  *telemetry.Counter
+	mBreaker     *telemetry.Gauge
+	mCallSeconds *telemetry.Histogram
 }
 
 // NewManagedClient supervises the daemon at addr. No connection is opened
@@ -193,7 +212,7 @@ type ManagedClient struct {
 // down at start-up is simply retried by the caller's normal schedule.
 func NewManagedClient(addr, clientName string, opt Options) *ManagedClient {
 	o := opt.withDefaults()
-	return &ManagedClient{
+	m := &ManagedClient{
 		addr:       addr,
 		name:       clientName,
 		opt:        o,
@@ -201,6 +220,20 @@ func NewManagedClient(addr, clientName string, opt Options) *ManagedClient {
 		stateSince: o.Clock(),
 		backoff:    o.ReconnectBackoff,
 	}
+	if reg := o.Metrics; reg != nil {
+		al := telemetry.L("addr", addr)
+		m.mCalls = reg.Counter("asdf_rpc_calls_total",
+			"Calls attempted on a managed connection, breaker fast-fails included.", al)
+		m.mFails = reg.Counter("asdf_rpc_transport_failures_total",
+			"Transport failures (dial or call) on a managed connection.", al)
+		m.mReconnects = reg.Counter("asdf_rpc_reconnects_total",
+			"Successful dials, the first connect included.", al)
+		m.mBreaker = reg.Gauge("asdf_rpc_breaker_state",
+			"Circuit-breaker state: 0 closed, 1 open, 2 half-open.", al)
+		m.mCallSeconds = reg.Histogram("asdf_rpc_call_seconds",
+			"Wall-clock latency of calls that reached the network.", nil, al)
+	}
+	return m
 }
 
 // Addr returns the remote address this client supervises.
@@ -216,6 +249,7 @@ func (m *ManagedClient) Call(method string, params, result any) error {
 	if m.closed {
 		return ErrClosed
 	}
+	m.mCalls.Inc()
 	now := m.opt.Clock()
 
 	if m.state == BreakerOpen {
@@ -242,9 +276,19 @@ func (m *ManagedClient) Call(method string, params, result any) error {
 		}
 		m.client = c
 		m.reconnects++
+		m.mReconnects.Inc()
 	}
 
-	err := m.client.Call(method, params, result)
+	var err error
+	if m.mCallSeconds != nil {
+		// Latency is wall-clock even under an injected virtual Clock: the
+		// histogram reports real network time, not simulated time.
+		start := time.Now()
+		err = m.client.Call(method, params, result)
+		m.mCallSeconds.Observe(time.Since(start).Seconds())
+	} else {
+		err = m.client.Call(method, params, result)
+	}
 	var remote *RemoteError
 	if err == nil || errors.As(err, &remote) {
 		// The node answered: transport is healthy even if the handler
@@ -278,6 +322,7 @@ func (m *ManagedClient) onSuccess(now time.Time) {
 func (m *ManagedClient) onFailure(now time.Time, err error) {
 	m.fails++
 	m.totalFails++
+	m.mFails.Inc()
 	m.lastErr = err
 	m.lastErrAt = now
 
@@ -303,6 +348,7 @@ func (m *ManagedClient) onFailure(now time.Time, err error) {
 func (m *ManagedClient) toState(s BreakerState, now time.Time) {
 	m.state = s
 	m.stateSince = now
+	m.mBreaker.Set(float64(s))
 }
 
 // Health returns a point-in-time snapshot of the connection.

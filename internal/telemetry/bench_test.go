@@ -1,0 +1,39 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkMetricsHotPath measures the instrumented hot path — one counter
+// increment, one gauge store, one histogram observation — which is what the
+// engine pays per supervised dispatch with telemetry enabled. The CI
+// bench-smoke job tracks it; allocs/op must stay 0 (also enforced by
+// TestHotPathAllocs).
+func BenchmarkMetricsHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("asdf_bench_total", "h", L("instance", "w0"))
+	g := r.Gauge("asdf_bench_gauge", "h")
+	h := r.Histogram("asdf_bench_seconds", "h", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(0.0042)
+	}
+}
+
+// BenchmarkMetricsHotPathParallel is the contended variant: every worker
+// hammers the same three series, the worst case for the CAS loops.
+func BenchmarkMetricsHotPathParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("asdf_benchp_total", "h")
+	g := r.Gauge("asdf_benchp_gauge", "h")
+	h := r.Histogram("asdf_benchp_seconds", "h", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+			g.Set(1)
+			h.Observe(0.0042)
+		}
+	})
+}

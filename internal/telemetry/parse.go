@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses Prometheus text exposition into a flat map from series
+// identity — `name` or `name{label="value",...}` exactly as exposed — to
+// sample value. It understands the subset WriteTo emits (HELP/TYPE comments,
+// one sample per line) plus blank lines, which is all an ASDF scrape ever
+// contains; tests and the e2e harness use it to compare scraped values
+// against the /status JSON counters.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the field after the last space outside braces; label
+		// values may themselves contain spaces.
+		cut := -1
+		depth := 0
+		for i, r := range line {
+			switch r {
+			case '{':
+				depth++
+			case '}':
+				depth--
+			case ' ':
+				if depth == 0 {
+					cut = i
+				}
+			}
+		}
+		if cut <= 0 || cut == len(line)-1 {
+			return nil, fmt.Errorf("telemetry: parse line %d: no value in %q", lineNo, line)
+		}
+		series := strings.TrimSpace(line[:cut])
+		valStr := strings.TrimSpace(line[cut+1:])
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			var err error
+			if v, err = strconv.ParseFloat(valStr, 64); err != nil {
+				return nil, fmt.Errorf("telemetry: parse line %d: bad value %q: %v", lineNo, valStr, err)
+			}
+		}
+		if _, dup := out[series]; dup {
+			return nil, fmt.Errorf("telemetry: parse line %d: duplicate series %s", lineNo, series)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,484 @@
+// Package telemetry is ASDF's dependency-free instrumentation layer: the
+// counters, gauges, and histograms behind the control node's /metrics
+// endpoint (Prometheus text exposition format, version 0.0.4).
+//
+// The package is built for the engine's hot path. Metric handles are created
+// once, at wiring time (engine construction, module Init, client dial), and
+// every subsequent increment or observation is a handful of atomic
+// operations with zero allocations — cheap enough to leave enabled on the
+// per-dispatch and per-RPC paths of a control node ticking many times per
+// second. All handle methods are safe on a nil receiver and do nothing, so
+// instrumented code never branches on whether telemetry is configured.
+//
+// Exposition is pull-based: a Registry serializes every registered metric
+// with WriteTo, and the caller (cmd/asdf's status server) mounts that under
+// GET /metrics. See DESIGN.md §5e for why the framework scrapes rather than
+// pushes.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one name="value" pair attached to a metric. Label names must
+// match [a-zA-Z_][a-zA-Z0-9_]*; values are arbitrary UTF-8 and are escaped
+// on exposition.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// DefBuckets are the default histogram upper bounds: latency-shaped, from
+// 10µs to 10s, suitable for module runs, engine ticks, and RPC calls.
+var DefBuckets = []float64{
+	1e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3, 1e-2, 2.5e-2, 0.1, 0.25, 1, 2.5, 10,
+}
+
+// Counter is a monotonically increasing count. The zero value is unusable;
+// obtain one from Registry.Counter. All methods are atomic and safe on a nil
+// receiver (no-op), so disabled telemetry costs one predictable branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down, stored as atomic float64 bits.
+// Obtain one from Registry.Gauge; methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (negative to subtract) with a compare-and-swap loop.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reports the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into fixed buckets chosen at
+// registration. Observe is a linear bucket scan plus three atomics — no
+// allocation, no lock. Obtain one from Registry.Histogram; methods are safe
+// on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds, +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// child is one labeled series of a family.
+type child struct {
+	labels  string // pre-rendered {name="value",...} or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every series sharing one metric name, help, and type.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	bounds  []float64
+	byLabel map[string]*child
+}
+
+// Registry holds metric families and serializes them in Prometheus text
+// format. The zero value is unusable; create with NewRegistry. Registration
+// is idempotent: asking again for the same name and labels returns the
+// existing handle, so two engines sharing a registry share series.
+// Registration takes a lock and may allocate; handles are meant to be
+// created at wiring time and kept.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter name{labels...}, creating it on first use.
+// Panics if name is already registered as a different type or the name or a
+// label is invalid — both programming errors, matching Registry.Register's
+// contract in internal/core.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := r.series(name, help, kindCounter, nil, labels)
+	return c.counter
+}
+
+// Gauge returns the gauge name{labels...}, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c := r.series(name, help, kindGauge, nil, labels)
+	return c.gauge
+}
+
+// Histogram returns the histogram name{labels...}, creating it on first use
+// with the given upper bounds (nil selects DefBuckets). Bounds must be
+// strictly increasing; a final +Inf bucket is implicit. "le" is reserved.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	c := r.series(name, help, kindHistogram, bounds, labels)
+	return c.hist
+}
+
+// series finds or creates one labeled series.
+func (r *Registry) series(name, help string, kind metricKind, bounds []float64, labels []Label) *child {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Name) || (kind == kindHistogram && l.Name == "le") {
+			panic(fmt.Sprintf("telemetry: metric %s: invalid label name %q", name, l.Name))
+		}
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s: buckets not strictly increasing", name))
+		}
+	}
+	key := renderLabels(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, bounds: bounds, byLabel: make(map[string]*child)}
+		r.families[name] = fam
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s registered as %s and %s", name, fam.kind, kind))
+	}
+	c, ok := fam.byLabel[key]
+	if !ok {
+		c = &child{labels: key}
+		switch kind {
+		case kindCounter:
+			c.counter = new(Counter)
+		case kindGauge:
+			c.gauge = new(Gauge)
+		case kindHistogram:
+			h := &Histogram{bounds: fam.bounds}
+			h.buckets = make([]atomic.Uint64, len(fam.bounds))
+			c.hist = h
+		}
+		fam.byLabel[key] = c
+	}
+	return c
+}
+
+// WriteTo serializes every family in Prometheus text format (families and
+// series in lexical order, so output is deterministic and diffable).
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fam := range fams {
+		fam.write(&b)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// write renders one family. Per-series values are read atomically, so a
+// scrape during live traffic sees a consistent-enough snapshot (histogram
+// count may briefly lead sum, as in any lock-free exposition).
+func (fam *family) write(b *strings.Builder) {
+	b.WriteString("# HELP ")
+	b.WriteString(fam.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(fam.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(fam.name)
+	b.WriteByte(' ')
+	b.WriteString(fam.kind.String())
+	b.WriteByte('\n')
+
+	keys := make([]string, 0, len(fam.byLabel))
+	for k := range fam.byLabel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := fam.byLabel[k]
+		switch fam.kind {
+		case kindCounter:
+			writeSeries(b, fam.name, "", c.labels, "", float64(c.counter.Value()))
+		case kindGauge:
+			writeSeries(b, fam.name, "", c.labels, "", c.gauge.Value())
+		case kindHistogram:
+			// Bucket counts are stored per bucket and cumulated here, so
+			// the hot path is one Add; the exposition invariant (buckets
+			// monotonically non-decreasing, +Inf == count) holds by
+			// construction.
+			var cum uint64
+			for i, ub := range c.hist.bounds {
+				cum += c.hist.buckets[i].Load()
+				writeSeries(b, fam.name, "_bucket", c.labels, formatFloat(ub), float64(cum))
+			}
+			writeSeries(b, fam.name, "_bucket", c.labels, "+Inf", float64(c.hist.Count()))
+			writeSeries(b, fam.name, "_sum", c.labels, "", c.hist.Sum())
+			writeSeries(b, fam.name, "_count", c.labels, "", float64(c.hist.Count()))
+		}
+	}
+}
+
+// writeSeries renders one sample line: name[suffix]{labels[,le="le"]} value.
+func writeSeries(b *strings.Builder, name, suffix, labels, le string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels != "" || le != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if le != "" {
+			if labels != "" {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// renderLabels serializes labels sorted by name as name="value",... with
+// values escaped, which doubles as the series identity key.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline, per the
+// text-format spec.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline (quotes are legal in HELP text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips, "+Inf"/"-Inf"/"NaN" spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

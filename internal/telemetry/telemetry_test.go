@@ -1,0 +1,281 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("asdf_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("asdf_test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read zero")
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("asdf_idem_total", "h", L("instance", "x"))
+	b := r.Counter("asdf_idem_total", "h", L("instance", "x"))
+	if a != b {
+		t.Error("same name+labels must return the same handle")
+	}
+	other := r.Counter("asdf_idem_total", "h", L("instance", "y"))
+	if a == other {
+		t.Error("different labels must return a different series")
+	}
+}
+
+func TestLabelOrderDoesNotSplitSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("asdf_order_total", "h", L("a", "1"), L("b", "2"))
+	b := r.Counter("asdf_order_total", "h", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Error("label order must not change series identity")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("asdf_mismatch", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("asdf_mismatch", "h")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, tc := range []func(r *Registry){
+		func(r *Registry) { r.Counter("0bad", "h") },
+		func(r *Registry) { r.Counter("has space", "h") },
+		func(r *Registry) { r.Counter("ok_total", "h", L("0bad", "v")) },
+		func(r *Registry) { r.Counter("ok_total", "h", L("bad-dash", "v")) },
+		func(r *Registry) { r.Histogram("ok_seconds", "h", nil, L("le", "v")) },
+		func(r *Registry) { r.Histogram("ok_seconds", "h", []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid registration must panic")
+				}
+			}()
+			tc(NewRegistry())
+		}()
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("asdf_escape_total", "help with \\ and\nnewline",
+		L("node", `na"me\with`+"\nnewline")).Inc()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	wantHelp := `# HELP asdf_escape_total help with \\ and\nnewline`
+	if !strings.Contains(text, wantHelp+"\n") {
+		t.Errorf("help not escaped:\n%s", text)
+	}
+	wantSeries := `asdf_escape_total{node="na\"me\\with\nnewline"} 1`
+	if !strings.Contains(text, wantSeries+"\n") {
+		t.Errorf("label value not escaped, want %q in:\n%s", wantSeries, text)
+	}
+}
+
+func TestHistogramBucketInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("asdf_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100, -1} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 2 + 100 - 1; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse own exposition: %v\n%s", err, b.String())
+	}
+	// Cumulative buckets: le="0.1" counts -1, 0.05, 0.1 (le is inclusive).
+	buckets := []struct {
+		le   string
+		want float64
+	}{
+		{"0.1", 3}, {"1", 4}, {"10", 5}, {"+Inf", 6},
+	}
+	prev := -1.0
+	for _, bk := range buckets {
+		got, ok := m[`asdf_lat_seconds_bucket{le="`+bk.le+`"}`]
+		if !ok {
+			t.Fatalf("missing bucket le=%s in:\n%s", bk.le, b.String())
+		}
+		if got != bk.want {
+			t.Errorf("bucket le=%s = %v, want %v", bk.le, got, bk.want)
+		}
+		if got < prev {
+			t.Errorf("bucket le=%s = %v decreases below %v", bk.le, got, prev)
+		}
+		prev = got
+	}
+	if m["asdf_lat_seconds_count"] != 6 {
+		t.Errorf("_count = %v, want 6", m["asdf_lat_seconds_count"])
+	}
+	if inf := m[`asdf_lat_seconds_bucket{le="+Inf"}`]; inf != m["asdf_lat_seconds_count"] {
+		t.Errorf("+Inf bucket %v != count %v", inf, m["asdf_lat_seconds_count"])
+	}
+}
+
+func TestHistogramInvariantsUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("asdf_conc_seconds", "latency", nil)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%7) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf := m[`asdf_conc_seconds_bucket{le="+Inf"}`]; inf != float64(workers*per) {
+		t.Errorf("+Inf bucket = %v, want %d", inf, workers*per)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last").Add(2)
+	r.Counter("aa_total", "first", L("instance", "x")).Inc()
+	r.Gauge("mm_gauge", "middle").Set(-3.5)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total first
+# TYPE aa_total counter
+aa_total{instance="x"} 1
+# HELP mm_gauge middle
+# TYPE mm_gauge gauge
+mm_gauge -3.5
+# HELP zz_total last
+# TYPE zz_total counter
+zz_total 2
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+	// Deterministic across writes.
+	var b2 strings.Builder
+	if _, err := r.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("WriteTo output not deterministic")
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("asdf_rt_total", "h", L("node", "n1")).Add(7)
+	r.Gauge("asdf_rt_gauge", "h").Set(0.25)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[`asdf_rt_total{node="n1"}`] != 7 {
+		t.Errorf("round-trip counter = %v, want 7", m[`asdf_rt_total{node="n1"}`])
+	}
+	if m["asdf_rt_gauge"] != 0.25 {
+		t.Errorf("round-trip gauge = %v, want 0.25", m["asdf_rt_gauge"])
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"no_value\n",
+		"bad_value NaNope\n",
+		"dup 1\ndup 2\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted bad input", bad)
+		}
+	}
+	m, err := ParseText(strings.NewReader("# HELP x h\n\nx{l=\"a b\"} 3\ninf_series +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[`x{l="a b"}`] != 3 {
+		t.Errorf("label value with space = %v, want 3", m[`x{l="a b"}`])
+	}
+	if !math.IsInf(m["inf_series"], 1) {
+		t.Errorf("inf series = %v, want +Inf", m["inf_series"])
+	}
+}
+
+// TestHotPathAllocs enforces the 0 allocs/op contract with the test suite,
+// not just the benchmark, so a regression fails plain `go test`.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("asdf_alloc_total", "h", L("instance", "x"))
+	g := r.Gauge("asdf_alloc_gauge", "h")
+	h := r.Histogram("asdf_alloc_seconds", "h", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(42)
+		h.Observe(0.003)
+	}); n != 0 {
+		t.Errorf("hot path allocates %v allocs/op, want 0", n)
+	}
+}
