@@ -41,6 +41,13 @@ func sampleReport() modules.StatusReport {
 				},
 			},
 		},
+		Shards: map[string][]modules.ShardStatus{
+			"collector": {
+				{Shard: 0, Nodes: 3, Fanout: 2, Sweeps: 40, LastSweepSeconds: 0.0042},
+				{Shard: 1, Nodes: 3, Fanout: 2, Sweeps: 40, Errors: 6,
+					LastErrors: 1, LastSweepSeconds: 0.0101, OpenBreakers: 1},
+			},
+		},
 		Sync: map[string]modules.SyncStatus{
 			"logs": {
 				Partial: 3,
@@ -63,6 +70,7 @@ func TestRenderTables(t *testing.T) {
 		"collector", "quarantined", "dial tcp: connection refused",
 		"sink", "healthy",
 		"BREAKERS", "node1:9999", "open",
+		"SHARDS", "10.1ms",
 		"SYNC", "logs", "node1:3",
 	} {
 		if !strings.Contains(out, want) {
@@ -84,11 +92,12 @@ func TestRenderDeltas(t *testing.T) {
 		return h
 	}()
 	cur.Sync["logs"] = modules.SyncStatus{Partial: 3, Dropped: 4} // dropped +3
+	cur.Shards["collector"][1].Errors = 10                        // +4 over prev's 6
 
 	var buf bytes.Buffer
 	render(&buf, cur, &prev, time.Second)
 	out := buf.String()
-	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)"} {
+	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)", "10(+4)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing delta %q:\n%s", want, out)
 		}
@@ -176,6 +185,9 @@ func TestOnceJSON(t *testing.T) {
 	}
 	if got.Instances[0].ID != "collector" || got.Instances[0].TotalFailures != 7 {
 		t.Errorf("-json round-trip = %+v", got.Instances[0])
+	}
+	if sts := got.Shards["collector"]; len(sts) != 2 || sts[1].OpenBreakers != 1 {
+		t.Errorf("-json shard round-trip = %+v", got.Shards)
 	}
 }
 

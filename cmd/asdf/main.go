@@ -13,7 +13,9 @@
 // latency histograms, tick/wavefront durations, supervisor transitions,
 // breaker states, sync counters — in Prometheus text format for scraping.
 // -status-rpc-addr serves the status snapshot over the native RPC protocol
-// for tooling that already speaks it (see cmd/asdf-status).
+// for tooling that already speaks it (see cmd/asdf-status). With -pprof the
+// Go runtime profiles are additionally served under /debug/pprof/ on the
+// status address.
 //
 // Usage:
 //
@@ -30,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,14 +63,21 @@ func run(args []string) int {
 	quarThreshold := fs.Int("quarantine-threshold", 0, "consecutive module failures (error/panic/timeout) before an instance is quarantined (0 = never)")
 	quarCooldown := fs.Duration("quarantine-cooldown", 0, "quarantined-instance wait before a half-open re-probe (0 = default 10s)")
 	degrade := fs.String("degrade", "skip", "gap-fill policy for a quarantined instance's outputs: skip, hold, or zero")
+	shards := fs.Int("shards", 0, "default shard-worker count for multi-node collection instances; the shards parameter overrides per instance (0 = single shard)")
+	shardFanout := fs.Int("shard-fanout", 0, "default per-shard concurrent-fetch budget; the shard_fanout parameter overrides per instance (0 = the instance's fanout)")
 	statusAddr := fs.String("status-addr", "", "serve the operator health endpoint (GET /healthz, GET /status) on this address")
 	statusRPCAddr := fs.String("status-rpc-addr", "", "serve the status snapshot over the native RPC protocol on this address")
+	pprofEnabled := fs.Bool("pprof", false, "also serve net/http/pprof profiles under /debug/pprof/ on -status-addr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	degradePolicy, err := asdf.ParseDegradePolicy(*degrade)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asdf: %v\n", err)
+		return 2
+	}
+	if *pprofEnabled && *statusAddr == "" {
+		fmt.Fprintln(os.Stderr, "asdf: -pprof requires -status-addr")
 		return 2
 	}
 
@@ -86,6 +96,8 @@ func run(args []string) int {
 	env.RPCOptions.BreakerThreshold = *breakerThreshold
 	env.RPCOptions.BreakerCooldown = *breakerCooldown
 	env.RPCOptions.Clock = time.Now
+	env.DefaultShards = *shards
+	env.DefaultShardFanout = *shardFanout
 	reg := asdf.NewRegistry(env)
 
 	if *listModules {
@@ -123,13 +135,16 @@ func run(args []string) int {
 	log.Printf("asdf: %d module instances wired: %v", len(eng.Instances()), eng.Instances())
 
 	if *statusAddr != "" {
-		httpSrv, addr, err := serveStatusHTTP(*statusAddr, eng, metrics)
+		httpSrv, addr, err := serveStatusHTTP(*statusAddr, eng, metrics, *pprofEnabled)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asdf: status endpoint: %v\n", err)
 			return 1
 		}
 		defer func() { _ = httpSrv.Close() }()
 		log.Printf("asdf: status endpoint on http://%s/status", addr)
+		if *pprofEnabled {
+			log.Printf("asdf: pprof on http://%s/debug/pprof/", addr)
+		}
 	}
 	if *statusRPCAddr != "" {
 		rpcSrv, addr, err := modules.ListenStatus(*statusRPCAddr, eng, time.Now)
@@ -156,7 +171,10 @@ func run(args []string) int {
 // no instance is quarantined or wedged and no collection breaker is open,
 // 503 "degraded" otherwise; GET /status returns the full JSON snapshot; and
 // GET /metrics serves the telemetry registry in Prometheus text format.
-func serveStatusHTTP(addr string, eng *asdf.Engine, metrics *asdf.Telemetry) (*http.Server, net.Addr, error) {
+// With pprofOn, the Go runtime profiles are additionally served under
+// /debug/pprof/ — opt-in, since the profile endpoints expose stacks and
+// command lines and cost CPU while sampling.
+func serveStatusHTTP(addr string, eng *asdf.Engine, metrics *asdf.Telemetry, pprofOn bool) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
@@ -187,6 +205,15 @@ func serveStatusHTTP(addr string, eng *asdf.Engine, metrics *asdf.Telemetry) (*h
 			log.Printf("asdf: status encode: %v", err)
 		}
 	})
+	if pprofOn {
+		// Explicit registration: the status server uses its own mux, so the
+		// net/http/pprof init-time DefaultServeMux routes never apply.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {

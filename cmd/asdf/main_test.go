@@ -57,6 +57,52 @@ func TestRunBadDegrade(t *testing.T) {
 	}
 }
 
+func TestRunPprofRequiresStatusAddr(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fpt.conf")
+	if err := os.WriteFile(path, []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-config", path, "-pprof"}); code != 2 {
+		t.Errorf("exit with -pprof but no -status-addr = %d, want 2", code)
+	}
+}
+
+// TestPprofEndpointGated verifies the profile routes exist only when
+// explicitly enabled: the status surface must not leak stacks by default.
+func TestPprofEndpointGated(t *testing.T) {
+	reg := asdf.NewBareRegistry()
+	reg.Register("broken", func() asdf.Module { return &brokenSource{} })
+	cfg, err := asdf.ParseConfigString("[broken]\nid = f\nperiod = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := asdf.NewEngine(reg, cfg, asdf.WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, on := range []bool{false, true} {
+		srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, asdf.NewTelemetry(), on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get("http://" + addr.String() + "/debug/pprof/goroutine?debug=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		_ = srv.Close()
+		if on {
+			if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+				t.Errorf("pprof on: GET /debug/pprof/goroutine = %d %.60q, want a goroutine profile", resp.StatusCode, body)
+			}
+		} else if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("pprof off: GET /debug/pprof/goroutine = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
 // brokenSource errors on every run; used to drive an engine unhealthy.
 type brokenSource struct{}
 
@@ -90,7 +136,7 @@ func TestStatusEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, asdf.NewTelemetry())
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, asdf.NewTelemetry(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +213,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, metrics)
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, metrics, false)
 	if err != nil {
 		t.Fatal(err)
 	}

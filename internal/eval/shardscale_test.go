@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureShardScaling runs a scaled-down shard-scaling measurement and
+// checks the latency-bound arithmetic: per-tick time near
+// nodes/(shards*fanout) round trips, so the sharded sweep must beat the
+// serial one comfortably once nodes far exceed the default fanout.
+func TestMeasureShardScaling(t *testing.T) {
+	cfg := ShardScaleConfig{
+		NodeCounts:  []int{128},
+		Shards:      4,
+		ShardFanout: 16,
+		RPCLatency:  300 * time.Microsecond,
+		Ticks:       5,
+	}
+	points, err := MeasureShardScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2 (serial + sharded)", len(points))
+	}
+	serial, sharded := points[0], points[1]
+	if serial.Shards != 1 || serial.SpeedupVsSerial != 1 {
+		t.Errorf("serial cell = %+v", serial)
+	}
+	if sharded.Shards != 4 || sharded.Nodes != 128 {
+		t.Errorf("sharded cell = %+v", sharded)
+	}
+	if serial.PerTickMs <= 0 || sharded.PerTickMs <= 0 {
+		t.Fatalf("non-positive timings: %+v %+v", serial, sharded)
+	}
+	// 128 nodes: 8 serial waves of 16 vs 2 sharded waves of 64 — a 4x
+	// structural advantage; 1.5x leaves slack for scheduling noise.
+	if sharded.SpeedupVsSerial < 1.5 {
+		t.Errorf("sharded speedup = %.2fx, want >= 1.5x (serial %.2fms, sharded %.2fms)",
+			sharded.SpeedupVsSerial, serial.PerTickMs, sharded.PerTickMs)
+	}
+}
+
+func TestMeasureShardScalingRejectsZeroTicks(t *testing.T) {
+	if _, err := MeasureShardScaling(ShardScaleConfig{NodeCounts: []int{8}}); err == nil {
+		t.Error("zero ticks accepted")
+	}
+}

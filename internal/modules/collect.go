@@ -25,19 +25,28 @@ import (
 //
 // Parameters:
 //
-//	node   = <node name>            (single-node form)
-//	nodes  = n1,n2,...              (multi-node form; excludes node/ifaces/pids)
-//	period = <duration>             (default 1s)
-//	mode   = local | rpc            (default local)
-//	addr   = host:port              (rpc, single-node form)
-//	addrs  = host1:p,host2:p,...    (rpc, multi-node form; parallel to nodes)
-//	fanout = <int>                  (multi-node: max concurrent collects;
-//	                                 default min(16, numNodes), 1 = serial)
-//	ifaces = eth0,eth1              (single-node: adds outputs net_<iface>)
-//	pids   = 3001,3002              (single-node: adds outputs proc_<pid>)
+//	node         = <node name>          (single-node form)
+//	nodes        = n1,n2,...            (multi-node form; excludes node/ifaces/pids)
+//	period       = <duration>           (default 1s)
+//	mode         = local | rpc          (default local)
+//	addr         = host:port            (rpc, single-node form)
+//	addrs        = host1:p,host2:p,...  (rpc, multi-node form; parallel to nodes)
+//	fanout       = <int>                (multi-node: max concurrent collects;
+//	                                     default min(16, numNodes), 1 = serial)
+//	shards       = <int>                (independent shard workers over the node
+//	                                     set; default 1 = the unsharded sweep)
+//	shard_fanout = <int>                (per-shard concurrent-fetch budget;
+//	                                     default: the fanout parameter)
+//	batch        = true | false         (rpc: fetch per-metric-group methods in
+//	                                     one rpc.Batch frame per node per tick)
+//	ifaces       = eth0,eth1            (single-node: adds outputs net_<iface>)
+//	pids         = 3001,3002            (single-node: adds outputs proc_<pid>)
 //
 // In rpc mode each node keeps its own supervised ManagedClient, so breaker
-// state and reconnect backoff stay per node regardless of fanout.
+// state and reconnect backoff stay per node regardless of fanout or shard
+// count. With shards >= 2 the node set is split into contiguous node-index
+// ranges swept by independent worker pools; results are still merged in
+// node-index order, so output is identical to the unsharded sweep.
 type sadcModule struct {
 	env     *Env
 	nodes   []string
@@ -46,7 +55,10 @@ type sadcModule struct {
 	clients []rpc.Caller // rpc mode: parallel to nodes; nil otherwise
 	outs    []*core.OutputPort
 	fanout  int
+	sharder *shardSweeper
 
+	ifaces    []string
+	pids      []int
 	ifaceOuts map[string]*core.OutputPort
 	pidOuts   map[int]*core.OutputPort
 
@@ -81,7 +93,26 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 	if m.fanout, err = cfg.FanoutParam(); err != nil {
 		return err
 	}
+	sp, err := cfg.ShardParams()
+	if err != nil {
+		return err
+	}
+	batch, err := cfg.BoolParam("batch", false)
+	if err != nil {
+		return err
+	}
+	m.ifaces = splitList(cfg.StringParam("ifaces", ""))
+	for _, p := range splitList(cfg.StringParam("pids", "")) {
+		pid, err := strconv.Atoi(p)
+		if err != nil {
+			return fmt.Errorf("sadc: pid %q: %w", p, err)
+		}
+		m.pids = append(m.pids, pid)
+	}
 	mode := cfg.StringParam("mode", "local")
+	if batch && mode != "rpc" {
+		return fmt.Errorf("sadc: batch = true requires mode = rpc")
+	}
 	switch mode {
 	case "local":
 		for _, n := range m.nodes {
@@ -119,11 +150,24 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 				return fmt.Errorf("sadc[%s]: dial %s: %w", m.nodes[i], a, err)
 			}
 			m.clients = append(m.clients, client)
-			m.sources = append(m.sources, NewRPCMetricSource(client))
+			if batch {
+				bc, ok := client.(rpc.BatchCaller)
+				if !ok {
+					return fmt.Errorf("sadc[%s]: batch = true requires a batch-capable client", m.nodes[i])
+				}
+				src, err := NewBatchedMetricSource(bc, m.ifaces, m.pids)
+				if err != nil {
+					return fmt.Errorf("sadc[%s]: %w", m.nodes[i], err)
+				}
+				m.sources = append(m.sources, src)
+			} else {
+				m.sources = append(m.sources, NewRPCMetricSource(client))
+			}
 		}
 	default:
 		return fmt.Errorf("sadc: unknown mode %q", mode)
 	}
+	m.sharder = newShardSweeper(m.env, ctx.ID(), len(m.nodes), sp, m.fanout)
 
 	if m.single {
 		out, err := ctx.NewOutput("output0", core.Origin{
@@ -137,7 +181,7 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 		m.outs = []*core.OutputPort{out}
 
 		m.ifaceOuts = make(map[string]*core.OutputPort)
-		for _, iface := range splitList(cfg.StringParam("ifaces", "")) {
+		for _, iface := range m.ifaces {
 			out, err := ctx.NewOutput("net_"+iface, core.Origin{
 				Node:   m.nodes[0],
 				Source: "sadc",
@@ -149,11 +193,8 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 			m.ifaceOuts[iface] = out
 		}
 		m.pidOuts = make(map[int]*core.OutputPort)
-		for _, p := range splitList(cfg.StringParam("pids", "")) {
-			pid, err := strconv.Atoi(p)
-			if err != nil {
-				return fmt.Errorf("sadc: pid %q: %w", p, err)
-			}
+		for _, pid := range m.pids {
+			p := strconv.Itoa(pid)
 			out, err := ctx.NewOutput("proc_"+p, core.Origin{
 				Node:   m.nodes[0],
 				Source: "sadc",
@@ -202,8 +243,9 @@ func (m *sadcModule) Run(ctx *core.RunContext) error {
 	if ctx.Reason != core.RunPeriodic {
 		return nil
 	}
-	fanOut(len(m.sources), resolveFanout(m.fanout, len(m.sources)), func(i int) {
+	m.sharder.sweep(func(i int) error {
 		m.recs[i], m.errs[i] = m.sources[i].Collect()
+		return m.errs[i]
 	})
 	var firstErr error
 	for i, rec := range m.recs {
@@ -261,6 +303,12 @@ func (m *sadcModule) ClientHealths() map[string]rpc.Health {
 	return out
 }
 
+// ShardStatuses reports per-shard sweep accounting (with per-shard open
+// breaker counts in rpc mode); nil when the instance runs a single shard.
+func (m *sadcModule) ShardStatuses() []ShardStatus {
+	return m.sharder.statusesWithBreakers(m.clients)
+}
+
 var _ core.Module = (*sadcModule)(nil)
 
 // hadoopLogModule is the white-box data-collection module (§4.4): it parses
@@ -289,16 +337,21 @@ var _ core.Module = (*sadcModule)(nil)
 //	addrs         = host1:p,host2:p,...     (required for rpc; parallel to nodes)
 //	fanout        = <int>                   (max concurrent fetches per period;
 //	                                         default min(16, numNodes), 1 = serial)
+//	shards        = <int>                   (independent shard workers over the
+//	                                         node set; default 1)
+//	shard_fanout  = <int>                   (per-shard fetch budget; default:
+//	                                         the fanout parameter)
 //	sync_deadline = <duration>              (default 0: strict §3.7 sync)
 //	sync_quorum   = <int>                   (default 0: all nodes)
 //
 // Per-node fetches run concurrently under a bounded worker pool (fanout),
-// but results are merged into the synchronization state in node-index
-// order, so publish order and the strict/degraded sync semantics are
-// identical to a serial sweep. In rpc mode the resilience knobs
-// reconnect_backoff, call_timeout, breaker_threshold, and breaker_cooldown
-// tune the per-node managed connections, each of which keeps its own
-// breaker state regardless of fanout.
+// optionally partitioned into shards each running its own pool, but
+// results are merged into the synchronization state in node-index order,
+// so publish order and the strict/degraded sync semantics are identical to
+// a serial sweep whatever the shard count. In rpc mode the resilience
+// knobs reconnect_backoff, call_timeout, breaker_threshold, and
+// breaker_cooldown tune the per-node managed connections, each of which
+// keeps its own breaker state regardless of fanout.
 type hadoopLogModule struct {
 	env     *Env
 	kind    hadooplog.Kind
@@ -307,6 +360,7 @@ type hadoopLogModule struct {
 	clients []rpc.Caller // rpc mode: parallel to nodes; nil otherwise
 	outs    []*core.OutputPort
 	fanout  int
+	sharder *shardSweeper
 
 	// fan-out scratch, indexed by node; merged serially in node order.
 	fetched [][]hadooplog.StateVector
@@ -363,6 +417,10 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 		return err
 	}
 	if m.fanout, err = cfg.FanoutParam(); err != nil {
+		return err
+	}
+	sp, err := cfg.ShardParams()
+	if err != nil {
 		return err
 	}
 	rp, err := cfg.ResilienceParams()
@@ -445,6 +503,7 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	}
 	m.fetched = make([][]hadooplog.StateVector, len(m.nodes))
 	m.errs = make([]error, len(m.nodes))
+	m.sharder = newShardSweeper(m.env, ctx.ID(), len(m.nodes), sp, m.fanout)
 	return ctx.SchedulePeriodic(period)
 }
 
@@ -453,10 +512,12 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 	if now.IsZero() {
 		now = m.env.now()
 	}
-	// Fetch every node concurrently; merge serially by node index below so
-	// the sync state (and therefore publish order) matches a serial sweep.
-	fanOut(len(m.sources), resolveFanout(m.fanout, len(m.sources)), func(i int) {
+	// Fetch every node concurrently (partitioned across shards when
+	// configured); merge serially by node index below so the sync state
+	// (and therefore publish order) matches a serial sweep.
+	m.sharder.sweep(func(i int) error {
 		m.fetched[i], m.errs[i] = m.sources[i].Fetch(now)
+		return m.errs[i]
 	})
 	var firstErr error
 	for i := range m.sources {
@@ -602,6 +663,12 @@ func (m *hadoopLogModule) ClientHealths() map[string]rpc.Health {
 		}
 	}
 	return out
+}
+
+// ShardStatuses reports per-shard sweep accounting (with per-shard open
+// breaker counts in rpc mode); nil when the instance runs a single shard.
+func (m *hadoopLogModule) ShardStatuses() []ShardStatus {
+	return m.sharder.statusesWithBreakers(m.clients)
 }
 
 var _ core.Module = (*hadoopLogModule)(nil)

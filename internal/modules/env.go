@@ -47,6 +47,13 @@ type Env struct {
 	// Clock supplies "now" for log flushing; defaults to time.Now. The
 	// offline evaluation harness injects virtual time.
 	Clock func() time.Time
+	// DefaultShards and DefaultShardFanout are environment-level defaults
+	// for the multi-node collection modules' shards / shard_fanout
+	// parameters (cmd/asdf's -shards / -shard-fanout flags). Instance
+	// parameters override; zero keeps a single shard whose fanout budget
+	// is the instance's fanout parameter.
+	DefaultShards      int
+	DefaultShardFanout int
 	// Metrics, when non-nil, registers module telemetry for /metrics
 	// exposition: per-node RPC connection metrics on managed clients and
 	// the timestamp-sync degradation counters. Use the same registry the

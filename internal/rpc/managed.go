@@ -203,6 +203,7 @@ type ManagedClient struct {
 	mCalls       *telemetry.Counter
 	mFails       *telemetry.Counter
 	mReconnects  *telemetry.Counter
+	mBatchItems  *telemetry.Counter
 	mBreaker     *telemetry.Gauge
 	mCallSeconds *telemetry.Histogram
 }
@@ -228,6 +229,8 @@ func NewManagedClient(addr, clientName string, opt Options) *ManagedClient {
 			"Transport failures (dial or call) on a managed connection.", al)
 		m.mReconnects = reg.Counter("asdf_rpc_reconnects_total",
 			"Successful dials, the first connect included.", al)
+		m.mBatchItems = reg.Counter("asdf_rpc_batch_items_total",
+			"Method invocations carried inside batched request frames.", al)
 		m.mBreaker = reg.Gauge("asdf_rpc_breaker_state",
 			"Circuit-breaker state: 0 closed, 1 open, 2 half-open.", al)
 		m.mCallSeconds = reg.Histogram("asdf_rpc_call_seconds",
@@ -246,6 +249,29 @@ func (m *ManagedClient) Addr() string { return m.addr }
 func (m *ManagedClient) Call(method string, params, result any) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.do(func(c *Client) error { return c.Call(method, params, result) })
+}
+
+// CallBatch sends every call in one supervised round trip (one request
+// frame, one response frame; see Client.CallBatch). The whole batch counts
+// as a single call against the breaker and backoff bookkeeping: a transport
+// failure anywhere in the frame is one failure, and per-item handler errors
+// (delivered in each call's Err) prove the node alive, exactly as a
+// RemoteError does on Call.
+func (m *ManagedClient) CallBatch(calls []BatchCall) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mBatchItems.Add(uint64(len(calls)))
+	return m.do(func(c *Client) error { return c.CallBatch(calls) })
+}
+
+// do runs one supervised round trip: breaker gate, lazy dial under backoff,
+// the call itself, then success/failure accounting. The caller must hold
+// m.mu.
+func (m *ManagedClient) do(call func(*Client) error) error {
 	if m.closed {
 		return ErrClosed
 	}
@@ -284,10 +310,10 @@ func (m *ManagedClient) Call(method string, params, result any) error {
 		// Latency is wall-clock even under an injected virtual Clock: the
 		// histogram reports real network time, not simulated time.
 		start := time.Now()
-		err = m.client.Call(method, params, result)
+		err = call(m.client)
 		m.mCallSeconds.Observe(time.Since(start).Seconds())
 	} else {
-		err = m.client.Call(method, params, result)
+		err = call(m.client)
 	}
 	var remote *RemoteError
 	if err == nil || errors.As(err, &remote) {

@@ -178,6 +178,9 @@ func (s *Server) Handle(method string, h HandlerFunc) {
 	if method == "" || h == nil {
 		panic("rpc: Handle requires a method name and handler")
 	}
+	if method == MethodBatch {
+		panic("rpc: " + MethodBatch + " is reserved; the server dispatches it natively")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.handlers[method]; dup {
@@ -302,6 +305,11 @@ func (s *Server) serveConn(raw net.Conn) {
 }
 
 func (s *Server) dispatch(req *request) response {
+	if req.Method == MethodBatch {
+		// Sub-requests re-enter dispatch one by one; dispatchBatch rejects
+		// nested batches, so the recursion is exactly one level deep.
+		return s.dispatchBatch(req)
+	}
 	s.mu.Lock()
 	h, ok := s.handlers[req.Method]
 	s.mu.Unlock()
