@@ -50,7 +50,7 @@ func getBench(b *testing.B) *benchState {
 		if benchErr != nil {
 			return
 		}
-		for fi, fault := range hadoopsim.AllFaults {
+		for fi, fault := range hadoopsim.TableTwoFaults {
 			st.faultTraces[fault], benchErr = eval.CollectTrace(eval.TraceConfig{
 				Slaves: opts.Slaves, Seed: opts.Seed + 200 + int64(fi),
 				WarmupSec: opts.WarmupSec, DurationSec: opts.FaultDuration,

@@ -21,7 +21,6 @@ import (
 
 	"github.com/asdf-project/asdf/internal/analysis"
 	"github.com/asdf-project/asdf/internal/eval"
-	"github.com/asdf-project/asdf/internal/hadoopsim"
 )
 
 func main() {
@@ -30,12 +29,14 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("asdf-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table3 | table4 | fig6a | fig6b | fig7a | fig7b | ablation | workload | shardscale | all")
+	experiment := fs.String("experiment", "all", "table3 | table4 | fig6a | fig6b | fig7a | fig7b | ablation | workload | shardscale | detect | all")
 	slaves := fs.Int("slaves", 0, "cluster size (0 = default)")
 	seed := fs.Int64("seed", 0, "base seed (0 = default)")
 	duration := fs.Int("duration", 0, "fault-run seconds (0 = default)")
 	csvOut := fs.String("csv", "", "directory to also write each exhibit's data as CSV (for plotting)")
 	shardJSON := fs.String("shard-json", "BENCH_shard.json", "output path for the shardscale experiment's JSON result")
+	detectJSON := fs.String("detect-json", "BENCH_detect.json", "output path for the detect experiment's JSON report")
+	detectMode := fs.String("detect-mode", "full", "detect matrix sizing: full | reduced (the CI gate uses reduced)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +84,7 @@ func run(args []string) int {
 		"ablation":   func() error { return runAblation(opts, model) },
 		"workload":   func() error { return runWorkload(opts, model) },
 		"shardscale": func() error { return runShardScale(*shardJSON) },
+		"detect":     func() error { return runDetect(*detectJSON, *detectMode) },
 	}
 	if runAll {
 		for _, name := range []string{"table3", "table4", "fig6a", "fig6b", "fig7a", "fig7b", "ablation", "workload"} {
@@ -261,7 +263,6 @@ func runFig7(opts eval.Options, model *analysis.Model, accuracy bool) error {
 		fmt.Println("paper: ~200 s for most faults (3-window confidence); longest for the dormant reduce faults (HADOOP-1152/2080).")
 		fmt.Println("shape targets: resource faults localize within a few windows; HADOOP-1152 is the slowest.")
 	}
-	_ = hadoopsim.AllFaults
 	return nil
 }
 
@@ -331,6 +332,69 @@ func runShardScale(jsonPath string) error {
 			return err
 		}
 		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+	return nil
+}
+
+// runDetect runs the detection-quality matrix — every injectable fault ×
+// GridMix workload, scored under all three approaches — and writes the
+// report as JSON (the committed BENCH_detect.json artifact; the CI
+// detect-quality gate holds the reduced matrix against .github/detect-floor.json).
+func runDetect(jsonPath, mode string) error {
+	var cfg eval.DetectConfig
+	switch mode {
+	case "full":
+		cfg = eval.DefaultDetectConfig()
+	case "reduced":
+		cfg = eval.ReducedDetectConfig()
+	default:
+		return fmt.Errorf("unknown detect mode %q (want full or reduced)", mode)
+	}
+	fmt.Printf("detect matrix (%s): %d faults x %d workloads, %d slaves, %d s per cell\n",
+		mode, len(cfg.Faults), len(cfg.Workloads), cfg.Slaves, cfg.DurationSec)
+	rep, err := eval.RunDetect(cfg, mode)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Detection quality: per-fault summary (combined approach across workloads) ===")
+	fmt.Printf("%-14s %10s %10s %10s %12s\n", "fault", "TPR", "FPR", "bal acc", "detect s")
+	rows := make([][]string, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		s := c.Scores[eval.ApproachCombined.String()]
+		rows = append(rows, []string{c.Fault, c.Workload,
+			fmt.Sprintf("%.4f", s.TPR), fmt.Sprintf("%.4f", s.FPR),
+			fmt.Sprintf("%.4f", s.BalancedAccuracy), fmt.Sprintf("%.0f", s.TimeToDetectionSec)})
+	}
+	for _, f := range rep.Faults {
+		key := eval.ApproachCombined.String()
+		var tprSum, fprSum float64
+		n := 0
+		for _, c := range rep.Cells {
+			if c.Fault == f.Fault {
+				tprSum += c.Scores[key].TPR
+				fprSum += c.Scores[key].FPR
+				n++
+			}
+		}
+		fmt.Printf("%-14s %10.2f %10.2f %10.2f %12.0f\n", f.Fault,
+			tprSum/float64(n), fprSum/float64(n), f.BalancedAccuracy[key], f.TimeToDetectionSec[key])
+	}
+	writeCSV("detect.csv", []string{"fault", "workload", "tpr", "fpr", "balanced_accuracy", "time_to_detection_sec"}, rows)
+	fmt.Println("shape targets: resource + hang faults detected within a few windows; slow-burn")
+	fmt.Println("faults (MemLeak, DiskDegrade, GCPause duty cycle) evade the 60 s peer window.")
+	if jsonPath != "" {
+		fh, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.Encode(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("(wrote %s)\n", jsonPath)

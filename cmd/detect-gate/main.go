@@ -1,0 +1,193 @@
+// Command detect-gate holds a detection-quality report (BENCH_detect.json,
+// written by asdf-bench -experiment detect) against the committed floors in
+// .github/detect-floor.json. It is the CI detect-quality gate: a change
+// that stops detecting a fault class, or detects it much later, fails here
+// instead of shipping. JSON is parsed in Go — CI never shell-parses it.
+//
+// The floor file pins one approach (normally "combined") and, per fault,
+// a minimum balanced accuracy and a maximum time-to-detection in seconds.
+// A max of 0 or less waives the latency requirement — used for slow-burn
+// faults the 60 s peer window cannot confidently detect at all, whose
+// regression surface is then balanced accuracy alone.
+//
+// -selfcheck additionally proves the gate has teeth: it re-evaluates the
+// same report against floors tightened past the measured scores and fails
+// unless every tightened floor is reported as a violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/asdf-project/asdf/internal/eval"
+)
+
+// Floors is the committed gate configuration.
+type Floors struct {
+	// Approach selects which score column is gated ("combined" default).
+	Approach string `json:"approach"`
+	// MinBalancedAccuracy is the per-fault balanced-accuracy floor.
+	MinBalancedAccuracy map[string]float64 `json:"min_balanced_accuracy"`
+	// MaxTimeToDetectionSec is the per-fault detection-latency ceiling;
+	// 0 or negative waives the requirement for that fault.
+	MaxTimeToDetectionSec map[string]float64 `json:"max_time_to_detection_sec"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("detect-gate", flag.ContinueOnError)
+	reportPath := fs.String("report", "BENCH_detect.json", "detection-quality report to gate")
+	floorPath := fs.String("floor", ".github/detect-floor.json", "committed floor file")
+	selfcheck := fs.Bool("selfcheck", false, "also prove tightened floors fail")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rep, floors, err := load(*reportPath, *floorPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detect-gate: %v\n", err)
+		return 2
+	}
+	failures := Evaluate(rep, floors)
+	for _, f := range failures {
+		fmt.Printf("FAIL: %s\n", f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("detect-gate: %d floor violation(s) against %s\n", len(failures), *floorPath)
+		return 1
+	}
+	fmt.Printf("detect-gate: all %d fault floors hold (%s approach)\n",
+		len(floors.MinBalancedAccuracy), floors.approach())
+
+	if *selfcheck {
+		if err := Selfcheck(rep, floors); err != nil {
+			fmt.Fprintf(os.Stderr, "detect-gate: selfcheck: %v\n", err)
+			return 1
+		}
+		fmt.Println("detect-gate: selfcheck ok (tightened floors fail as expected)")
+	}
+	return 0
+}
+
+func load(reportPath, floorPath string) (*eval.DetectReport, *Floors, error) {
+	rf, err := os.Open(reportPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rf.Close()
+	rep, err := eval.DecodeDetectReport(rf)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(floorPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var floors Floors
+	if err := json.Unmarshal(data, &floors); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %w", floorPath, err)
+	}
+	if len(floors.MinBalancedAccuracy) == 0 {
+		return nil, nil, fmt.Errorf("%s defines no balanced-accuracy floors", floorPath)
+	}
+	return rep, &floors, nil
+}
+
+func (f *Floors) approach() string {
+	if f.Approach == "" {
+		return "combined"
+	}
+	return f.Approach
+}
+
+// Evaluate returns every floor violation, deterministically ordered.
+// Beyond score regressions it also fails on coverage drift: a fault in the
+// report without a floor (new fault shipped ungated) or a floor without a
+// report row (fault silently dropped from the matrix).
+func Evaluate(rep *eval.DetectReport, floors *Floors) []string {
+	approach := floors.approach()
+	var failures []string
+
+	for _, s := range rep.Faults {
+		if _, ok := floors.MinBalancedAccuracy[s.Fault]; !ok {
+			failures = append(failures,
+				fmt.Sprintf("fault %s is in the report but has no balanced-accuracy floor; add it to the floor file", s.Fault))
+		}
+	}
+
+	names := make([]string, 0, len(floors.MinBalancedAccuracy))
+	for name := range floors.MinBalancedAccuracy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		min := floors.MinBalancedAccuracy[name]
+		sum := rep.FaultSummary(name)
+		if sum == nil {
+			failures = append(failures,
+				fmt.Sprintf("fault %s has a floor but is missing from the report", name))
+			continue
+		}
+		ba, ok := sum.BalancedAccuracy[approach]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("fault %s has no %s score in the report", name, approach))
+			continue
+		}
+		if ba < min {
+			failures = append(failures,
+				fmt.Sprintf("fault %s: %s balanced accuracy %.4f below floor %.4f", name, approach, ba, min))
+		}
+		max, ok := floors.MaxTimeToDetectionSec[name]
+		if !ok || max <= 0 {
+			continue
+		}
+		ttd := sum.TimeToDetectionSec[approach]
+		if ttd < 0 {
+			failures = append(failures,
+				fmt.Sprintf("fault %s: never confidently detected (%s), but floor requires detection within %.0f s", name, approach, max))
+		} else if ttd > max {
+			failures = append(failures,
+				fmt.Sprintf("fault %s: %s time-to-detection %.0f s above ceiling %.0f s", name, approach, ttd, max))
+		}
+	}
+	return failures
+}
+
+// Selfcheck proves the gate fails when floors are tightened past the
+// measured scores: every fault's balanced-accuracy floor raised above its
+// score must violate, as must every finite detection ceiling lowered below
+// its measured latency.
+func Selfcheck(rep *eval.DetectReport, floors *Floors) error {
+	approach := floors.approach()
+	for name := range floors.MinBalancedAccuracy {
+		sum := rep.FaultSummary(name)
+		if sum == nil {
+			return fmt.Errorf("fault %s missing from report", name)
+		}
+		tightened := &Floors{
+			Approach:            floors.Approach,
+			MinBalancedAccuracy: map[string]float64{name: sum.BalancedAccuracy[approach] + 0.0001},
+		}
+		if len(Evaluate(rep, tightened)) == 0 {
+			return fmt.Errorf("raising %s's balanced-accuracy floor above its score did not fail", name)
+		}
+		if ttd := sum.TimeToDetectionSec[approach]; ttd > 0 {
+			tightened = &Floors{
+				Approach:              floors.Approach,
+				MinBalancedAccuracy:   map[string]float64{name: 0},
+				MaxTimeToDetectionSec: map[string]float64{name: ttd - 1},
+			}
+			if len(Evaluate(rep, tightened)) == 0 {
+				return fmt.Errorf("lowering %s's detection ceiling below its latency did not fail", name)
+			}
+		}
+	}
+	return nil
+}

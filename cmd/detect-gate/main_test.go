@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/eval"
+)
+
+func testReport() *eval.DetectReport {
+	return &eval.DetectReport{
+		SchemaVersion: 1,
+		Mode:          "reduced",
+		Faults: []eval.DetectFaultSummary{
+			{
+				Fault:              "CPUHog",
+				BalancedAccuracy:   map[string]float64{"combined": 0.79, "black-box": 0.75},
+				TimeToDetectionSec: map[string]float64{"combined": 119, "black-box": 134},
+			},
+			{
+				Fault:              "MemLeak",
+				BalancedAccuracy:   map[string]float64{"combined": 0.5, "black-box": 0.5},
+				TimeToDetectionSec: map[string]float64{"combined": -1, "black-box": -1},
+			},
+		},
+	}
+}
+
+func testFloors() *Floors {
+	return &Floors{
+		MinBalancedAccuracy:   map[string]float64{"CPUHog": 0.74, "MemLeak": 0.45},
+		MaxTimeToDetectionSec: map[string]float64{"CPUHog": 180, "MemLeak": 0},
+	}
+}
+
+func TestEvaluatePasses(t *testing.T) {
+	if failures := Evaluate(testReport(), testFloors()); len(failures) != 0 {
+		t.Errorf("clean report failed the gate: %v", failures)
+	}
+}
+
+func TestEvaluateCatchesAccuracyRegression(t *testing.T) {
+	floors := testFloors()
+	floors.MinBalancedAccuracy["CPUHog"] = 0.85
+	failures := Evaluate(testReport(), floors)
+	if len(failures) != 1 || !strings.Contains(failures[0], "balanced accuracy") {
+		t.Errorf("accuracy regression not caught: %v", failures)
+	}
+}
+
+func TestEvaluateCatchesLatencyRegression(t *testing.T) {
+	floors := testFloors()
+	floors.MaxTimeToDetectionSec["CPUHog"] = 90
+	failures := Evaluate(testReport(), floors)
+	if len(failures) != 1 || !strings.Contains(failures[0], "time-to-detection") {
+		t.Errorf("latency regression not caught: %v", failures)
+	}
+}
+
+func TestEvaluateCatchesLostDetection(t *testing.T) {
+	// A fault with a finite ceiling that is no longer detected at all must
+	// fail, not silently satisfy "no latency to compare".
+	floors := testFloors()
+	floors.MaxTimeToDetectionSec["MemLeak"] = 300
+	failures := Evaluate(testReport(), floors)
+	if len(failures) != 1 || !strings.Contains(failures[0], "never confidently detected") {
+		t.Errorf("lost detection not caught: %v", failures)
+	}
+}
+
+func TestEvaluateCatchesCoverageDrift(t *testing.T) {
+	// Floor without a report row: the fault was dropped from the matrix.
+	floors := testFloors()
+	floors.MinBalancedAccuracy["Straggler"] = 0.7
+	failures := Evaluate(testReport(), floors)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from the report") {
+		t.Errorf("dropped fault not caught: %v", failures)
+	}
+
+	// Report row without a floor: a new fault shipped ungated.
+	floors = testFloors()
+	delete(floors.MinBalancedAccuracy, "MemLeak")
+	failures = Evaluate(testReport(), floors)
+	if len(failures) != 1 || !strings.Contains(failures[0], "no balanced-accuracy floor") {
+		t.Errorf("ungated fault not caught: %v", failures)
+	}
+}
+
+func TestEvaluateNonDefaultApproach(t *testing.T) {
+	floors := &Floors{
+		Approach:              "black-box",
+		MinBalancedAccuracy:   map[string]float64{"CPUHog": 0.74, "MemLeak": 0},
+		MaxTimeToDetectionSec: map[string]float64{"CPUHog": 140},
+	}
+	if failures := Evaluate(testReport(), floors); len(failures) != 0 {
+		t.Errorf("black-box gating failed: %v", failures)
+	}
+	floors.MaxTimeToDetectionSec["CPUHog"] = 120 // ours is 134
+	if failures := Evaluate(testReport(), floors); len(failures) != 1 {
+		t.Errorf("black-box latency regression not caught: %v", failures)
+	}
+}
+
+func TestSelfcheck(t *testing.T) {
+	if err := Selfcheck(testReport(), testFloors()); err != nil {
+		t.Errorf("selfcheck on a consistent report: %v", err)
+	}
+}

@@ -40,7 +40,7 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	basePort := fs.Int("base-port", 7500, "first RPC port; slave i uses base+2i (sadc) and base+2i+1 (hadoop_log)")
 	speed := fs.Float64("speed", 1, "virtual seconds per wall second")
-	faultName := fs.String("fault", "", "fault to inject: CPUHog, DiskHog, PacketLoss, HADOOP-1036, HADOOP-1152, HADOOP-2080")
+	faultName := fs.String("fault", "", "fault to inject: CPUHog, DiskHog, PacketLoss, HADOOP-1036, HADOOP-1152, HADOOP-2080, MemLeak, NetPartition, NoisyNeighbor, DiskDegrade, GCPause, Straggler")
 	faultNode := fs.Int("fault-node", 2, "slave index to inject the fault on")
 	injectAfter := fs.Duration("inject-after", 5*time.Minute, "virtual delay before injection")
 	emitConfig := fs.String("emit-config", "", "write a matching asdf control-node configuration to this path")

@@ -123,8 +123,8 @@ func collectAblationTraces(opts Options, model *analysis.Model) (*Trace, map[had
 	if err != nil {
 		return nil, nil, err
 	}
-	faults := make(map[hadoopsim.FaultKind]*Trace, len(hadoopsim.AllFaults))
-	for fi, fault := range hadoopsim.AllFaults {
+	faults := make(map[hadoopsim.FaultKind]*Trace, len(hadoopsim.TableTwoFaults))
+	for fi, fault := range hadoopsim.TableTwoFaults {
 		faults[fault], err = CollectTrace(TraceConfig{
 			Slaves: opts.Slaves, Seed: opts.Seed + 200 + int64(fi),
 			WarmupSec: opts.WarmupSec, DurationSec: opts.FaultDuration,

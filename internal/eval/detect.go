@@ -1,0 +1,279 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// This file is the detection-quality harness: it runs the full fault ×
+// workload matrix — every injectable fault under several GridMix
+// compositions — through the black-box, white-box, and combined pipelines,
+// and scores each cell. The resulting report is the regression surface the
+// CI detect-quality gate holds against committed floors: a change that
+// quietly stops detecting a fault class, or detects it much later, fails
+// the build instead of shipping.
+//
+// Scoring methodology (shared with Score): a window whose every second had
+// the fault active is problematic, a window with no fault activity is
+// clean, and windows straddling the activation boundary are excluded as
+// ambiguous. TPR is the fraction of problematic windows where the culprit
+// was flagged; FPR the fraction of clean windows with any alarm; balanced
+// accuracy their mean against the complement. Time-to-detection uses the
+// paper's sustained-alarm rule: the detection instant is the end of the
+// third consecutive culprit-flagged problematic window (§4.9's ~3-window
+// confidence rule), measured in seconds from injection. A fault that never
+// sustains three consecutive flags reports -1 (never detected).
+
+// DetectWorkload is one GridMix composition of the detection matrix.
+type DetectWorkload struct {
+	// Name labels the workload in the report ("mix", "sortHeavy", ...).
+	Name string
+	// Classes restricts GridMix job types for the whole run (including
+	// warmup); empty means the full five-type mix.
+	Classes []string
+}
+
+// DetectConfig sizes the detection-quality matrix.
+type DetectConfig struct {
+	Slaves       int
+	Seed         int64
+	TrainSeconds int // fault-free seconds used to train the shared model
+	NumStates    int // k-means centroids
+	WarmupSec    int
+	DurationSec  int // recorded seconds per cell
+	InjectAtSec  int // injection time within each cell
+	FaultNode    int
+	Workloads    []DetectWorkload
+	Faults       []hadoopsim.FaultKind
+}
+
+// DefaultDetectConfig is the full matrix: all twelve faults under three
+// GridMix compositions, at the sizing of the other default experiments.
+func DefaultDetectConfig() DetectConfig {
+	return DetectConfig{
+		Slaves:       8,
+		Seed:         1,
+		TrainSeconds: 300,
+		NumStates:    4,
+		WarmupSec:    120,
+		DurationSec:  900,
+		InjectAtSec:  300,
+		FaultNode:    2,
+		Workloads: []DetectWorkload{
+			{Name: "mix"},
+			{Name: "sortHeavy", Classes: []string{"streamSort", "javaSort"}},
+			{Name: "scanLight", Classes: []string{"webdataScan", "combiner"}},
+		},
+		Faults: hadoopsim.AllFaults,
+	}
+}
+
+// ReducedDetectConfig is the CI-sized matrix: all twelve faults under two
+// compositions on a smaller, shorter cluster. Small enough to run under
+// -race in the detect-quality job, deterministic enough to gate on.
+func ReducedDetectConfig() DetectConfig {
+	return DetectConfig{
+		Slaves:       6,
+		Seed:         1,
+		TrainSeconds: 240,
+		NumStates:    4,
+		WarmupSec:    120,
+		DurationSec:  480,
+		InjectAtSec:  180,
+		FaultNode:    2,
+		Workloads: []DetectWorkload{
+			{Name: "mix"},
+			{Name: "sortHeavy", Classes: []string{"streamSort", "javaSort"}},
+		},
+		Faults: hadoopsim.AllFaults,
+	}
+}
+
+// DetectScore is one approach's score for one matrix cell.
+type DetectScore struct {
+	TPR              float64 `json:"tpr"`
+	FPR              float64 `json:"fpr"`
+	BalancedAccuracy float64 `json:"balanced_accuracy"`
+	// TimeToDetectionSec is seconds from injection to the sustained alarm;
+	// -1 when the fault was never confidently detected.
+	TimeToDetectionSec float64 `json:"time_to_detection_sec"`
+}
+
+// DetectCell is one fault × workload cell, scored under every approach
+// (keys "black-box", "white-box", "combined").
+type DetectCell struct {
+	Fault    string                 `json:"fault"`
+	Workload string                 `json:"workload"`
+	Scores   map[string]DetectScore `json:"scores"`
+}
+
+// DetectFaultSummary aggregates one fault across workloads, per approach:
+// balanced accuracy is the mean over workloads; time-to-detection is the
+// worst (largest) over workloads, or -1 if any workload never detected.
+type DetectFaultSummary struct {
+	Fault              string             `json:"fault"`
+	BalancedAccuracy   map[string]float64 `json:"balanced_accuracy"`
+	TimeToDetectionSec map[string]float64 `json:"time_to_detection_sec"`
+}
+
+// DetectReport is the harness output, serialized to BENCH_detect.json.
+type DetectReport struct {
+	SchemaVersion int                  `json:"schema_version"`
+	Mode          string               `json:"mode"`
+	Slaves        int                  `json:"slaves"`
+	Seed          int64                `json:"seed"`
+	DurationSec   int                  `json:"duration_sec"`
+	InjectAtSec   int                  `json:"inject_at_sec"`
+	Workloads     []string             `json:"workloads"`
+	Cells         []DetectCell         `json:"cells"`
+	Faults        []DetectFaultSummary `json:"faults"`
+}
+
+// detectApproaches orders the report's score keys.
+var detectApproaches = []Approach{ApproachBlackBox, ApproachWhiteBox, ApproachCombined}
+
+// RunDetect trains one shared black-box model and runs every fault ×
+// workload cell of the matrix through all three analysis approaches. Cell
+// seeds are a deterministic function of the config seed and the cell's
+// position, so a fixed config always yields a byte-identical report.
+func RunDetect(cfg DetectConfig, mode string) (*DetectReport, error) {
+	if len(cfg.Workloads) == 0 || len(cfg.Faults) == 0 {
+		return nil, fmt.Errorf("eval: detect config needs workloads and faults")
+	}
+	model, err := TrainDefaultModel(cfg.Slaves, cfg.Seed, cfg.TrainSeconds, cfg.NumStates)
+	if err != nil {
+		return nil, fmt.Errorf("eval: detect training: %w", err)
+	}
+	params := DefaultParams(model.NumStates())
+
+	rep := &DetectReport{
+		SchemaVersion: 1,
+		Mode:          mode,
+		Slaves:        cfg.Slaves,
+		Seed:          cfg.Seed,
+		DurationSec:   cfg.DurationSec,
+		InjectAtSec:   cfg.InjectAtSec,
+	}
+	for _, wl := range cfg.Workloads {
+		rep.Workloads = append(rep.Workloads, wl.Name)
+	}
+
+	// byFault[fault][approach] accumulates per-workload scores for the
+	// summaries; filled in matrix order so aggregation is deterministic.
+	byFault := make(map[string]map[string][]DetectScore, len(cfg.Faults))
+
+	for wlIdx, wl := range cfg.Workloads {
+		var phases []WorkloadPhase
+		if len(wl.Classes) > 0 {
+			phases = []WorkloadPhase{{AtSec: -1, Classes: wl.Classes}}
+		}
+		for faultIdx, fault := range cfg.Faults {
+			tr, err := CollectTrace(TraceConfig{
+				Slaves:      cfg.Slaves,
+				Seed:        cfg.Seed + 300 + int64(wlIdx)*100 + int64(faultIdx),
+				WarmupSec:   cfg.WarmupSec,
+				DurationSec: cfg.DurationSec,
+				Fault:       fault,
+				FaultNode:   cfg.FaultNode,
+				InjectAtSec: cfg.InjectAtSec,
+				Phases:      phases,
+			}, model)
+			if err != nil {
+				return nil, fmt.Errorf("eval: detect cell %s/%s: %w", fault, wl.Name, err)
+			}
+			cell := DetectCell{
+				Fault:    fault.String(),
+				Workload: wl.Name,
+				Scores:   make(map[string]DetectScore, len(detectApproaches)),
+			}
+			for _, approach := range detectApproaches {
+				verdicts, err := Verdicts(tr, approach, params)
+				if err != nil {
+					return nil, fmt.Errorf("eval: detect cell %s/%s %s: %w", fault, wl.Name, approach, err)
+				}
+				o := Score(tr, verdicts, params)
+				s := DetectScore{
+					TPR:                round4(o.TruePositiveRate),
+					FPR:                round4(o.FalsePositiveRate),
+					BalancedAccuracy:   round4(o.BalancedAccuracy),
+					TimeToDetectionSec: round4(o.LatencySec),
+				}
+				cell.Scores[approach.String()] = s
+				if byFault[cell.Fault] == nil {
+					byFault[cell.Fault] = make(map[string][]DetectScore, len(detectApproaches))
+				}
+				byFault[cell.Fault][approach.String()] = append(byFault[cell.Fault][approach.String()], s)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+
+	for _, fault := range cfg.Faults {
+		name := fault.String()
+		sum := DetectFaultSummary{
+			Fault:              name,
+			BalancedAccuracy:   make(map[string]float64, len(detectApproaches)),
+			TimeToDetectionSec: make(map[string]float64, len(detectApproaches)),
+		}
+		for _, approach := range detectApproaches {
+			scores := byFault[name][approach.String()]
+			var baSum, worstTTD float64
+			detectedAll := true
+			for _, s := range scores {
+				baSum += s.BalancedAccuracy
+				if s.TimeToDetectionSec < 0 {
+					detectedAll = false
+				} else if s.TimeToDetectionSec > worstTTD {
+					worstTTD = s.TimeToDetectionSec
+				}
+			}
+			sum.BalancedAccuracy[approach.String()] = round4(baSum / float64(len(scores)))
+			if detectedAll {
+				sum.TimeToDetectionSec[approach.String()] = worstTTD
+			} else {
+				sum.TimeToDetectionSec[approach.String()] = -1
+			}
+		}
+		rep.Faults = append(rep.Faults, sum)
+	}
+	return rep, nil
+}
+
+// round4 rounds to four decimals so the serialized report is a stable,
+// human-diffable regression surface.
+func round4(v float64) float64 {
+	return math.Round(v*10000) / 10000
+}
+
+// Encode writes the report as canonical JSON: two-space indent, struct
+// fields in declaration order, map keys sorted (encoding/json's guarantee),
+// floats pre-rounded, trailing newline. Two runs of the same config produce
+// byte-identical output — the property the CI determinism check holds.
+func (r *DetectReport) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeDetectReport reads a report serialized by Encode.
+func DecodeDetectReport(rd io.Reader) (*DetectReport, error) {
+	var r DetectReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("eval: decoding detect report: %w", err)
+	}
+	return &r, nil
+}
+
+// FaultSummary returns the named fault's summary row, or nil.
+func (r *DetectReport) FaultSummary(name string) *DetectFaultSummary {
+	for i := range r.Faults {
+		if r.Faults[i].Fault == name {
+			return &r.Faults[i]
+		}
+	}
+	return nil
+}

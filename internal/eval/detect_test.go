@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+// TestDetectReportDeterministic is the property the CI detect-quality gate
+// stands on: two runs of the reduced matrix with the same seed serialize to
+// byte-identical BENCH_detect.json. Any nondeterminism — map iteration
+// order, unseeded randomness, wall-clock leakage — shows up here as a diff.
+func TestDetectReportDeterministic(t *testing.T) {
+	run := func() []byte {
+		rep, err := RunDetect(ReducedDetectConfig(), "reduced")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two same-seed reduced runs differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+
+	// While we have a report in hand, hold the shape contract the gate and
+	// the floor file depend on.
+	rep, err := DecodeDetectReport(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ReducedDetectConfig()
+	if want := len(cfg.Faults) * len(cfg.Workloads); len(rep.Cells) != want {
+		t.Errorf("cells = %d, want %d (faults x workloads)", len(rep.Cells), want)
+	}
+	if len(rep.Faults) != len(cfg.Faults) {
+		t.Errorf("fault summaries = %d, want %d", len(rep.Faults), len(cfg.Faults))
+	}
+	approaches := []string{"black-box", "white-box", "combined"}
+	for _, fault := range hadoopsim.AllFaults {
+		sum := rep.FaultSummary(fault.String())
+		if sum == nil {
+			t.Errorf("no summary for fault %s", fault)
+			continue
+		}
+		for _, a := range approaches {
+			ba, ok := sum.BalancedAccuracy[a]
+			if !ok {
+				t.Errorf("fault %s missing %s balanced accuracy", fault, a)
+				continue
+			}
+			if ba < 0 || ba > 1 {
+				t.Errorf("fault %s %s balanced accuracy %v outside [0,1]", fault, a, ba)
+			}
+			if ttd := sum.TimeToDetectionSec[a]; ttd < -1 || ttd > float64(cfg.DurationSec) {
+				t.Errorf("fault %s %s time-to-detection %v outside [-1, duration]", fault, a, ttd)
+			}
+		}
+	}
+	for _, c := range rep.Cells {
+		for _, a := range approaches {
+			s, ok := c.Scores[a]
+			if !ok {
+				t.Errorf("cell %s/%s missing %s score", c.Fault, c.Workload, a)
+				continue
+			}
+			if s.TPR < 0 || s.TPR > 1 || s.FPR < 0 || s.FPR > 1 {
+				t.Errorf("cell %s/%s %s rates outside [0,1]: %+v", c.Fault, c.Workload, a, s)
+			}
+		}
+	}
+
+	// The harness must exercise every fault under at least two workloads —
+	// the coverage claim the detect-quality job makes.
+	if len(cfg.Workloads) < 2 {
+		t.Errorf("reduced config has %d workloads, want >= 2", len(cfg.Workloads))
+	}
+}

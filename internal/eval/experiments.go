@@ -145,8 +145,8 @@ type FaultResult struct {
 // fault, one monitored run with the fault injected mid-run, evaluated under
 // all three approaches at the chosen operating point.
 func Figure7(opts Options, model *analysis.Model, params AnalysisParams) ([]FaultResult, error) {
-	results := make([]FaultResult, 0, len(hadoopsim.AllFaults))
-	for fi, fault := range hadoopsim.AllFaults {
+	results := make([]FaultResult, 0, len(hadoopsim.TableTwoFaults))
+	for fi, fault := range hadoopsim.TableTwoFaults {
 		tr, err := CollectTrace(TraceConfig{
 			Slaves:      opts.Slaves,
 			Seed:        opts.Seed + 200 + int64(fi),

@@ -39,6 +39,17 @@ func (c *Cluster) allocateAndAdvance() {
 	}
 }
 
+// partitionBlocked reports whether traffic from src to dst is black-holed
+// by an asymmetric partition: a partitioned node stops receiving from the
+// lower half of the cluster while its own transmissions (and traffic
+// between healthy peers) still flow.
+func (c *Cluster) partitionBlocked(src, dst int) bool {
+	if src == dst {
+		return false
+	}
+	return c.slaves[dst].fault == FaultNetPartition && src < len(c.slaves)/2
+}
+
 // registerDemands computes what the attempt wants this tick and registers
 // it on the involved nodes.
 func (c *Cluster) registerDemands(a *attempt) tickWork {
@@ -47,6 +58,14 @@ func (c *Cluster) registerDemands(a *attempt) tickWork {
 		return w
 	}
 	n := a.node
+
+	if n.gcPaused {
+		// Stop-the-world: the JVM is frozen — no compute, no I/O, just the
+		// occasional kernel-side wakeup.
+		w.cpuWant = 0.02
+		n.addCPUDemand(w.cpuWant)
+		return w
+	}
 
 	switch {
 	case a.hang && a.hangBurnCPU:
@@ -82,6 +101,13 @@ func (c *Cluster) registerDemands(a *attempt) tickWork {
 			if f.left <= workEps || f.src == f.dst {
 				continue
 			}
+			if c.partitionBlocked(f.src, f.dst) {
+				// The transfer stalls in the black hole; the receiver sees
+				// only its peer's futile retransmissions.
+				f.want = 0
+				c.slaves[f.dst].partitionDropMB += minF(f.left, taskNetCapMBps)
+				continue
+			}
 			f.want = f.left
 			if f.want > taskNetCapMBps {
 				f.want = taskNetCapMBps
@@ -91,12 +117,18 @@ func (c *Cluster) registerDemands(a *attempt) tickWork {
 		}
 
 		// Shuffle flows rebuilt each tick from the available map outputs,
-		// the per-attempt network cap split across source nodes.
+		// the per-attempt network cap split across source nodes. Sources
+		// behind an asymmetric partition are unreachable: their output
+		// stays pending and the fetch attempts count as dropped traffic.
 		if a.phase == phaseCopy && len(a.copyAvail) > 0 {
 			srcs := make([]int, 0, len(a.copyAvail))
 			var totalAvail float64
 			for s, mb := range a.copyAvail {
 				if mb > workEps {
+					if c.partitionBlocked(s, n.Index) {
+						n.partitionDropMB += minF(mb, 5)
+						continue
+					}
 					srcs = append(srcs, s)
 					totalAvail += mb
 				}
@@ -165,17 +197,21 @@ func (c *Cluster) advance(w *tickWork) {
 	n := a.node
 	progressed := false
 
-	if !a.hang {
-		if g := w.cpuWant * n.cpuGrant; g > 0 && a.cpuLeft > 0 && a.phase != phaseCopy {
+	// pf scales effective progress: zero during a stop-the-world pause,
+	// fractional on a straggling node — demand was registered at full size,
+	// but the work completed per granted unit shrinks.
+	pf := n.progressFactor()
+	if !a.hang && pf > 0 {
+		if g := w.cpuWant * n.cpuGrant * pf; g > 0 && a.cpuLeft > 0 && a.phase != phaseCopy {
 			a.cpuLeft -= g
 			progressed = true
 		}
-		if g := w.diskWant * n.diskScale; g > 0 && a.diskLeft > 0 {
+		if g := w.diskWant * n.diskScale * pf; g > 0 && a.diskLeft > 0 {
 			a.diskLeft -= g
 			progressed = true
 		}
 		for _, f := range w.flows {
-			g := c.grantFor(f)
+			g := c.grantFor(f) * pf
 			if g <= 0 {
 				continue
 			}
@@ -303,9 +339,10 @@ func (c *Cluster) finishReduce(a *attempt) {
 // maybeLogReduceProgress emits a TaskTracker progress line every few
 // seconds, which keeps the white-box sub-state (copy/sort/reduce) visible.
 func (c *Cluster) maybeLogReduceProgress(a *attempt) {
-	// A hung task's JVM reports nothing (HADOOP-1036/2080), so its silence
-	// is visible in the logs.
-	if a.task.isMap || a.hang || c.now.Sub(a.lastLogAt) < 5*time.Second {
+	// A hung task's JVM reports nothing (HADOOP-1036/2080), and a JVM in a
+	// stop-the-world pause reports nothing either, so their silence is
+	// visible in the logs.
+	if a.task.isMap || a.hang || a.node.gcPaused || c.now.Sub(a.lastLogAt) < 5*time.Second {
 		return
 	}
 	var pct float64

@@ -31,6 +31,38 @@ const (
 	// FaultHang2080: reduces on the node hang during the sort/merge on a
 	// miscomputed checksum — no progress, no CPU burn (HADOOP-2080).
 	FaultHang2080
+
+	// The remaining kinds extend Table 2 with production-shaped faults:
+	// degradations seen in shared clusters that the paper's six injections
+	// do not cover. Each perturbs the same simulated sadc / hadoop-log
+	// surfaces through the same node and heartbeat model.
+
+	// FaultMemLeak is a slow-leak memory hog: a rogue process leaks
+	// resident memory at a steady rate until the node starts reclaim
+	// thrashing (major faults, page scans, I/O wait).
+	FaultMemLeak
+	// FaultNetPartition is an asymmetric network partition: the node stops
+	// receiving traffic from half of its peers while its own transmissions
+	// (and master heartbeats) still get through — shuffle fetches from the
+	// unreachable half stall and retransmission errors climb.
+	FaultNetPartition
+	// FaultNoisyNeighbor is a co-tenant VM on the same host bursting CPU
+	// and disk on a fixed duty cycle, stealing capacity from the slave's
+	// tasks without any Hadoop-visible process to blame.
+	FaultNoisyNeighbor
+	// FaultDiskDegrade is disk-latency degradation (failing spindle,
+	// misbehaving controller): usable disk bandwidth collapses to a
+	// fraction of nominal, so I/O time and queue depth climb while
+	// throughput drops.
+	FaultDiskDegrade
+	// FaultGCPause is a GC-like stop-the-world pathology: on a fixed cycle
+	// the node's JVMs freeze for several seconds — tasks make no progress,
+	// logs go silent, heartbeats are missed — while GC threads burn CPU.
+	FaultGCPause
+	// FaultStraggler is a straggler cascade: the node's task execution
+	// slows progressively (throttled host, background scrub), widening its
+	// heartbeat tail latency and pushing speculative duplicates onto peers.
+	FaultStraggler
 )
 
 // String names the fault as in the paper's figures.
@@ -50,19 +82,72 @@ func (k FaultKind) String() string {
 		return "HADOOP-1152"
 	case FaultHang2080:
 		return "HADOOP-2080"
+	case FaultMemLeak:
+		return "MemLeak"
+	case FaultNetPartition:
+		return "NetPartition"
+	case FaultNoisyNeighbor:
+		return "NoisyNeighbor"
+	case FaultDiskDegrade:
+		return "DiskDegrade"
+	case FaultGCPause:
+		return "GCPause"
+	case FaultStraggler:
+		return "Straggler"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
 }
 
-// AllFaults lists the six injectable faults, in Table 2 order.
+// AllFaults lists the twelve injectable faults: the paper's six in Table 2
+// order, then the production-shaped extensions in declaration order.
 var AllFaults = []FaultKind{
 	FaultCPUHog, FaultDiskHog, FaultPacketLoss,
 	FaultHang1036, FaultHang1152, FaultHang2080,
+	FaultMemLeak, FaultNetPartition, FaultNoisyNeighbor,
+	FaultDiskDegrade, FaultGCPause, FaultStraggler,
 }
+
+// TableTwoFaults lists just the paper's six faults, in Table 2 order.
+var TableTwoFaults = AllFaults[:6]
 
 // diskHogTotalMB is the DiskHog's sequential write volume (Table 2: 20 GB).
 const diskHogTotalMB = 20 * 1024
+
+// Tunables of the production-shaped faults. Magnitudes are picked to sit in
+// the same "obvious to an operator staring at the right graph, invisible in
+// aggregate dashboards" band as the paper's Table 2 injections.
+const (
+	// memLeakKBPerSec is the slow leak's growth rate (~4 MB/s: noticeable
+	// within minutes on a 7.5 GB node, but far from an instant OOM).
+	memLeakKBPerSec = 4 * 1024
+	// memThrashFrac: once used memory crosses this fraction of total, the
+	// kernel's reclaim path starts charging major faults and I/O wait.
+	memThrashFrac = 0.85
+	// Noisy neighbor duty cycle: noisyBurstSec of contention out of every
+	// noisyPeriodSec, stealing noisyCPUFrac of the cores and
+	// noisyDiskFrac of the disk bandwidth while active.
+	noisyPeriodSec = 30.0
+	noisyBurstSec  = 18.0
+	noisyCPUFrac   = 0.5
+	noisyDiskFrac  = 0.5
+	// diskDegradeFactor is the fraction of nominal disk bandwidth a
+	// degraded disk still delivers.
+	diskDegradeFactor = 0.25
+	// GC pause cycle: gcPauseSec of stop-the-world out of every
+	// gcCycleSec. A stop-the-world collector runs parallel GC threads on
+	// most of the machine, so the pause burns gcBurnFrac of the cores
+	// while the application stands still.
+	gcCycleSec = 45.0
+	gcPauseSec = 10.0
+	gcBurnFrac = 0.75
+	// Straggler ramp: the slowdown multiplier climbs linearly by one per
+	// stragglerRampSec until it reaches stragglerMaxMul; heartbeat misses
+	// scale up to stragglerHBMissMax as the node slows.
+	stragglerRampSec   = 20.0
+	stragglerMaxMul    = 8.0
+	stragglerHBMissMax = 0.35
+)
 
 // InjectFault activates a fault on slave nodeIndex starting at the next
 // tick. Injecting FaultNone clears any active fault. Only one fault is
@@ -76,6 +161,11 @@ func (c *Cluster) InjectFault(nodeIndex int, kind FaultKind) error {
 	n.faultSince = c.now
 	n.packetLoss = 0
 	n.diskHogLeft = 0
+	n.leakedKB = 0
+	n.gcPaused = false
+	n.noisyActive = false
+	n.stragglerMul = 1
+	n.partitionDropMB = 0
 	switch kind {
 	case FaultPacketLoss:
 		n.packetLoss = 0.5

@@ -1,0 +1,251 @@
+package hadoopsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExtendedFaultNames covers the production-fault library surface:
+// String() names and the AllFaults ordering contract (Table 2's six first,
+// then the extensions in declaration order) that the detection-quality
+// harness and its CI floor file key on.
+func TestExtendedFaultNames(t *testing.T) {
+	cases := []struct {
+		kind FaultKind
+		name string
+	}{
+		{FaultMemLeak, "MemLeak"},
+		{FaultNetPartition, "NetPartition"},
+		{FaultNoisyNeighbor, "NoisyNeighbor"},
+		{FaultDiskDegrade, "DiskDegrade"},
+		{FaultGCPause, "GCPause"},
+		{FaultStraggler, "Straggler"},
+	}
+	for _, tc := range cases {
+		if got := tc.kind.String(); got != tc.name {
+			t.Errorf("%d.String() = %q, want %q", tc.kind, got, tc.name)
+		}
+	}
+}
+
+func TestAllFaultsOrdering(t *testing.T) {
+	want := []FaultKind{
+		FaultCPUHog, FaultDiskHog, FaultPacketLoss,
+		FaultHang1036, FaultHang1152, FaultHang2080,
+		FaultMemLeak, FaultNetPartition, FaultNoisyNeighbor,
+		FaultDiskDegrade, FaultGCPause, FaultStraggler,
+	}
+	if len(AllFaults) != len(want) {
+		t.Fatalf("AllFaults has %d entries, want %d", len(AllFaults), len(want))
+	}
+	for i, k := range want {
+		if AllFaults[i] != k {
+			t.Errorf("AllFaults[%d] = %s, want %s", i, AllFaults[i], k)
+		}
+	}
+	for i, k := range TableTwoFaults {
+		if AllFaults[i] != k {
+			t.Errorf("TableTwoFaults[%d] = %s diverges from AllFaults", i, k)
+		}
+	}
+	seen := make(map[FaultKind]bool)
+	for _, k := range AllFaults {
+		if k == FaultNone {
+			t.Error("FaultNone listed as injectable")
+		}
+		if seen[k] {
+			t.Errorf("duplicate fault %s in AllFaults", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestExtendedFaultsStayActive(t *testing.T) {
+	c := testCluster(t, 4, 71)
+	for _, k := range AllFaults[6:] {
+		if err := c.InjectFault(1, k); err != nil {
+			t.Fatalf("inject %s: %v", k, err)
+		}
+		c.RunFor(30 * time.Second)
+		if !c.Slave(1).FaultActive() {
+			t.Errorf("%s should stay active until cleared", k)
+		}
+	}
+	if err := c.InjectFault(1, FaultNone); err != nil {
+		t.Fatal(err)
+	}
+	if c.Slave(1).FaultActive() {
+		t.Error("fault still active after clearing")
+	}
+}
+
+// TestExtendedFaultSignalPerturbations asserts, per fault, that the injected
+// perturbation is visible in the simulated sadc metrics of the culprit
+// relative to its peers — the contrast the black-box peer comparison
+// detects.
+func TestExtendedFaultSignalPerturbations(t *testing.T) {
+	cases := []struct {
+		fault  FaultKind
+		metric string
+		// margin is the required separation, in the metric's units, between
+		// the faulty node's mean and the peer mean over the window.
+		margin float64
+		// settle runs the fault before measuring starts (ramps, leaks).
+		settleSec int
+	}{
+		// 4 MB/s leak on 7.5 GB: ~13% of total in 4 min of settle+measure.
+		{FaultMemLeak, "mem_used_pct", 5, 120},
+		// Half the peers retransmitting into the black hole.
+		{FaultNetPartition, "net_rx_errs_per_sec", 20, 60},
+		// 50% of the cores stolen for 18 s out of every 30.
+		{FaultNoisyNeighbor, "cpu_busy_pct", 10, 0},
+		// The same task demand against a quarter of the disk bandwidth.
+		{FaultDiskDegrade, "disk_util_pct", 15, 60},
+		// GC threads spinning through each stop-the-world pause.
+		{FaultGCPause, "cpu_busy_pct", 5, 0},
+	}
+	for i, tc := range cases {
+		tc := tc
+		node := i % 4 // spread culprits so no node index is special-cased
+		t.Run(tc.fault.String(), func(t *testing.T) {
+			c := testCluster(t, 6, 72+int64(i))
+			c.RunFor(2 * time.Minute)
+			if err := c.InjectFault(node, tc.fault); err != nil {
+				t.Fatal(err)
+			}
+			c.RunFor(time.Duration(tc.settleSec) * time.Second)
+			means := collectNodeMeans(t, c, 120, tc.metric)
+			peers := othersMean(means, node)
+			if means[node] < peers+tc.margin {
+				t.Errorf("%s node %s = %.2f, peers = %.2f; want separation >= %.0f",
+					tc.fault, tc.metric, means[node], peers, tc.margin)
+			}
+		})
+	}
+}
+
+// TestStragglerWidensHeartbeatTail asserts the straggler cascade's defining
+// signal: the faulty node's inter-heartbeat gaps grow a long tail while
+// healthy peers beat every second.
+func TestStragglerWidensHeartbeatTail(t *testing.T) {
+	c := testCluster(t, 6, 80)
+	c.RunFor(2 * time.Minute)
+	if err := c.InjectFault(2, FaultStraggler); err != nil {
+		t.Fatal(err)
+	}
+	// Let the slowdown ramp to its plateau, then observe.
+	c.RunFor(3 * time.Minute)
+	gaps := make([]int, 6)    // longest missed-heartbeat run per node
+	current := make([]int, 6) // running miss count
+	for i := 0; i < 240; i++ {
+		c.Tick()
+		for nIdx, n := range c.Slaves() {
+			if n.hbOK {
+				current[nIdx] = 0
+				continue
+			}
+			current[nIdx]++
+			if current[nIdx] > gaps[nIdx] {
+				gaps[nIdx] = current[nIdx]
+			}
+		}
+	}
+	for nIdx, g := range gaps {
+		if nIdx == 2 {
+			continue
+		}
+		if g != 0 {
+			t.Errorf("healthy node %d missed heartbeats (longest gap %d s)", nIdx, g)
+		}
+	}
+	if gaps[2] < 2 {
+		t.Errorf("straggler's longest heartbeat gap = %d s, want a widened tail (>= 2 s)", gaps[2])
+	}
+}
+
+// TestGCPauseSilencesNodePeriodically asserts the pause cycle: heartbeats
+// are missed for gcPauseSec out of every gcCycleSec, in contiguous runs.
+func TestGCPauseSilencesNodePeriodically(t *testing.T) {
+	c := testCluster(t, 5, 81)
+	c.RunFor(time.Minute)
+	if err := c.InjectFault(1, FaultGCPause); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Slave(1)
+	missed, longestRun, run := 0, 0, 0
+	const window = 3 * 45 // three full GC cycles
+	for i := 0; i < window; i++ {
+		c.Tick()
+		if !n.hbOK {
+			missed++
+			run++
+			if run > longestRun {
+				longestRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	// Three cycles of ~10 s pauses, +-1 tick of phase alignment.
+	if missed < 25 || missed > 35 {
+		t.Errorf("missed %d heartbeats over three GC cycles, want ~30", missed)
+	}
+	if longestRun < 8 {
+		t.Errorf("longest contiguous pause = %d s, want a stop-the-world run >= 8 s", longestRun)
+	}
+}
+
+// TestNetPartitionIsAsymmetric asserts the partition's defining asymmetry:
+// the victim stops receiving from the lower half of the cluster, but its
+// heartbeats (and transmissions) still reach the master, so it keeps
+// getting scheduled — unlike PacketLoss, which starves scheduling.
+func TestNetPartitionIsAsymmetric(t *testing.T) {
+	c := testCluster(t, 6, 82)
+	c.RunFor(2 * time.Minute)
+	victim := 4 // upper half, so the blocked set is entirely other nodes
+	if err := c.InjectFault(victim, FaultNetPartition); err != nil {
+		t.Fatal(err)
+	}
+	before := countLaunches(c.Slave(victim))
+	missed := 0
+	for i := 0; i < 5*60; i++ {
+		c.Tick()
+		if !c.Slave(victim).hbOK {
+			missed++
+		}
+	}
+	if missed != 0 {
+		t.Errorf("partitioned node missed %d heartbeats; the master path is not partitioned", missed)
+	}
+	if got := countLaunches(c.Slave(victim)); got == before {
+		t.Error("partitioned node stopped receiving task launches; partition should not starve scheduling")
+	}
+}
+
+// TestStragglerCascadesToPeers asserts the cascade: the straggler's slow
+// attempts trigger speculative duplicates on healthy peers.
+func TestStragglerCascadesToPeers(t *testing.T) {
+	c := testCluster(t, 6, 83)
+	c.RunFor(2 * time.Minute)
+	if err := c.InjectFault(0, FaultStraggler); err != nil {
+		t.Fatal(err)
+	}
+	duplicatesBefore := countKilledDuplicates(c)
+	c.RunFor(8 * time.Minute)
+	if got := countKilledDuplicates(c); got <= duplicatesBefore {
+		t.Error("no speculative duplicates killed; straggling should cascade work to peers")
+	}
+}
+
+func countKilledDuplicates(c *Cluster) int {
+	total := 0
+	for _, n := range c.Slaves() {
+		lines, _ := n.TaskTrackerLog().ReadFrom(0)
+		for _, l := range lines {
+			if contains(l, "KillTaskAction: duplicate attempt") {
+				total++
+			}
+		}
+	}
+	return total
+}

@@ -237,6 +237,21 @@ func (jt *jobTracker) deliverHeartbeat(n *Node) {
 	if n.lastHeartbeatOK.IsZero() {
 		n.lastHeartbeatOK = now
 	}
+	switch {
+	case n.gcPaused:
+		// Stop-the-world: the TT's heartbeat thread is frozen along with
+		// everything else in the JVM, so the beat is simply missed.
+		n.hbOK = false
+		return
+	case n.fault == FaultStraggler && n.stragglerMul > 1:
+		// Long JVM and scheduler stalls delay heartbeats past the
+		// master's tolerance with probability growing as the node slows —
+		// the inter-heartbeat tail widens even though the node is alive.
+		if jt.c.rng.Float64() < stragglerHBMissMax*(1-1/n.stragglerMul) {
+			n.hbOK = false
+			return
+		}
+	}
 	if n.packetLoss <= 0 {
 		n.hbOK = true
 		n.lastHeartbeatOK = now

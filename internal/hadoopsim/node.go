@@ -2,6 +2,7 @@ package hadoopsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -38,6 +39,13 @@ type Node struct {
 	faultSince  time.Time
 	diskHogLeft float64 // MB remaining of the 20 GB sequential write
 	packetLoss  float64 // fraction of packets lost
+
+	// Production-fault state (the post-Table-2 fault library).
+	leakedKB        float64 // FaultMemLeak: cumulative leaked resident KB
+	gcPaused        bool    // FaultGCPause: inside a stop-the-world pause
+	noisyActive     bool    // FaultNoisyNeighbor: co-tenant burst active
+	stragglerMul    float64 // FaultStraggler: work slowdown multiplier (>=1)
+	partitionDropMB float64 // FaultNetPartition: rx MB black-holed this tick
 
 	// Heartbeat state (per-tick): whether this tick's heartbeat reached
 	// the jobtracker, when one last did, and until when the TT's RPC
@@ -151,15 +159,32 @@ func (n *Node) effectiveNetMBps() float64 {
 	return n.cfg.NetMBps
 }
 
+// effectiveDiskMBps applies fault-induced disk degradation: a failing disk
+// delivers only a fraction of its nominal bandwidth, so the same demand
+// saturates it and queues behind it.
+func (n *Node) effectiveDiskMBps() float64 {
+	if n.fault == FaultDiskDegrade {
+		return n.cfg.DiskMBps * diskDegradeFactor
+	}
+	return n.cfg.DiskMBps
+}
+
 // beginTick resets per-tick demand accounting and registers fault demands.
-func (n *Node) beginTick() {
+// now is the tick being started; phase-cycled faults (noisy neighbor, GC
+// pause) and ramped faults (memory leak, straggler) derive their state from
+// the elapsed time since injection, keeping runs deterministic.
+func (n *Node) beginTick(now time.Time) {
 	n.cpuDemand = daemonCPUCores
 	n.diskDemand = 0
 	n.txDemand = 0
 	n.rxDemand = 0
 	n.faultCPU = 0
 	n.faultDiskMB = 0
+	n.gcPaused = false
+	n.noisyActive = false
+	n.partitionDropMB = 0
 
+	elapsed := now.Sub(n.faultSince).Seconds()
 	switch n.fault {
 	case FaultCPUHog:
 		n.cpuDemand += cpuHogUtilization * n.cfg.Cores
@@ -167,7 +192,40 @@ func (n *Node) beginTick() {
 		if n.diskHogLeft > 0 {
 			n.diskDemand += n.cfg.DiskMBps // saturate the disk
 		}
+	case FaultMemLeak:
+		n.leakedKB += memLeakKBPerSec
+	case FaultNoisyNeighbor:
+		n.noisyActive = math.Mod(elapsed, noisyPeriodSec) < noisyBurstSec
+		if n.noisyActive {
+			n.cpuDemand += noisyCPUFrac * n.cfg.Cores
+			n.diskDemand += noisyDiskFrac * n.cfg.DiskMBps
+		}
+	case FaultGCPause:
+		n.gcPaused = math.Mod(elapsed, gcCycleSec) < gcPauseSec
+		if n.gcPaused {
+			n.cpuDemand += gcBurnFrac * n.cfg.Cores // collector threads spin
+		}
+	case FaultStraggler:
+		n.stragglerMul = 1 + (elapsed / stragglerRampSec)
+		if n.stragglerMul > stragglerMaxMul {
+			n.stragglerMul = stragglerMaxMul
+		}
 	}
+}
+
+// progressFactor scales an attempt's effective progress on this node for
+// the current tick: zero during a stop-the-world pause, 1/stragglerMul on a
+// straggling node, 1 otherwise. Demands are still registered at full size —
+// a straggling node looks busy while its tasks crawl, which is exactly the
+// signature detection has to work from.
+func (n *Node) progressFactor() float64 {
+	switch {
+	case n.gcPaused:
+		return 0
+	case n.fault == FaultStraggler && n.stragglerMul > 1:
+		return 1 / n.stragglerMul
+	}
+	return 1
 }
 
 // daemonCPUCores is the background CPU of the tasktracker+datanode JVMs.
@@ -192,8 +250,8 @@ func (n *Node) computeScales() {
 		n.cpuGrant = n.cfg.Cores / n.cpuDemand
 	}
 	n.diskScale = 1
-	if n.diskDemand > n.cfg.DiskMBps {
-		n.diskScale = n.cfg.DiskMBps / n.diskDemand
+	if disk := n.effectiveDiskMBps(); n.diskDemand > disk {
+		n.diskScale = disk / n.diskDemand
 	}
 	net := n.effectiveNetMBps()
 	n.txScale = 1
@@ -231,10 +289,11 @@ func (n *Node) finishTick(now time.Time) {
 	userJ := usedJ * 0.82
 	sysJ := usedJ * 0.18
 
-	// Disk accounting.
+	// Disk accounting, against the fault-adjusted effective bandwidth.
+	diskCap := n.effectiveDiskMBps()
 	diskMB := n.diskDemand * n.diskScale
 	if n.fault == FaultDiskHog && n.diskHogLeft > 0 {
-		hogShare := n.cfg.DiskMBps * n.diskScale
+		hogShare := diskCap * n.diskScale
 		n.faultDiskMB = hogShare
 		n.diskHogLeft -= hogShare
 		if n.diskHogLeft <= 0 {
@@ -242,8 +301,8 @@ func (n *Node) finishTick(now time.Time) {
 		}
 	}
 	diskUtil := 0.0
-	if n.cfg.DiskMBps > 0 {
-		diskUtil = diskMB / n.cfg.DiskMBps
+	if diskCap > 0 {
+		diskUtil = diskMB / diskCap
 		if diskUtil > 1 {
 			diskUtil = 1
 		}
@@ -281,7 +340,7 @@ func (n *Node) finishTick(now time.Time) {
 	n.counters.writes += uint64(halfW * 8)
 	ioMs := diskUtil * 1000
 	n.counters.ioTimeMs += uint64(ioMs)
-	n.counters.weightedIOMs += uint64(ioMs * (1 + n.diskDemand/n.cfg.DiskMBps))
+	n.counters.weightedIOMs += uint64(ioMs * (1 + n.diskDemand/diskCap))
 	n.counters.readTimeMs += uint64(ioMs * 0.4)
 	n.counters.writeTimeMs += uint64(ioMs * 0.6)
 
@@ -298,6 +357,13 @@ func (n *Node) finishTick(now time.Time) {
 		n.counters.rxErrs += uint64(n.jitter((rxMB*720+8)*n.packetLoss, 0.2))
 		n.counters.rxDrops += uint64(n.jitter((rxMB*720+8)*n.packetLoss*0.5, 0.2))
 	}
+	if n.partitionDropMB > 0 {
+		// Peers behind the partition keep retransmitting into the black
+		// hole; what little leaks through the broken path shows up as
+		// errored and dropped frames.
+		n.counters.rxErrs += uint64(n.jitter(n.partitionDropMB*90, 0.2))
+		n.counters.rxDrops += uint64(n.jitter(n.partitionDropMB*180, 0.2))
+	}
 
 	// Paging follows disk traffic.
 	n.counters.pgpgin += uint64(halfR * 1024)
@@ -311,6 +377,18 @@ func (n *Node) finishTick(now time.Time) {
 	mem := 900*1024 + tasks*220*1024 + diskUtil*400*1024
 	if n.fault == FaultCPUHog {
 		mem += 80 * 1024
+	}
+	mem += n.leakedKB
+	if total := float64(n.cfg.MemTotalKB); mem > memThrashFrac*total {
+		// The leak has eaten the headroom: reclaim starts evicting and
+		// faulting pages back in, charging major faults and page churn.
+		over := mem - memThrashFrac*total
+		n.counters.pgmajflt += uint64(n.jitter(over/(32*1024), 0.3))
+		n.counters.pgpgin += uint64(n.jitter(over/64, 0.2))
+		n.counters.pgpgout += uint64(n.jitter(over/64, 0.2))
+		if cap := 0.97 * total; mem > cap {
+			mem = cap // the OOM killer would fire before the gauge pegs
+		}
 	}
 	n.counters.memUsedKB = uint64(n.jitter(mem, 0.02))
 
@@ -326,8 +404,13 @@ func (n *Node) finishTick(now time.Time) {
 	// Daemon process accounting. Task JVM CPU is attributed to the
 	// tasktracker process tree and block service to the datanode; CPU
 	// burned by an external hog process belongs to neither.
-	if n.fault == FaultCPUHog {
+	switch {
+	case n.fault == FaultCPUHog:
 		n.faultCPU = cpuHogUtilization * n.cfg.Cores * n.cpuGrant
+	case n.noisyActive:
+		// The co-tenant's burn belongs to another VM: it shows in the
+		// host-level counters but in neither daemon's process tree.
+		n.faultCPU = noisyCPUFrac * n.cfg.Cores * n.cpuGrant
 	}
 	taskCores := usedCores - n.faultCPU - daemonCPUCores
 	if taskCores < 0 {

@@ -197,7 +197,7 @@ func (c *Cluster) Tick() {
 
 	// Gather demands from every running attempt and active fault.
 	for _, n := range c.slaves {
-		n.beginTick()
+		n.beginTick(c.now)
 	}
 	c.allocateAndAdvance()
 	for _, n := range c.slaves {

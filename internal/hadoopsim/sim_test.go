@@ -408,9 +408,11 @@ func TestFaultNames(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
 		}
 	}
-	if len(AllFaults) != 6 {
-		t.Errorf("AllFaults = %d entries, want 6 (Table 2)", len(AllFaults))
+	if len(TableTwoFaults) != 6 {
+		t.Errorf("TableTwoFaults = %d entries, want 6 (Table 2)", len(TableTwoFaults))
 	}
+	// The production-fault extensions and full-library ordering are covered
+	// in fault_test.go.
 }
 
 func TestSadcCollectorWorksOnSimulatedNodes(t *testing.T) {

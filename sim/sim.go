@@ -7,7 +7,9 @@
 // — /proc-style performance counters (a procfs provider for the sadc
 // collector) and natively formatted Hadoop logs (for the hadoop_log
 // parser) — plus fault-injection hooks for the six documented Hadoop
-// problems of the paper's Table 2.
+// problems of the paper's Table 2 and six further production-shaped
+// degradations (memory leak, asymmetric partition, noisy neighbor, disk
+// degradation, GC pauses, straggler cascade).
 package sim
 
 import (
@@ -21,10 +23,11 @@ type (
 	Config  = hadoopsim.Config
 )
 
-// FaultKind selects one of the Table-2 faults.
+// FaultKind selects an injectable fault.
 type FaultKind = hadoopsim.FaultKind
 
-// The injectable faults of the paper's Table 2.
+// The injectable faults: the paper's Table 2, then the production-shaped
+// extensions.
 const (
 	FaultNone       = hadoopsim.FaultNone
 	FaultCPUHog     = hadoopsim.FaultCPUHog
@@ -33,10 +36,21 @@ const (
 	FaultHang1036   = hadoopsim.FaultHang1036
 	FaultHang1152   = hadoopsim.FaultHang1152
 	FaultHang2080   = hadoopsim.FaultHang2080
+
+	FaultMemLeak       = hadoopsim.FaultMemLeak
+	FaultNetPartition  = hadoopsim.FaultNetPartition
+	FaultNoisyNeighbor = hadoopsim.FaultNoisyNeighbor
+	FaultDiskDegrade   = hadoopsim.FaultDiskDegrade
+	FaultGCPause       = hadoopsim.FaultGCPause
+	FaultStraggler     = hadoopsim.FaultStraggler
 )
 
-// AllFaults lists the six injectable faults in Table 2 order.
-var AllFaults = hadoopsim.AllFaults
+// AllFaults lists the twelve injectable faults: Table 2's six first, then
+// the production-shaped extensions. TableTwoFaults is just the paper's six.
+var (
+	AllFaults      = hadoopsim.AllFaults
+	TableTwoFaults = hadoopsim.TableTwoFaults
+)
 
 // DefaultConfig mirrors the paper's environment (EC2 Large nodes, Hadoop
 // 0.18 defaults), scaled for simulation.

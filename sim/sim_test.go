@@ -18,8 +18,11 @@ func TestPublicSimulatorSurface(t *testing.T) {
 	if cluster.TasksCompleted() == 0 {
 		t.Error("no tasks completed")
 	}
-	if len(sim.AllFaults) != 6 {
-		t.Errorf("AllFaults = %d, want 6", len(sim.AllFaults))
+	if len(sim.AllFaults) != 12 {
+		t.Errorf("AllFaults = %d, want 12", len(sim.AllFaults))
+	}
+	if len(sim.TableTwoFaults) != 6 {
+		t.Errorf("TableTwoFaults = %d, want 6", len(sim.TableTwoFaults))
 	}
 	if err := cluster.InjectFault(1, sim.FaultCPUHog); err != nil {
 		t.Fatal(err)
