@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,12 +30,13 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("asdf-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table3 | table4 | fig6a | fig6b | fig7a | fig7b | ablation | workload | shardscale | detect | all")
+	experiment := fs.String("experiment", "all", "table3 | table4 | fig6a | fig6b | fig7a | fig7b | ablation | workload | shardscale | wire | detect | all")
 	slaves := fs.Int("slaves", 0, "cluster size (0 = default)")
 	seed := fs.Int64("seed", 0, "base seed (0 = default)")
 	duration := fs.Int("duration", 0, "fault-run seconds (0 = default)")
 	csvOut := fs.String("csv", "", "directory to also write each exhibit's data as CSV (for plotting)")
 	shardJSON := fs.String("shard-json", "BENCH_shard.json", "output path for the shardscale experiment's JSON result")
+	wireJSON := fs.String("wire-json", "BENCH_wire.json", "output path for the wire experiment's JSON result")
 	detectJSON := fs.String("detect-json", "BENCH_detect.json", "output path for the detect experiment's JSON report")
 	detectMode := fs.String("detect-mode", "full", "detect matrix sizing: full | reduced (the CI gate uses reduced)")
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +86,7 @@ func run(args []string) int {
 		"ablation":   func() error { return runAblation(opts, model) },
 		"workload":   func() error { return runWorkload(opts, model) },
 		"shardscale": func() error { return runShardScale(*shardJSON) },
+		"wire":       func() error { return runWire(*wireJSON) },
 		"detect":     func() error { return runDetect(*detectJSON, *detectMode) },
 	}
 	if runAll {
@@ -327,16 +330,69 @@ func runShardScale(jsonPath string) error {
 			Ticks        int                    `json:"ticks"`
 			Points       []eval.ShardScalePoint `json:"points"`
 		}{"shardscale", cfg.RPCLatency.Microseconds(), cfg.Ticks, points}
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := writeReportAtomic(jsonPath, out); err != nil {
 			return err
 		}
 		fmt.Printf("(wrote %s)\n", jsonPath)
 	}
 	return nil
+}
+
+// runWire measures the JSON vs columnar wire cost of one collection tick
+// at growing cluster sizes and writes the result as JSON (the committed
+// BENCH_wire.json artifact).
+func runWire(jsonPath string) error {
+	cfg := eval.DefaultWireScaleConfig()
+	points, err := eval.MeasureWireScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Wire format: full-cluster bytes per collection tick, JSON vs columnar ===")
+	fmt.Printf("(%d columns per node, %d drifting per tick, %d ticks)\n",
+		cfg.Columns, cfg.ChangedPerTick, cfg.Ticks)
+	fmt.Printf("%-8s %10s %16s %14s %12s\n", "nodes", "wire", "bytes/tick", "ns/metric", "reduction")
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		fmt.Printf("%-8d %10s %16.0f %14.1f %11.1fx\n",
+			p.Nodes, p.Wire, p.BytesPerTick, p.NsPerMetric, p.ReductionVsJSON)
+		rows = append(rows, []string{fmt.Sprint(p.Nodes), p.Wire,
+			fmt.Sprintf("%.0f", p.BytesPerTick), fmt.Sprintf("%.2f", p.NsPerMetric),
+			fmt.Sprintf("%.2f", p.ReductionVsJSON)})
+	}
+	writeCSV("wirescale.csv", []string{"nodes", "wire", "bytes_per_tick", "ns_per_metric", "reduction_vs_json"}, rows)
+	fmt.Println("shape target: columnar several-x fewer bytes per tick at steady state (>= 5x by 512 nodes), no slower to serialize.")
+	if jsonPath != "" {
+		out := struct {
+			Experiment     string                `json:"experiment"`
+			Columns        int                   `json:"columns"`
+			ChangedPerTick int                   `json:"changed_per_tick"`
+			Ticks          int                   `json:"ticks"`
+			Points         []eval.WireScalePoint `json:"points"`
+		}{"wire", cfg.Columns, cfg.ChangedPerTick, cfg.Ticks, points}
+		if err := writeReportAtomic(jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+	return nil
+}
+
+// writeReportAtomic writes a JSON report via a temp file and rename, so a
+// crashed or interrupted run never leaves a truncated committed artifact.
+func writeReportAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // runDetect runs the detection-quality matrix — every injectable fault ×
@@ -386,15 +442,11 @@ func runDetect(jsonPath, mode string) error {
 	fmt.Println("shape targets: resource + hang faults detected within a few windows; slow-burn")
 	fmt.Println("faults (MemLeak, DiskDegrade, GCPause duty cycle) evade the 60 s peer window.")
 	if jsonPath != "" {
-		fh, err := os.Create(jsonPath)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := rep.Encode(&buf); err != nil {
 			return err
 		}
-		if err := rep.Encode(fh); err != nil {
-			fh.Close()
-			return err
-		}
-		if err := fh.Close(); err != nil {
+		if err := writeFileAtomic(jsonPath, buf.Bytes()); err != nil {
 			return err
 		}
 		fmt.Printf("(wrote %s)\n", jsonPath)

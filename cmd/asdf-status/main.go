@@ -191,16 +191,17 @@ func render(w io.Writer, rep modules.StatusReport, prev *modules.StatusReport, i
 	if len(rep.Breakers) > 0 {
 		fmt.Fprintln(w, "\nBREAKERS")
 		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "INSTANCE\tNODE\tADDR\tSTATE\tCONNECTED\tFAILS\tRECONNECTS\tLAST ERROR")
+		fmt.Fprintln(tw, "INSTANCE\tNODE\tADDR\tSTATE\tCONNECTED\tSENT B\tRECV B\tFAILS\tRECONNECTS\tLAST ERROR")
 		for _, inst := range sortedKeys(rep.Breakers) {
 			nodes := rep.Breakers[inst]
 			for _, node := range sortedKeys(nodes) {
 				h := nodes[node]
-				failsPrev := uint64(0)
+				var failsPrev, sentPrev, recvPrev uint64
 				havePrev := false
 				if prev != nil {
 					if ph, ok := prev.Breakers[inst][node]; ok {
 						failsPrev = ph.TotalFailures
+						sentPrev, recvPrev = ph.BytesSent, ph.BytesReceived
 						havePrev = true
 					}
 				}
@@ -210,8 +211,10 @@ func render(w io.Writer, rep modules.StatusReport, prev *modules.StatusReport, i
 				} else if len(last) > 40 {
 					last = last[:37] + "..."
 				}
-				fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%v\t%s\t%d\t%s\n",
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%v\t%s\t%s\t%s\t%d\t%s\n",
 					inst, node, h.Addr, h.State, h.Connected,
+					delta(h.BytesSent, sentPrev, havePrev),
+					delta(h.BytesReceived, recvPrev, havePrev),
 					delta(h.TotalFailures, failsPrev, havePrev), h.Reconnects, last)
 			}
 		}

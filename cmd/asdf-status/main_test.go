@@ -37,6 +37,8 @@ func sampleReport() modules.StatusReport {
 					State:         rpc.BreakerOpen,
 					TotalFailures: 7,
 					Reconnects:    1,
+					BytesSent:     5000,
+					BytesReceived: 62000,
 					LastError:     "connection refused",
 				},
 			},
@@ -69,7 +71,7 @@ func TestRenderTables(t *testing.T) {
 		"DEGRADED",
 		"collector", "quarantined", "dial tcp: connection refused",
 		"sink", "healthy",
-		"BREAKERS", "node1:9999", "open",
+		"BREAKERS", "node1:9999", "open", "SENT B", "62000",
 		"SHARDS", "10.1ms",
 		"SYNC", "logs", "node1:3",
 	} {
@@ -88,7 +90,9 @@ func TestRenderDeltas(t *testing.T) {
 	cur.Instances[0].TotalFailures = 12 // +5 over prev's 7
 	cur.Breakers["collector"]["node1"] = func() rpc.Health {
 		h := cur.Breakers["collector"]["node1"]
-		h.TotalFailures = 9 // +2
+		h.TotalFailures = 9     // +2
+		h.BytesSent = 5400      // +400
+		h.BytesReceived = 62900 // +900: the per-poll wire cost of this node
 		return h
 	}()
 	cur.Sync["logs"] = modules.SyncStatus{Partial: 3, Dropped: 4} // dropped +3
@@ -97,7 +101,7 @@ func TestRenderDeltas(t *testing.T) {
 	var buf bytes.Buffer
 	render(&buf, cur, &prev, time.Second)
 	out := buf.String()
-	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)", "10(+4)"} {
+	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)", "10(+4)", "5400(+400)", "62900(+900)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing delta %q:\n%s", want, out)
 		}

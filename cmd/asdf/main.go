@@ -65,6 +65,7 @@ func run(args []string) int {
 	degrade := fs.String("degrade", "skip", "gap-fill policy for a quarantined instance's outputs: skip, hold, or zero")
 	shards := fs.Int("shards", 0, "default shard-worker count for multi-node collection instances; the shards parameter overrides per instance (0 = single shard)")
 	shardFanout := fs.Int("shard-fanout", 0, "default per-shard concurrent-fetch budget; the shard_fanout parameter overrides per instance (0 = the instance's fanout)")
+	wire := fs.String("wire", "", "default wire format for rpc-mode collection instances: json or columnar (delta-encoded streams); the wire parameter overrides per instance")
 	statusAddr := fs.String("status-addr", "", "serve the operator health endpoint (GET /healthz, GET /status) on this address")
 	statusRPCAddr := fs.String("status-rpc-addr", "", "serve the status snapshot over the native RPC protocol on this address")
 	pprofEnabled := fs.Bool("pprof", false, "also serve net/http/pprof profiles under /debug/pprof/ on -status-addr")
@@ -98,6 +99,7 @@ func run(args []string) int {
 	env.RPCOptions.Clock = time.Now
 	env.DefaultShards = *shards
 	env.DefaultShardFanout = *shardFanout
+	env.DefaultWire = *wire
 	reg := asdf.NewRegistry(env)
 
 	if *listModules {

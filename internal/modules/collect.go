@@ -39,6 +39,18 @@ import (
 //	                                     default: the fanout parameter)
 //	batch        = true | false         (rpc: fetch per-metric-group methods in
 //	                                     one rpc.Batch frame per node per tick)
+//	wire         = json | columnar      (rpc: per-node transport; columnar opens
+//	                                     a delta-encoded stream and supersedes
+//	                                     batch, falling back to the JSON path —
+//	                                     batched or not — when a daemon predates
+//	                                     the stream protocol; default: json, or
+//	                                     the environment's -wire flag)
+//	subscribe    = true | false         (columnar: server-push subscription
+//	                                     instead of per-tick pulls)
+//	push_period  = <duration>           (subscribe: server-side push pacing;
+//	                                     default 0 = lockstep with credits)
+//	push_window  = <int>                (subscribe: max frames in flight;
+//	                                     default 1 = lockstep)
 //	ifaces       = eth0,eth1            (single-node: adds outputs net_<iface>)
 //	pids         = 3001,3002            (single-node: adds outputs proc_<pid>)
 //
@@ -46,7 +58,9 @@ import (
 // state and reconnect backoff stay per node regardless of fanout or shard
 // count. With shards >= 2 the node set is split into contiguous node-index
 // ranges swept by independent worker pools; results are still merged in
-// node-index order, so output is identical to the unsharded sweep.
+// node-index order, so output is identical to the unsharded sweep. wire =
+// columnar composes with both: each node's stream rides its own managed
+// connection, whichever shard sweeps it.
 type sadcModule struct {
 	env     *Env
 	nodes   []string
@@ -113,6 +127,10 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 	if batch && mode != "rpc" {
 		return fmt.Errorf("sadc: batch = true requires mode = rpc")
 	}
+	wp, err := parseWireParams(cfg, m.env, "sadc", mode)
+	if err != nil {
+		return err
+	}
 	switch mode {
 	case "local":
 		for _, n := range m.nodes {
@@ -150,19 +168,29 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 				return fmt.Errorf("sadc[%s]: dial %s: %w", m.nodes[i], a, err)
 			}
 			m.clients = append(m.clients, client)
+			var src MetricSource
 			if batch {
 				bc, ok := client.(rpc.BatchCaller)
 				if !ok {
 					return fmt.Errorf("sadc[%s]: batch = true requires a batch-capable client", m.nodes[i])
 				}
-				src, err := NewBatchedMetricSource(bc, m.ifaces, m.pids)
-				if err != nil {
+				if src, err = NewBatchedMetricSource(bc, m.ifaces, m.pids); err != nil {
 					return fmt.Errorf("sadc[%s]: %w", m.nodes[i], err)
 				}
-				m.sources = append(m.sources, src)
 			} else {
-				m.sources = append(m.sources, NewRPCMetricSource(client))
+				src = NewRPCMetricSource(client)
 			}
+			if wp.columnar {
+				// The JSON source built above becomes the fallback for
+				// daemons that predate the stream protocol. A custom Dial
+				// hook without stream support keeps the JSON path outright.
+				if so, ok := client.(streamOpener); ok {
+					if src, err = NewColumnarMetricSource(so, wp, m.nodes[i], m.ifaces, m.pids, src); err != nil {
+						return fmt.Errorf("sadc[%s]: %w", m.nodes[i], err)
+					}
+				}
+			}
+			m.sources = append(m.sources, src)
 		}
 	default:
 		return fmt.Errorf("sadc: unknown mode %q", mode)
@@ -341,6 +369,17 @@ var _ core.Module = (*sadcModule)(nil)
 //	                                         node set; default 1)
 //	shard_fanout  = <int>                   (per-shard fetch budget; default:
 //	                                         the fanout parameter)
+//	wire          = json | columnar         (rpc: per-node transport; columnar
+//	                                         streams delta-encoded vectors and
+//	                                         falls back to JSON per node when a
+//	                                         daemon predates the stream protocol;
+//	                                         default: json, or the environment's
+//	                                         -wire flag)
+//	subscribe     = true | false            (columnar: server-push subscription)
+//	push_period   = <duration>              (subscribe: server push pacing;
+//	                                         default 0 = lockstep with credits)
+//	push_window   = <int>                   (subscribe: max frames in flight;
+//	                                         default 1 = lockstep)
 //	sync_deadline = <duration>              (default 0: strict §3.7 sync)
 //	sync_quorum   = <int>                   (default 0: all nodes)
 //
@@ -434,6 +473,10 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	}
 
 	mode := cfg.StringParam("mode", "local")
+	wp, err := parseWireParams(cfg, m.env, "hadoop_log", mode)
+	if err != nil {
+		return err
+	}
 	switch mode {
 	case "local":
 		for _, n := range m.nodes {
@@ -465,7 +508,17 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 				return fmt.Errorf("hadoop_log[%s]: dial %s: %w", m.nodes[i], addr, err)
 			}
 			m.clients = append(m.clients, client)
-			m.sources = append(m.sources, NewRPCLogSource(client, m.kind))
+			src := NewRPCLogSource(client, m.kind)
+			if wp.columnar {
+				// As with sadc: the JSON source is the fallback; a custom
+				// Dial hook without stream support keeps the JSON path.
+				if so, ok := client.(streamOpener); ok {
+					if src, err = NewColumnarLogSource(so, wp, m.nodes[i], m.kind, src); err != nil {
+						return fmt.Errorf("hadoop_log[%s]: %w", m.nodes[i], err)
+					}
+				}
+			}
+			m.sources = append(m.sources, src)
 		}
 	default:
 		return fmt.Errorf("hadoop_log: unknown mode %q", mode)

@@ -54,6 +54,12 @@ type Env struct {
 	// is the instance's fanout parameter.
 	DefaultShards      int
 	DefaultShardFanout int
+	// DefaultWire is the environment-level default for the rpc-mode
+	// collection modules' wire parameter (cmd/asdf's -wire flag): "json"
+	// (or empty) keeps the JSON request/response path, "columnar" opens
+	// delta-encoded metric streams. Instance parameters override; the
+	// default is ignored by local-mode instances, which have no wire.
+	DefaultWire string
 	// Metrics, when non-nil, registers module telemetry for /metrics
 	// exposition: per-node RPC connection metrics on managed clients and
 	// the timestamp-sync degradation counters. Use the same registry the

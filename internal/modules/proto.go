@@ -89,7 +89,19 @@ type procMetricsResponse struct {
 // previous snapshot and stay self-consistent whatever subset a client
 // batches — and each reply carries only the vectors the client asked for,
 // instead of every interface and process on the node.
+//
+// The server also offers the columnar stream counterpart (sadc.metrics) for
+// wire = columnar clients; each stream open gets its own collector, so its
+// rate baseline is as isolated as the per-group collectors below.
 func RegisterSadcServer(srv *rpc.Server, provider procfs.Provider) {
+	registerSadcStream(srv, provider)
+	registerSadcJSON(srv, provider)
+}
+
+// registerSadcJSON registers the JSON request/response methods alone — the
+// full surface of a pre-columnar daemon, which tests use to prove the
+// client-side fallback.
+func registerSadcJSON(srv *rpc.Server, provider procfs.Provider) {
 	collector := sadc.NewCollector(provider)
 	srv.Handle(MethodSadcCollect, func(json.RawMessage) (any, error) {
 		return collector.Collect()
@@ -181,6 +193,14 @@ func (s *bufferLogSource) Fetch(now time.Time) ([]hadooplog.StateVector, error) 
 // parsers over RPC. now supplies the flush horizon (virtual time in
 // simulation, wall clock in deployment).
 func RegisterHadoopLogServer(srv *rpc.Server, tt, dn *hadooplog.Buffer, now func() time.Time) {
+	registerHadoopLogStream(srv, tt, dn, now)
+	registerHadoopLogJSON(srv, tt, dn, now)
+}
+
+// registerHadoopLogJSON registers the JSON vectors method alone — the full
+// surface of a pre-columnar daemon, which tests use to prove the
+// client-side fallback.
+func registerHadoopLogJSON(srv *rpc.Server, tt, dn *hadooplog.Buffer, now func() time.Time) {
 	sources := map[string]LogSource{
 		hadooplog.KindTaskTracker.String(): NewBufferLogSource(hadooplog.KindTaskTracker, tt),
 		hadooplog.KindDataNode.String():    NewBufferLogSource(hadooplog.KindDataNode, dn),

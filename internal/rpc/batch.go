@@ -233,16 +233,17 @@ func (c *Client) CallBatch(calls []BatchCall) error {
 	return nil
 }
 
-// dispatchBatch serves one MethodBatch frame: each sub-request goes through
-// the ordinary dispatch table and its outcome (result or error) is recorded
-// under the sub-request's id. A failing item never fails its siblings, and
-// nesting batches is rejected per item.
-func (s *Server) dispatchBatch(req *request) response {
+// batchResults serves one MethodBatch frame's items: each sub-request goes
+// through the ordinary dispatch table and its outcome (result or error) is
+// recorded under the sub-request's id. A failing item never fails its
+// siblings, and nesting batches is rejected per item. A non-empty errMsg
+// reports a malformed frame (the whole batch fails).
+func (s *Server) batchResults(req *request) (results []batchResult, errMsg string) {
 	var items []batchItem
 	if err := json.Unmarshal(req.Params, &items); err != nil {
-		return response{ID: req.ID, Error: fmt.Sprintf("malformed batch: %v", err)}
+		return nil, fmt.Sprintf("malformed batch: %v", err)
 	}
-	results := make([]batchResult, len(items))
+	results = make([]batchResult, len(items))
 	for i, it := range items {
 		results[i].ID = it.ID
 		if it.Method == MethodBatch {
@@ -253,9 +254,52 @@ func (s *Server) dispatchBatch(req *request) response {
 		results[i].Result = r.Result
 		results[i].Error = r.Error
 	}
-	raw, err := json.Marshal(results)
-	if err != nil {
-		return response{ID: req.ID, Error: fmt.Sprintf("marshal batch result: %v", err)}
+	return results, ""
+}
+
+// appendBatchResponse appends the full MethodBatch response body — the outer
+// response envelope plus every sub-result — to dst and returns the extended
+// slice: the server-side mirror of appendBatchRequest, hand-rolled so a
+// pooled dst makes the reply encode allocation-free too. Sub-results carry
+// already-serialized JSON straight through.
+func appendBatchResponse(dst []byte, id uint64, results []batchResult) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, id, 10)
+	dst = append(dst, `,"result":[`...)
+	for i, r := range results {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"id":`...)
+		dst = strconv.AppendUint(dst, r.ID, 10)
+		if len(r.Result) > 0 {
+			dst = append(dst, `,"result":`...)
+			dst = append(dst, r.Result...)
+		}
+		if r.Error != "" {
+			dst = append(dst, `,"error":`...)
+			dst = appendJSONString(dst, r.Error)
+		}
+		dst = append(dst, '}')
 	}
-	return response{ID: req.ID, Result: raw}
+	return append(dst, `]}`...)
+}
+
+// serveBatch serves one MethodBatch frame end to end, encoding the reply
+// through pooled scratch and writing it as a raw frame. The returned error
+// is a connection write failure.
+func (cs *connState) serveBatch(req *request) error {
+	results, errMsg := cs.srv.batchResults(req)
+	if d := cs.srv.currentFaults().Delay; d > 0 {
+		time.Sleep(d) // injected fault: slow node
+	}
+	if errMsg != "" {
+		return cs.write(response{ID: req.ID, Error: errMsg})
+	}
+	bufp := batchScratch.Get().(*[]byte)
+	body := appendBatchResponse((*bufp)[:0], req.ID, results)
+	err := cs.writeRaw(body)
+	*bufp = body[:0]
+	batchScratch.Put(bufp)
+	return err
 }

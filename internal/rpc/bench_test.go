@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 )
 
@@ -51,10 +52,11 @@ func BenchmarkManagedClientOverhead(b *testing.B) {
 	})
 }
 
-// BenchmarkBatchEncode measures the CallBatch encode path in isolation:
-// building the full request frame body for a four-method batch out of the
-// pooled scratch buffer. This is the collection plane's per-node, per-tick
-// hot path at 1000-node scale, so it is held to 0 allocs/op in CI.
+// BenchmarkBatchEncode measures the CallBatch encode paths in isolation:
+// building the full request frame body for a four-method batch (dir=request)
+// and the matching server reply (dir=response) out of the pooled scratch
+// buffer. This is the collection plane's per-node, per-tick hot path at
+// 1000-node scale, so both directions are held to 0 allocs/op in CI.
 func BenchmarkBatchEncode(b *testing.B) {
 	calls := []BatchCall{
 		{Method: "sadc.node"},
@@ -62,22 +64,246 @@ func BenchmarkBatchEncode(b *testing.B) {
 		{Method: "sadc.proc", Params: json.RawMessage(`{"pids":[3001,3002]}`)},
 		{Method: "hadoop_log.vectors", Params: json.RawMessage(`{"kind":"tasktracker"}`)},
 	}
+	b.Run("dir=request", func(b *testing.B) {
+		b.ReportAllocs()
+		var total int
+		for i := 0; i < b.N; i++ {
+			bufp := batchScratch.Get().(*[]byte)
+			body, err := appendBatchRequest((*bufp)[:0], uint64(i+1), calls)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(body)
+			*bufp = body[:0]
+			batchScratch.Put(bufp)
+		}
+		if total == 0 {
+			b.Fatal("encoded nothing")
+		}
+	})
+	b.Run("dir=response", func(b *testing.B) {
+		results := []batchResult{
+			{ID: 0, Result: json.RawMessage(`{"warmup":false,"node":[1,2,3,4,5,6,7,8]}`)},
+			{ID: 1, Result: json.RawMessage(`{"warmup":false,"net":{"eth0":[1,2],"eth1":[3,4]}}`)},
+			{ID: 2, Error: "no such pid"},
+			{ID: 3, Result: json.RawMessage(`{"vectors":[]}`)},
+		}
+		b.ReportAllocs()
+		var total int
+		for i := 0; i < b.N; i++ {
+			bufp := batchScratch.Get().(*[]byte)
+			body := appendBatchResponse((*bufp)[:0], uint64(i+1), results)
+			total += len(body)
+			*bufp = body[:0]
+			batchScratch.Put(bufp)
+		}
+		if total == 0 {
+			b.Fatal("encoded nothing")
+		}
+	})
+}
+
+// benchWireSchema is a sadc-shaped 64-column stream schema.
+func benchWireSchema() StreamSchema {
+	cols := make([]string, 64)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("metric_%02d", i)
+	}
+	return StreamSchema{Method: "sadc.metrics", Node: "bench", Groups: []ColumnGroup{{Name: "node", Columns: cols}}}
+}
+
+// benchWireTick mutates the slowly-changing columns of a 64-column vector:
+// six columns drift per tick, the rest hold still — the shape sadc vectors
+// have between load changes.
+func benchWireTick(vals []float64, tick int) {
+	for j := 0; j < 6; j++ {
+		c := (j * 11) % len(vals)
+		vals[c] += float64(tick%7) + 0.5
+	}
+}
+
+// BenchmarkColumnarEncode measures one steady-state row encode (64 columns,
+// six changed). Held to 0 allocs/op in CI: every frame, all tick long, must
+// come out of the encoder's reused buffers.
+func BenchmarkColumnarEncode(b *testing.B) {
+	enc := NewColumnarEncoder(benchWireSchema())
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i) * 1.25
+	}
+	// Warm up: emit the schema frame and grow the buffers once.
+	enc.Begin()
+	_ = enc.AppendRow(0, false, nil, vals)
+	_ = enc.Finish()
+
 	b.ReportAllocs()
 	b.ResetTimer()
 	var total int
 	for i := 0; i < b.N; i++ {
-		bufp := batchScratch.Get().(*[]byte)
-		body, err := appendBatchRequest((*bufp)[:0], uint64(i+1), calls)
-		if err != nil {
+		benchWireTick(vals, i)
+		enc.Begin()
+		if err := enc.AppendRow(int64(i+1)*1e9, false, nil, vals); err != nil {
 			b.Fatal(err)
 		}
-		total += len(body)
-		*bufp = body[:0]
-		batchScratch.Put(bufp)
+		total += len(enc.Finish())
 	}
 	if total == 0 {
 		b.Fatal("encoded nothing")
 	}
+}
+
+// BenchmarkColumnarDecode measures one steady-state frame decode. A cycle of
+// pre-encoded frames is replayed (the value walk is periodic, so the delta
+// state lines up at the wrap, where only the sequence counter is rewound).
+// Held to 0 allocs/op in CI.
+func BenchmarkColumnarDecode(b *testing.B) {
+	const cycle = 1024
+	enc := NewColumnarEncoder(benchWireSchema())
+	vals := make([]float64, 64)
+
+	// Prime frame: schema + initial values.
+	enc.Begin()
+	_ = enc.AppendRow(0, false, nil, vals)
+	prime := append([]byte(nil), enc.Finish()...)
+
+	// The toggling walk returns to its start state every 2 ticks, so an
+	// even-length cycle replays cleanly.
+	frames := make([][]byte, cycle)
+	for i := range frames {
+		for j := 0; j < 6; j++ {
+			c := (j * 11) % len(vals)
+			if i%2 == 0 {
+				vals[c] += 1.5
+			} else {
+				vals[c] -= 1.5
+			}
+		}
+		enc.Begin()
+		if err := enc.AppendRow(int64(i+1)*1e9, false, nil, vals); err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = append([]byte(nil), enc.Finish()...)
+	}
+
+	dec := NewColumnarDecoder()
+	if err := dec.Decode(prime); err != nil {
+		b.Fatal(err)
+	}
+	primeSeq := dec.seq
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%cycle == 0 {
+			dec.seq = primeSeq // rewind the replay cycle
+		}
+		if err := dec.Decode(frames[i%cycle]); err != nil {
+			b.Fatal(err)
+		}
+		if len(dec.Rows()) != 1 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// wireBenchJSONResponse mirrors the sadc.node wire struct without importing
+// the modules package.
+type wireBenchJSONResponse struct {
+	Warmup bool      `json:"warmup,omitempty"`
+	Node   []float64 `json:"node,omitempty"`
+}
+
+// BenchmarkWireFormat compares the per-tick wire work of the JSON call path
+// against the columnar stream path for N nodes of slowly-changing 64-column
+// vectors: encode + decode cost in ns (one iteration is one tick across all
+// nodes) and bytes on the wire per tick (reported as wire-B/tick). The
+// wire= sub-name split pairs the samples for benchstat.
+func BenchmarkWireFormat(b *testing.B) {
+	for _, nodes := range []int{128, 512, 1024} {
+		makeVals := func() [][]float64 {
+			vs := make([][]float64, nodes)
+			for n := range vs {
+				vs[n] = make([]float64, 64)
+				for c := range vs[n] {
+					vs[n][c] = float64(n*64+c) * 1.25
+				}
+			}
+			return vs
+		}
+
+		b.Run(fmt.Sprintf("wire=json/nodes=%d", nodes), func(b *testing.B) {
+			vals := makeVals()
+			var out wireBenchJSONResponse
+			var bytesTotal int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for n := 0; n < nodes; n++ {
+					benchWireTick(vals[n], i)
+					body, err := json.Marshal(response{ID: uint64(i + 1),
+						Result: mustMarshal(wireBenchJSONResponse{Node: vals[n]})})
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytesTotal += 4 + len(body) // frame header + body
+					var resp response
+					if err := json.Unmarshal(body, &resp); err != nil {
+						b.Fatal(err)
+					}
+					if err := json.Unmarshal(resp.Result, &out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bytesTotal)/float64(b.N), "wire-B/tick")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes*64), "ns/metric")
+		})
+
+		b.Run(fmt.Sprintf("wire=columnar/nodes=%d", nodes), func(b *testing.B) {
+			vals := makeVals()
+			encs := make([]*ColumnarEncoder, nodes)
+			decs := make([]*ColumnarDecoder, nodes)
+			for n := range encs {
+				encs[n] = NewColumnarEncoder(benchWireSchema())
+				decs[n] = NewColumnarDecoder()
+				// Schema exchange happens once per stream, off the clock.
+				encs[n].Begin()
+				_ = encs[n].AppendRow(0, false, nil, vals[n])
+				if err := decs[n].Decode(encs[n].Finish()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var bytesTotal int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for n := 0; n < nodes; n++ {
+					benchWireTick(vals[n], i)
+					encs[n].Begin()
+					if err := encs[n].AppendRow(int64(i+1)*1e9, false, nil, vals[n]); err != nil {
+						b.Fatal(err)
+					}
+					body := encs[n].Finish()
+					bytesTotal += 4 + len(body)
+					if err := decs[n].Decode(body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bytesTotal)/float64(b.N), "wire-B/tick")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes*64), "ns/metric")
+		})
+	}
+}
+
+func mustMarshal(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // BenchmarkBatchRoundTrip compares N sequential calls per tick against one

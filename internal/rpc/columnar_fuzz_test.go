@@ -1,0 +1,69 @@
+package rpc
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzSeedBodies builds a handful of valid transport bodies — schema-only,
+// schema+data, multi-row, presence-toggling — that seed the fuzzer near the
+// interesting parts of the grammar.
+func fuzzSeedBodies() [][]byte {
+	schema := StreamSchema{
+		Method: "sadc.metrics",
+		Node:   "n1",
+		Groups: []ColumnGroup{
+			{Name: "node", Columns: []string{"a", "b", "c", "d"}},
+			{Name: "net:eth0", Columns: []string{"rx", "tx"}},
+		},
+	}
+	enc := NewColumnarEncoder(schema)
+	var seeds [][]byte
+
+	enc.Begin()
+	_ = enc.AppendRow(1e9, false, nil, []float64{1, 2, 3, 4, 5, 6})
+	seeds = append(seeds, append([]byte(nil), enc.Finish()...)) // schema + first data
+
+	enc.Begin()
+	_ = enc.AppendRow(2e9, false, nil, []float64{1, 2, 3.5, 4, 5, 6})
+	_ = enc.AppendRow(3e9, true, []bool{true, false}, []float64{1, 2, 3.5, 4, 5, 6})
+	seeds = append(seeds, append([]byte(nil), enc.Finish()...)) // delta data, 2 rows
+
+	enc.Begin()
+	_ = enc.AppendRow(4e9, false, nil, []float64{math.NaN(), math.Inf(1), -0, math.MaxFloat64, 0, 1e-308})
+	seeds = append(seeds, append([]byte(nil), enc.Finish()...))
+
+	return seeds
+}
+
+// FuzzColumnarDecode holds the decoder's safety contract: arbitrary bytes
+// must produce a clean error or a valid decode — never a panic, over-read,
+// or unbounded allocation. Each input is decoded twice, once into a fresh
+// decoder and once into a decoder already primed with a schema, since the
+// two start states take different code paths.
+func FuzzColumnarDecode(f *testing.F) {
+	for _, s := range fuzzSeedBodies() {
+		f.Add(s)
+	}
+	// Truncations and bit flips of a valid body.
+	base := fuzzSeedBodies()[0]
+	f.Add(base[:len(base)/2])
+	flipped := append([]byte(nil), base...)
+	flipped[0] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{frameKindData, 1, 1})
+	f.Add([]byte{frameKindSchema, 1, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	primerSchema := fuzzSeedBodies()[0]
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fresh := NewColumnarDecoder()
+		_ = fresh.Decode(body)
+
+		primed := NewColumnarDecoder()
+		if err := primed.Decode(primerSchema); err != nil {
+			t.Fatalf("priming decode failed: %v", err)
+		}
+		_ = primed.Decode(body)
+	})
+}

@@ -1,0 +1,343 @@
+package rpc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testSchema() StreamSchema {
+	return StreamSchema{
+		Method: "sadc.metrics",
+		Node:   "node-7",
+		Groups: []ColumnGroup{
+			{Name: "node", Columns: []string{"cpu_user", "cpu_sys", "mem_used", "swap_used"}},
+			{Name: "net:eth0", Columns: []string{"rx_bytes", "tx_bytes"}},
+			{Name: "proc:42", Columns: []string{"rss", "utime", "stime"}},
+		},
+	}
+}
+
+// encodeRows runs one Begin/AppendRow*/Finish cycle and returns a copy of
+// the frame bytes (Finish reuses its buffer).
+func encodeRows(t *testing.T, enc *ColumnarEncoder, rows []StreamRow) []byte {
+	t.Helper()
+	enc.Begin()
+	for _, r := range rows {
+		if err := enc.AppendRow(r.TimeNanos, r.Warmup, r.Present, r.Values); err != nil {
+			t.Fatalf("AppendRow: %v", err)
+		}
+	}
+	return append([]byte(nil), enc.Finish()...)
+}
+
+func TestColumnarRoundTripBasic(t *testing.T) {
+	schema := testSchema()
+	enc := NewColumnarEncoder(schema)
+	dec := NewColumnarDecoder()
+
+	vals := []float64{1.5, 0, 3.25, -2, 1e9, 2e9, 100, 200, 300}
+	body := encodeRows(t, enc, []StreamRow{{TimeNanos: 1_000_000_000, Values: vals}})
+	if err := dec.Decode(body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got, ok := dec.Schema()
+	if !ok {
+		t.Fatal("no schema after first frame")
+	}
+	if got.Method != schema.Method || got.Node != schema.Node || len(got.Groups) != 3 {
+		t.Fatalf("schema mismatch: %+v", got)
+	}
+	if got.Groups[1].Name != "net:eth0" || got.Groups[1].Columns[1] != "tx_bytes" {
+		t.Fatalf("group mismatch: %+v", got.Groups[1])
+	}
+	rows := dec.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if rows[0].TimeNanos != 1_000_000_000 || rows[0].Warmup {
+		t.Fatalf("row header mismatch: %+v", rows[0])
+	}
+	for i, v := range vals {
+		if rows[0].Values[i] != v {
+			t.Fatalf("value[%d] = %v, want %v", i, rows[0].Values[i], v)
+		}
+	}
+	for gi, p := range rows[0].Present {
+		if !p {
+			t.Fatalf("group %d not present", gi)
+		}
+	}
+}
+
+func TestColumnarIdleTickIsTiny(t *testing.T) {
+	schema := testSchema()
+	enc := NewColumnarEncoder(schema)
+	dec := NewColumnarDecoder()
+
+	vals := []float64{1.5, 0, 3.25, -2, 1e9, 2e9, 100, 200, 300}
+	first := encodeRows(t, enc, []StreamRow{{TimeNanos: 1e9, Values: vals}})
+	if err := dec.Decode(first); err != nil {
+		t.Fatalf("decode first: %v", err)
+	}
+	// Same values, same time delta pattern: every group is one skip varint.
+	idle := encodeRows(t, enc, []StreamRow{{TimeNanos: 2e9, Values: vals}})
+	if err := dec.Decode(idle); err != nil {
+		t.Fatalf("decode idle: %v", err)
+	}
+	// kind + seq + nrows + flags + bitmap + tdelta(~5B) + 3 skip varints.
+	if len(idle) > 16 {
+		t.Fatalf("idle frame is %d bytes, want <= 16", len(idle))
+	}
+	rows := dec.Rows()
+	if len(rows) != 1 || rows[0].Values[4] != 1e9 {
+		t.Fatalf("idle decode mismatch: %+v", rows)
+	}
+}
+
+func TestColumnarPresenceTogglesWithoutResync(t *testing.T) {
+	schema := testSchema()
+	enc := NewColumnarEncoder(schema)
+	dec := NewColumnarDecoder()
+
+	all := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	body := encodeRows(t, enc, []StreamRow{{TimeNanos: 1e9, Values: all}})
+	if err := dec.Decode(body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// Second tick: net group absent, proc values move. The absent group's
+	// delta state must be untouched on both sides.
+	next := []float64{1, 2, 30, 4, 999, 999, 7.5, 8, 9.5}
+	present := []bool{true, false, true}
+	body = encodeRows(t, enc, []StreamRow{{TimeNanos: 2e9, Present: present, Values: next}})
+	if err := dec.Decode(body); err != nil {
+		t.Fatalf("decode toggle: %v", err)
+	}
+	row := dec.Rows()[0]
+	if row.Present[1] {
+		t.Fatal("net group should be absent")
+	}
+	if row.Values[4] != 5 || row.Values[5] != 6 {
+		t.Fatalf("absent group state disturbed: %v", row.Values[4:6])
+	}
+	if row.Values[2] != 30 || row.Values[6] != 7.5 {
+		t.Fatalf("present group values wrong: %v", row.Values)
+	}
+
+	// Third tick: net group back, with changed values delta'd against the
+	// values from tick one.
+	third := []float64{1, 2, 30, 4, 5.25, 6, 7.5, 8, 9.5}
+	body = encodeRows(t, enc, []StreamRow{{TimeNanos: 3e9, Values: third}})
+	if err := dec.Decode(body); err != nil {
+		t.Fatalf("decode return: %v", err)
+	}
+	row = dec.Rows()[0]
+	if !row.Present[1] || row.Values[4] != 5.25 || row.Values[5] != 6 {
+		t.Fatalf("returning group wrong: %v", row.Values[4:6])
+	}
+}
+
+func TestColumnarSpecialFloatsRoundTripBitExact(t *testing.T) {
+	schema := StreamSchema{Method: "m", Groups: []ColumnGroup{{Name: "g", Columns: []string{"a", "b", "c", "d", "e", "f"}}}}
+	enc := NewColumnarEncoder(schema)
+	dec := NewColumnarDecoder()
+
+	specials := [][]float64{
+		{math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64, math.Copysign(0, -1)},
+		{0, math.NaN(), 1e-308, -math.MaxFloat64, math.Inf(1), 42},
+		{math.Float64frombits(0x7ff8000000000001), 0, 0, 1, 1, 1}, // NaN payload
+	}
+	for tick, vals := range specials {
+		body := encodeRows(t, enc, []StreamRow{{TimeNanos: int64(tick) * 1e9, Values: vals}})
+		if err := dec.Decode(body); err != nil {
+			t.Fatalf("tick %d: decode: %v", tick, err)
+		}
+		row := dec.Rows()[0]
+		for i, want := range vals {
+			if math.Float64bits(row.Values[i]) != math.Float64bits(want) {
+				t.Fatalf("tick %d value[%d]: bits %x, want %x",
+					tick, i, math.Float64bits(row.Values[i]), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestColumnarSeqDiscontinuityErrors(t *testing.T) {
+	schema := testSchema()
+	enc := NewColumnarEncoder(schema)
+	dec := NewColumnarDecoder()
+
+	vals := make([]float64, schema.numCols())
+	f1 := encodeRows(t, enc, []StreamRow{{TimeNanos: 1, Values: vals}})
+	f2 := encodeRows(t, enc, []StreamRow{{TimeNanos: 2, Values: vals}})
+	f3 := encodeRows(t, enc, []StreamRow{{TimeNanos: 3, Values: vals}})
+	_ = f2
+	if err := dec.Decode(f1); err != nil {
+		t.Fatalf("decode f1: %v", err)
+	}
+	if err := dec.Decode(f3); err == nil {
+		t.Fatal("skipping a frame must error, deltas would apply to stale state")
+	}
+}
+
+func TestColumnarDataBeforeSchemaErrors(t *testing.T) {
+	enc := NewColumnarEncoder(testSchema())
+	enc.Begin()
+	body := append([]byte(nil), enc.Finish()...) // includes schema
+	// Strip the schema frame: find the data frame start by re-encoding.
+	enc2 := NewColumnarEncoder(testSchema())
+	enc2.sentSch = true // pretend the schema went out already
+	enc2.Begin()
+	data := enc2.Finish()
+	dec := NewColumnarDecoder()
+	if err := dec.Decode(data); err == nil {
+		t.Fatal("data frame before schema must error")
+	}
+	dec = NewColumnarDecoder()
+	if err := dec.Decode(body); err != nil {
+		t.Fatalf("schema+data: %v", err)
+	}
+}
+
+func TestColumnarEncoderResetResendsSchema(t *testing.T) {
+	schema := testSchema()
+	enc := NewColumnarEncoder(schema)
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	_ = encodeRows(t, enc, []StreamRow{{TimeNanos: 1e9, Values: vals}})
+	enc.Reset()
+	body := encodeRows(t, enc, []StreamRow{{TimeNanos: 2e9, Values: vals}})
+	if body[0] != frameKindSchema {
+		t.Fatal("post-Reset frame must lead with the schema")
+	}
+	dec := NewColumnarDecoder()
+	if err := dec.Decode(body); err != nil {
+		t.Fatalf("decode post-reset: %v", err)
+	}
+	if dec.Rows()[0].Values[0] != 1 {
+		t.Fatalf("post-reset values wrong: %v", dec.Rows()[0].Values)
+	}
+}
+
+// TestColumnarRoundTripProperty drives randomized multi-row frames with
+// random presence patterns and adversarially special values through the
+// codec and requires bit-exact reconstruction of every present group, plus
+// correct carry-forward of absent ones.
+func TestColumnarRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := []float64{0, 1, -1, 1.5, math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		1e-308, 12345.6789, math.Copysign(0, -1)}
+	pick := func(cur float64) float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return cur // unchanged, exercises skip runs
+		case 1:
+			return pool[rng.Intn(len(pool))]
+		case 2:
+			return cur + rng.NormFloat64() // small delta
+		default:
+			return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		ngroups := 1 + rng.Intn(5)
+		schema := StreamSchema{Method: "prop", Node: "n"}
+		for g := 0; g < ngroups; g++ {
+			ncols := 1 + rng.Intn(40)
+			cols := make([]string, ncols)
+			for c := range cols {
+				cols[c] = "c"
+			}
+			schema.Groups = append(schema.Groups, ColumnGroup{Name: "g", Columns: cols})
+		}
+		ncols := schema.numCols()
+
+		enc := NewColumnarEncoder(schema)
+		dec := NewColumnarDecoder()
+		// ref mirrors what the decoder should hold: last transmitted value
+		// per column.
+		ref := make([]float64, ncols)
+		vals := make([]float64, ncols)
+		now := int64(0)
+
+		for frame := 0; frame < 30; frame++ {
+			nrows := 1 + rng.Intn(3)
+			type expRow struct {
+				t       int64
+				warmup  bool
+				present []bool
+				want    []float64
+			}
+			var exp []expRow
+			enc.Begin()
+			for r := 0; r < nrows; r++ {
+				now += int64(rng.Intn(2_000_000_000)) - 500_000_000
+				warmup := rng.Intn(10) == 0
+				present := make([]bool, ngroups)
+				for g := range present {
+					present[g] = rng.Intn(4) != 0
+				}
+				for g := range present {
+					off, n := 0, len(schema.Groups[g].Columns)
+					for gg := 0; gg < g; gg++ {
+						off += len(schema.Groups[gg].Columns)
+					}
+					if present[g] {
+						for c := 0; c < n; c++ {
+							vals[off+c] = pick(vals[off+c])
+							ref[off+c] = vals[off+c]
+						}
+					}
+				}
+				if err := enc.AppendRow(now, warmup, present, vals); err != nil {
+					t.Fatalf("trial %d frame %d: AppendRow: %v", trial, frame, err)
+				}
+				exp = append(exp, expRow{t: now, warmup: warmup,
+					present: append([]bool(nil), present...),
+					want:    append([]float64(nil), ref...)})
+			}
+			body := enc.Finish()
+			if err := dec.Decode(body); err != nil {
+				t.Fatalf("trial %d frame %d: decode: %v", trial, frame, err)
+			}
+			rows := dec.Rows()
+			if len(rows) != len(exp) {
+				t.Fatalf("trial %d frame %d: %d rows, want %d", trial, frame, len(rows), len(exp))
+			}
+			for ri, want := range exp {
+				got := rows[ri]
+				if got.TimeNanos != want.t || got.Warmup != want.warmup {
+					t.Fatalf("trial %d frame %d row %d header: %+v vs %+v", trial, frame, ri, got, want)
+				}
+				for g := range want.present {
+					if got.Present[g] != want.present[g] {
+						t.Fatalf("trial %d frame %d row %d: presence[%d]", trial, frame, ri, g)
+					}
+				}
+				for c := range want.want {
+					if math.Float64bits(got.Values[c]) != math.Float64bits(want.want[c]) {
+						t.Fatalf("trial %d frame %d row %d col %d: bits %x want %x",
+							trial, frame, ri, c,
+							math.Float64bits(got.Values[c]), math.Float64bits(want.want[c]))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestColumnarAppendRowValidation(t *testing.T) {
+	enc := NewColumnarEncoder(testSchema())
+	if err := enc.AppendRow(0, false, nil, make([]float64, 9)); err == nil {
+		t.Fatal("AppendRow before Begin must error")
+	}
+	enc.Begin()
+	if err := enc.AppendRow(0, false, nil, make([]float64, 3)); err == nil {
+		t.Fatal("short value vector must error")
+	}
+	if err := enc.AppendRow(0, false, make([]bool, 1), make([]float64, 9)); err == nil {
+		t.Fatal("short presence vector must error")
+	}
+}

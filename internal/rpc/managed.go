@@ -165,6 +165,11 @@ type Health struct {
 	LastErrorAt time.Time
 	// StateChangedAt is when State was last entered.
 	StateChangedAt time.Time
+	// BytesSent and BytesReceived are exact wire bytes across every
+	// connection this client has opened, closed connections included —
+	// the live view of the Table 4 bandwidth accounting.
+	BytesSent     uint64
+	BytesReceived uint64
 }
 
 // ManagedClient supervises one node's RPC connection: it dials lazily,
@@ -196,6 +201,8 @@ type ManagedClient struct {
 
 	// accumulated wire bytes of connections already closed
 	closedSent, closedRecv uint64
+	// live-connection bytes already flushed into the wire-byte counters
+	flushedSent, flushedRecv uint64
 
 	// Telemetry handles (nil without Options.Metrics; nil-safe). The
 	// counters move at exactly the points the fields above change, so a
@@ -204,6 +211,8 @@ type ManagedClient struct {
 	mFails       *telemetry.Counter
 	mReconnects  *telemetry.Counter
 	mBatchItems  *telemetry.Counter
+	mWireSent    *telemetry.Counter
+	mWireRecv    *telemetry.Counter
 	mBreaker     *telemetry.Gauge
 	mCallSeconds *telemetry.Histogram
 }
@@ -231,6 +240,10 @@ func NewManagedClient(addr, clientName string, opt Options) *ManagedClient {
 			"Successful dials, the first connect included.", al)
 		m.mBatchItems = reg.Counter("asdf_rpc_batch_items_total",
 			"Method invocations carried inside batched request frames.", al)
+		m.mWireSent = reg.Counter("asdf_rpc_wire_bytes_sent_total",
+			"Exact wire bytes sent on a managed connection, reconnects included.", al)
+		m.mWireRecv = reg.Counter("asdf_rpc_wire_bytes_received_total",
+			"Exact wire bytes received on a managed connection, reconnects included.", al)
 		m.mBreaker = reg.Gauge("asdf_rpc_breaker_state",
 			"Circuit-breaker state: 0 closed, 1 open, 2 half-open.", al)
 		m.mCallSeconds = reg.Histogram("asdf_rpc_call_seconds",
@@ -301,6 +314,7 @@ func (m *ManagedClient) do(call func(*Client) error) error {
 			return fmt.Errorf("rpc: node %s unreachable: %w", m.addr, err)
 		}
 		m.client = c
+		m.flushedSent, m.flushedRecv = 0, 0
 		m.reconnects++
 		m.mReconnects.Inc()
 	}
@@ -315,6 +329,7 @@ func (m *ManagedClient) do(call func(*Client) error) error {
 	} else {
 		err = call(m.client)
 	}
+	m.flushWireBytes()
 	var remote *RemoteError
 	if err == nil || errors.As(err, &remote) {
 		// The node answered: transport is healthy even if the handler
@@ -331,6 +346,20 @@ func (m *ManagedClient) do(call func(*Client) error) error {
 	m.client = nil
 	m.onFailure(now, err)
 	return fmt.Errorf("rpc: node %s: %w", m.addr, err)
+}
+
+// flushWireBytes moves the live connection's not-yet-counted wire bytes into
+// the per-addr telemetry counters. Called after every round trip (and on
+// Close) so scraped totals track Stats to within one in-flight call. The
+// caller must hold m.mu.
+func (m *ManagedClient) flushWireBytes() {
+	if m.client == nil {
+		return
+	}
+	s, r := m.client.Stats()
+	m.mWireSent.Add(s - m.flushedSent)
+	m.mWireRecv.Add(r - m.flushedRecv)
+	m.flushedSent, m.flushedRecv = s, r
 }
 
 // onSuccess resets failure bookkeeping and re-closes the breaker.
@@ -394,6 +423,12 @@ func (m *ManagedClient) Health() Health {
 	if m.lastErr != nil {
 		h.LastError = m.lastErr.Error()
 	}
+	h.BytesSent, h.BytesReceived = m.closedSent, m.closedRecv
+	if m.client != nil {
+		s, r := m.client.Stats()
+		h.BytesSent += s
+		h.BytesReceived += r
+	}
 	return h
 }
 
@@ -422,6 +457,7 @@ func (m *ManagedClient) Close() error {
 	}
 	m.closed = true
 	if m.client != nil {
+		m.flushWireBytes()
 		err := m.client.Close()
 		m.client = nil
 		return err

@@ -151,12 +151,13 @@ type Faults struct {
 type Server struct {
 	service string
 
-	mu       sync.Mutex
-	handlers map[string]HandlerFunc
-	listener net.Listener
-	conns    map[net.Conn]bool
-	closed   bool
-	faults   Faults
+	mu             sync.Mutex
+	handlers       map[string]HandlerFunc
+	streamHandlers map[string]StreamHandlerFunc
+	listener       net.Listener
+	conns          map[net.Conn]bool
+	closed         bool
+	faults         Faults
 
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
@@ -166,9 +167,10 @@ type Server struct {
 // exchange.
 func NewServer(service string) *Server {
 	return &Server{
-		service:  service,
-		handlers: make(map[string]HandlerFunc),
-		conns:    make(map[net.Conn]bool),
+		service:        service,
+		handlers:       make(map[string]HandlerFunc),
+		streamHandlers: make(map[string]StreamHandlerFunc),
+		conns:          make(map[net.Conn]bool),
 	}
 }
 
@@ -178,8 +180,8 @@ func (s *Server) Handle(method string, h HandlerFunc) {
 	if method == "" || h == nil {
 		panic("rpc: Handle requires a method name and handler")
 	}
-	if method == MethodBatch {
-		panic("rpc: " + MethodBatch + " is reserved; the server dispatches it natively")
+	if method == MethodBatch || isStreamMethod(method) {
+		panic("rpc: " + method + " is reserved; the server dispatches it natively")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -258,7 +260,9 @@ func (s *Server) currentFaults() Faults {
 
 func (s *Server) serveConn(raw net.Conn) {
 	cc := &countingConn{Conn: raw}
+	cs := &connState{srv: s, cc: cc, done: make(chan struct{})}
 	defer func() {
+		close(cs.done) // retire this connection's push goroutines
 		s.bytesRead.Add(cc.read.Load())
 		s.bytesWritten.Add(cc.written.Load())
 		_ = raw.Close()
@@ -276,16 +280,19 @@ func (s *Server) serveConn(raw net.Conn) {
 		return
 	}
 	if hello.Proto != ProtocolVersion {
-		_ = writeFrame(cc, response{Error: fmt.Sprintf("unsupported protocol %d", hello.Proto)})
+		_ = cs.write(response{Error: fmt.Sprintf("unsupported protocol %d", hello.Proto)})
 		return
 	}
 	s.mu.Lock()
-	methods := make([]string, 0, len(s.handlers))
+	methods := make([]string, 0, len(s.handlers)+1)
 	for m := range s.handlers {
 		methods = append(methods, m)
 	}
+	if len(s.streamHandlers) > 0 {
+		methods = append(methods, MethodStreamOpen)
+	}
 	s.mu.Unlock()
-	if err := writeFrame(cc, helloResponse{Proto: ProtocolVersion, Service: s.service, Methods: methods}); err != nil {
+	if err := cs.write(helloResponse{Proto: ProtocolVersion, Service: s.service, Methods: methods}); err != nil {
 		return
 	}
 
@@ -294,21 +301,45 @@ func (s *Server) serveConn(raw net.Conn) {
 		if err := readFrame(cc, &req); err != nil {
 			return
 		}
-		resp := s.dispatch(&req)
-		if d := s.currentFaults().Delay; d > 0 {
-			time.Sleep(d) // injected fault: slow node
-		}
-		if err := writeFrame(cc, resp); err != nil {
-			return
+		switch req.Method {
+		case MethodStreamPull:
+			// Collects, applies the delay fault, and writes the binary (or
+			// JSON error) frame itself.
+			if err := cs.pullStream(&req); err != nil {
+				return
+			}
+		case MethodStreamCredit:
+			// Fire-and-forget: credits wake the stream's pusher, which owns
+			// the response frames.
+			cs.creditStream(&req)
+		case MethodBatch:
+			// Encodes the reply through pooled scratch rather than the
+			// generic marshal path.
+			if err := cs.serveBatch(&req); err != nil {
+				return
+			}
+		default:
+			var resp response
+			if req.Method == MethodStreamOpen {
+				resp = cs.openStream(&req)
+			} else {
+				resp = s.dispatch(&req)
+			}
+			if d := s.currentFaults().Delay; d > 0 {
+				time.Sleep(d) // injected fault: slow node
+			}
+			if err := cs.write(resp); err != nil {
+				return
+			}
 		}
 	}
 }
 
 func (s *Server) dispatch(req *request) response {
-	if req.Method == MethodBatch {
-		// Sub-requests re-enter dispatch one by one; dispatchBatch rejects
-		// nested batches, so the recursion is exactly one level deep.
-		return s.dispatchBatch(req)
+	if req.Method == MethodBatch || isStreamMethod(req.Method) {
+		// The serve loop routes these natively; reaching dispatch means a
+		// nested batch item tried to smuggle one in.
+		return response{ID: req.ID, Error: fmt.Sprintf("method %q not allowed here", req.Method)}
 	}
 	s.mu.Lock()
 	h, ok := s.handlers[req.Method]
