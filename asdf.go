@@ -162,6 +162,7 @@ const (
 	DegradeSkip = core.DegradeSkip
 	DegradeHold = core.DegradeHold
 	DegradeZero = core.DegradeZero
+	DegradeAuto = core.DegradeAuto
 )
 
 // WithWatchdog sets the default per-run watchdog deadline: a module Run
@@ -183,8 +184,32 @@ func WithQuarantine(threshold int, cooldown time.Duration) EngineOption {
 // outputs; the per-instance degrade parameter overrides it.
 func WithDegrade(p DegradePolicy) EngineOption { return core.WithDegrade(p) }
 
-// ParseDegradePolicy parses "skip", "hold", or "zero" ("" = skip).
+// WithDegradeResolver supplies the effective policy for instances whose
+// degrade policy is DegradeAuto — typically an AdaptiveController's
+// DegradePolicy method, so gap-fill tightens with the live open-breaker
+// fraction. Nil (the default) makes auto behave as skip.
+func WithDegradeResolver(f func() DegradePolicy) EngineOption {
+	return core.WithDegradeResolver(f)
+}
+
+// ParseDegradePolicy parses "skip", "hold", "zero", or "auto" ("" = skip).
 func ParseDegradePolicy(s string) (DegradePolicy, error) { return core.ParseDegradePolicy(s) }
+
+// AdaptiveController derives the control node's degrade posture from the
+// live open-breaker fraction of the collection plane, with hysteresis (see
+// DESIGN.md §5i). Wire one instance into Env.Adaptive and the engine's
+// WithDegradeResolver so degrade = auto and sync_quorum = auto resolve
+// through the same controller.
+type (
+	AdaptiveController = modules.AdaptiveController
+	AdaptiveConfig     = modules.AdaptiveConfig
+)
+
+// NewAdaptiveController builds an adaptive degradation controller;
+// zero-value config fields take the documented defaults.
+func NewAdaptiveController(cfg AdaptiveConfig) *AdaptiveController {
+	return modules.NewAdaptiveController(cfg)
+}
 
 // StatusReport is the operator snapshot served by cmd/asdf's /status
 // endpoint: supervisor, breaker, and sync state for one engine.

@@ -158,6 +158,39 @@ func render(w io.Writer, rep modules.StatusReport, prev *modules.StatusReport, i
 	fmt.Fprintf(w, "asdf-status — %s  %s  (every %s; Δ since last poll)\n\n",
 		rep.Time.Format(time.RFC3339), health, interval)
 
+	// A control node running with -state-file reports its crash-safe layer:
+	// snapshot freshness, how many restores this state file has seen, and
+	// the newest replay watermark (the publish frontier a restart resumes
+	// from).
+	if rs := rep.Restart; rs != nil {
+		age := "-"
+		if !rs.LastSnapshotAt.IsZero() {
+			age = rep.Time.Sub(rs.LastSnapshotAt).Truncate(time.Millisecond).String()
+		}
+		wm := "-"
+		var newest time.Time
+		for _, t := range rs.ReplayWatermarks {
+			if t.After(newest) {
+				newest = t
+			}
+		}
+		if !newest.IsZero() {
+			wm = newest.UTC().Format(time.RFC3339)
+		}
+		flags := ""
+		if rs.LockReclaimed {
+			flags += "  lock-reclaimed"
+		}
+		if rs.SnapshotQuarantined {
+			flags += "  snapshot-quarantined"
+		}
+		if rs.WriteErrors > 0 {
+			flags += fmt.Sprintf("  write-errors=%d", rs.WriteErrors)
+		}
+		fmt.Fprintf(w, "RESTART  restarts=%d  snapshots=%d  snapshot-age=%s  watermark=%s%s\n\n",
+			rs.Restarts, rs.SnapshotsWritten, age, wm, flags)
+	}
+
 	prevInst := map[string]core.InstanceHealth{}
 	if prev != nil {
 		for _, ih := range prev.Instances {

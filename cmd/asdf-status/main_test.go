@@ -12,6 +12,7 @@ import (
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/modules"
 	"github.com/asdf-project/asdf/internal/rpc"
+	"github.com/asdf-project/asdf/internal/state"
 )
 
 func sampleReport() modules.StatusReport {
@@ -81,6 +82,42 @@ func TestRenderTables(t *testing.T) {
 	}
 	if strings.Contains(out, "node2:") {
 		t.Errorf("render shows zero missing counter:\n%s", out)
+	}
+}
+
+func TestRenderRestartLine(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	render(&buf, rep, nil, time.Second)
+	if strings.Contains(buf.String(), "RESTART") {
+		t.Errorf("RESTART line shown without a state file:\n%s", buf.String())
+	}
+
+	rep.Restart = &state.RestartStatus{
+		Path:             "/var/lib/asdf/state",
+		Restarts:         2,
+		SnapshotsWritten: 41,
+		LastSnapshotAt:   rep.Time.Add(-1500 * time.Millisecond),
+		ReplayWatermarks: map[string]time.Time{
+			"collector": time.Date(2026, 1, 2, 3, 3, 50, 0, time.UTC),
+			"logs":      time.Date(2026, 1, 2, 3, 4, 1, 0, time.UTC),
+		},
+		LockReclaimed: true,
+	}
+	buf.Reset()
+	render(&buf, rep, nil, time.Second)
+	out := buf.String()
+	for _, want := range []string{
+		"RESTART",
+		"restarts=2",
+		"snapshots=41",
+		"snapshot-age=1.5s",
+		"watermark=2026-01-02T03:04:01Z", // the newest collector watermark
+		"lock-reclaimed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
 	}
 }
 

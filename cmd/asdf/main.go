@@ -40,6 +40,7 @@ import (
 
 	asdf "github.com/asdf-project/asdf"
 	"github.com/asdf-project/asdf/internal/modules"
+	"github.com/asdf-project/asdf/internal/state"
 )
 
 func main() {
@@ -62,10 +63,14 @@ func run(args []string) int {
 	runTimeout := fs.Duration("run-timeout", 0, "watchdog deadline per module Run; a wedged Run is abandoned and counted as a timeout failure (0 = no watchdog)")
 	quarThreshold := fs.Int("quarantine-threshold", 0, "consecutive module failures (error/panic/timeout) before an instance is quarantined (0 = never)")
 	quarCooldown := fs.Duration("quarantine-cooldown", 0, "quarantined-instance wait before a half-open re-probe (0 = default 10s)")
-	degrade := fs.String("degrade", "skip", "gap-fill policy for a quarantined instance's outputs: skip, hold, or zero")
+	degrade := fs.String("degrade", "skip", "gap-fill policy for a quarantined instance's outputs: skip, hold, zero, or auto (tightens to hold while the open-breaker fraction is high)")
 	shards := fs.Int("shards", 0, "default shard-worker count for multi-node collection instances; the shards parameter overrides per instance (0 = single shard)")
 	shardFanout := fs.Int("shard-fanout", 0, "default per-shard concurrent-fetch budget; the shard_fanout parameter overrides per instance (0 = the instance's fanout)")
 	wire := fs.String("wire", "", "default wire format for rpc-mode collection instances: json or columnar (delta-encoded streams); the wire parameter overrides per instance")
+	stateFile := fs.String("state-file", "", "persist supervisor/breaker/watermark state to this file and restore it on restart (crash-safe control plane)")
+	stateInterval := fs.Duration("state-interval", 5*time.Second, "interval between state snapshots (with -state-file)")
+	probeBudget := fs.Int("probe-budget", 4, "restored open breakers re-probed per probe interval after a restart (with -state-file)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "stagger interval for restored-breaker re-probes after a restart (with -state-file)")
 	statusAddr := fs.String("status-addr", "", "serve the operator health endpoint (GET /healthz, GET /status) on this address")
 	statusRPCAddr := fs.String("status-rpc-addr", "", "serve the status snapshot over the native RPC protocol on this address")
 	pprofEnabled := fs.Bool("pprof", false, "also serve net/http/pprof profiles under /debug/pprof/ on -status-addr")
@@ -87,9 +92,18 @@ func run(args []string) int {
 	// and the sync counters all land here, served on GET /metrics.
 	metrics := asdf.NewTelemetry()
 
+	// The adaptive controller derives the degrade posture from the live
+	// open-breaker fraction: degrade = auto and sync_quorum = auto resolve
+	// through it, with transitions logged and exposed as asdf_adaptive_*.
+	adaptive := asdf.NewAdaptiveController(asdf.AdaptiveConfig{
+		Metrics: metrics,
+		Logf:    log.Printf,
+	})
+
 	env := asdf.NewEnv()
 	env.AlarmWriter = os.Stdout
 	env.Metrics = metrics
+	env.Adaptive = adaptive
 	// Collection-plane resilience defaults; per-instance configuration
 	// parameters override these.
 	env.RPCOptions.CallTimeout = *callTimeout
@@ -127,6 +141,7 @@ func run(args []string) int {
 		asdf.WithWatchdog(*runTimeout),
 		asdf.WithQuarantine(*quarThreshold, *quarCooldown),
 		asdf.WithDegrade(degradePolicy),
+		asdf.WithDegradeResolver(adaptive.DegradePolicy),
 		asdf.WithErrorHandler(func(id string, err error) {
 			log.Printf("asdf: module %s: %v", id, err)
 		}))
@@ -136,8 +151,35 @@ func run(args []string) int {
 	}
 	log.Printf("asdf: %d module instances wired: %v", len(eng.Instances()), eng.Instances())
 
+	// With -state-file the control node is crash-safe: supervisor state,
+	// per-node breaker state, and the collectors' publish watermarks are
+	// snapshotted periodically and restored on boot, so a kill -9 resumes
+	// quarantine clocks, staggers re-probes of known-dead daemons, and never
+	// re-publishes data the previous life already delivered.
+	var mgr *state.Manager
+	if *stateFile != "" {
+		mgr, err = state.Open(eng, state.Options{
+			Path:          *stateFile,
+			Interval:      *stateInterval,
+			Logf:          log.Printf,
+			Metrics:       metrics,
+			ProbeBudget:   *probeBudget,
+			ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asdf: state: %v\n", err)
+			return 1
+		}
+		defer func() { _ = mgr.Close() }()
+		if st := mgr.Status(); st.Restarts > 0 {
+			log.Printf("asdf: restart #%d: restored %d supervisors, %d breakers, %d watermarks from %s",
+				st.Restarts, st.RestoredSupervisors, st.RestoredBreakers, st.RestoredWatermarks, st.Path)
+		}
+	}
+	view := statusView{Engine: eng, mgr: mgr}
+
 	if *statusAddr != "" {
-		httpSrv, addr, err := serveStatusHTTP(*statusAddr, eng, metrics, *pprofEnabled)
+		httpSrv, addr, err := serveStatusHTTP(*statusAddr, view, metrics, *pprofEnabled)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asdf: status endpoint: %v\n", err)
 			return 1
@@ -149,7 +191,7 @@ func run(args []string) int {
 		}
 	}
 	if *statusRPCAddr != "" {
-		rpcSrv, addr, err := modules.ListenStatus(*statusRPCAddr, eng, time.Now)
+		rpcSrv, addr, err := modules.ListenStatus(*statusRPCAddr, view, time.Now)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asdf: status rpc: %v\n", err)
 			return 1
@@ -160,12 +202,31 @@ func run(args []string) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if mgr != nil {
+		go mgr.Run(ctx)
+	}
 	log.Printf("asdf: fingerpointing online; interrupt to stop")
 	if err := eng.Run(ctx); err != nil && err != context.Canceled {
 		fmt.Fprintf(os.Stderr, "asdf: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// statusView is the engine surface the status endpoints render: the engine
+// itself plus, when -state-file is set, the crash-safe state manager's
+// restart accounting (the RESTART section of asdf-status and the
+// StatusReport's restart field).
+type statusView struct {
+	*asdf.Engine
+	mgr *state.Manager
+}
+
+func (v statusView) RestartStatus() (state.RestartStatus, bool) {
+	if v.mgr == nil {
+		return state.RestartStatus{}, false
+	}
+	return v.mgr.Status(), true
 }
 
 // serveStatusHTTP starts the operator health endpoint on addr and returns
@@ -176,14 +237,14 @@ func run(args []string) int {
 // With pprofOn, the Go runtime profiles are additionally served under
 // /debug/pprof/ — opt-in, since the profile endpoints expose stacks and
 // command lines and cost CPU while sampling.
-func serveStatusHTTP(addr string, eng *asdf.Engine, metrics *asdf.Telemetry, pprofOn bool) (*http.Server, net.Addr, error) {
+func serveStatusHTTP(addr string, view statusView, metrics *asdf.Telemetry, pprofOn bool) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		rep := asdf.CollectStatus(eng, time.Now())
+		rep := modules.CollectStatus(view, time.Now())
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if rep.Healthy {
 			fmt.Fprintln(w, "ok")
@@ -199,7 +260,7 @@ func serveStatusHTTP(addr string, eng *asdf.Engine, metrics *asdf.Telemetry, ppr
 		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		rep := asdf.CollectStatus(eng, time.Now())
+		rep := modules.CollectStatus(view, time.Now())
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	asdf "github.com/asdf-project/asdf"
+	"github.com/asdf-project/asdf/internal/state"
 	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
@@ -82,7 +83,7 @@ func TestPprofEndpointGated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, on := range []bool{false, true} {
-		srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, asdf.NewTelemetry(), on)
+		srv, addr, err := serveStatusHTTP("127.0.0.1:0", statusView{Engine: eng}, asdf.NewTelemetry(), on)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func TestStatusEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, asdf.NewTelemetry(), false)
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", statusView{Engine: eng}, asdf.NewTelemetry(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	srv, addr, err := serveStatusHTTP("127.0.0.1:0", eng, metrics, false)
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", statusView{Engine: eng}, metrics, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,5 +257,82 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if ih.Errors == 0 || ih.Quarantines == 0 {
 		t.Errorf("scenario did not exercise failures/quarantine: %+v", ih)
+	}
+}
+
+// TestStateMetricsMatchStatus runs the crash-safe state layer behind the
+// operator HTTP surface and checks the asdf_state_* series scraped from
+// GET /metrics against the restart section of the GET /status snapshot —
+// the same-engine equality contract the supervisor metrics already honor.
+func TestStateMetricsMatchStatus(t *testing.T) {
+	metrics := asdf.NewTelemetry()
+	reg := asdf.NewBareRegistry()
+	reg.Register("broken", func() asdf.Module { return &brokenSource{} })
+	cfg, err := asdf.ParseConfigString("[broken]\nid = f\nperiod = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := asdf.NewEngine(reg, cfg,
+		asdf.WithTelemetry(metrics),
+		asdf.WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := state.Open(eng, state.Options{
+		Path:    filepath.Join(t.TempDir(), "asdf.state"),
+		Metrics: metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+	if err := eng.Tick(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, addr, err := serveStatusHTTP("127.0.0.1:0", statusView{Engine: eng, mgr: mgr}, metrics, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	scraped, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep asdf.StatusReport
+	sresp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sresp.Body.Close() }()
+	if err := json.NewDecoder(sresp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restart == nil {
+		t.Fatal("/status has no restart section despite a state manager")
+	}
+	rs := rep.Restart
+	if rs.SnapshotsWritten == 0 || rs.SnapshotBytes == 0 {
+		t.Fatalf("scenario wrote no snapshot: %+v", rs)
+	}
+	for series, want := range map[string]float64{
+		"asdf_state_restarts":                float64(rs.Restarts),
+		"asdf_state_snapshots_written_total": float64(rs.SnapshotsWritten),
+		"asdf_state_snapshot_bytes":          float64(rs.SnapshotBytes),
+	} {
+		if got, ok := scraped[series]; !ok || got != want {
+			t.Errorf("scraped %s = %v (present=%v), want %v", series, got, ok, want)
+		}
 	}
 }

@@ -150,6 +150,10 @@ type ResilienceParams struct {
 	// SyncQuorum is the minimum number of nodes that must have reported a
 	// timestamp for a degraded (partial) publish (0 = all nodes).
 	SyncQuorum int
+	// SyncQuorumAuto is set by `sync_quorum = auto`: the effective quorum
+	// is derived at runtime from the observed open-breaker fraction
+	// (adaptive controller) instead of a static count.
+	SyncQuorumAuto bool
 }
 
 // ResilienceParams parses the well-known fault-tolerance parameters
@@ -174,7 +178,9 @@ func (in *Instance) ResilienceParams() (ResilienceParams, error) {
 	if p.SyncDeadline, err = in.DurationParam("sync_deadline", 0); err != nil {
 		return p, err
 	}
-	if p.SyncQuorum, err = in.IntParam("sync_quorum", 0); err != nil {
+	if in.StringParam("sync_quorum", "") == "auto" {
+		p.SyncQuorumAuto = true
+	} else if p.SyncQuorum, err = in.IntParam("sync_quorum", 0); err != nil {
 		return p, err
 	}
 	if p.BreakerThreshold < 0 {
@@ -203,7 +209,7 @@ type SupervisorParams struct {
 	// its half-open re-probe (0 = engine default).
 	QuarantineCooldown time.Duration
 	// Degrade is the gap-fill policy for a quarantined instance's
-	// outputs: "skip", "hold", or "zero" ("" = engine default).
+	// outputs: "skip", "hold", "zero", or "auto" ("" = engine default).
 	Degrade string
 }
 
@@ -232,9 +238,9 @@ func (in *Instance) SupervisorParams() (SupervisorParams, error) {
 		return p, fmt.Errorf("config: instance %q: quarantine_cooldown must be >= 0", in.ID)
 	}
 	switch p.Degrade {
-	case "", "skip", "hold", "zero":
+	case "", "skip", "hold", "zero", "auto":
 	default:
-		return p, fmt.Errorf("config: instance %q: degrade must be skip, hold, or zero, got %q", in.ID, p.Degrade)
+		return p, fmt.Errorf("config: instance %q: degrade must be skip, hold, zero, or auto, got %q", in.ID, p.Degrade)
 	}
 	return p, nil
 }

@@ -301,6 +301,44 @@ func TestResilienceParamsDefaultsToZero(t *testing.T) {
 	}
 }
 
+func TestResilienceParamsSyncQuorumAuto(t *testing.T) {
+	f, err := ParseString("[hadoop_log]\nid = hl\nsync_quorum = auto\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := f.Instance("hl")
+	p, err := in.ResilienceParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SyncQuorumAuto || p.SyncQuorum != 0 {
+		t.Errorf("sync_quorum = auto parsed to %+v, want SyncQuorumAuto with no static quorum", p)
+	}
+}
+
+func TestSupervisorParamsDegradeAuto(t *testing.T) {
+	f, err := ParseString("[sadc]\nid = s\nnode = n1\ndegrade = auto\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := f.Instance("s")
+	p, err := in.SupervisorParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degrade != "auto" {
+		t.Errorf("degrade = %q, want auto", p.Degrade)
+	}
+	bad, err := ParseString("[sadc]\nid = s\ndegrade = sometimes\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ = bad.Instance("s")
+	if _, err := in.SupervisorParams(); err == nil {
+		t.Error("degrade = sometimes should fail to parse")
+	}
+}
+
 func TestResilienceParamsRejectsBadValues(t *testing.T) {
 	for _, bad := range []string{
 		"sync_quorum = -1",

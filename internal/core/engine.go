@@ -36,6 +36,7 @@ type Engine struct {
 	quarThresholdDflt int
 	quarCooldownDflt  time.Duration
 	degradeDefault    DegradePolicy
+	degradeResolver   func() DegradePolicy
 
 	// step-mode state; also reused as the notification lock in
 	// real-time mode.
@@ -150,6 +151,16 @@ func WithQuarantine(threshold int, cooldown time.Duration) Option {
 // instances' outputs; the per-instance degrade parameter overrides it.
 func WithDegrade(p DegradePolicy) Option {
 	return func(e *Engine) { e.degradeDefault = p }
+}
+
+// WithDegradeResolver supplies the effective policy for instances configured
+// with degrade = auto: the resolver is consulted on each quarantined-instance
+// dispatch (never on the healthy hot path) so an adaptive controller can
+// tighten gap-filling while the collection plane is degraded and relax it
+// back. f must be safe for concurrent use and must return a concrete policy
+// (skip, hold, or zero); without a resolver, auto behaves as skip.
+func WithDegradeResolver(f func() DegradePolicy) Option {
+	return func(e *Engine) { e.degradeResolver = f }
 }
 
 // WithTelemetry registers the engine's runtime metrics — per-instance run
@@ -443,6 +454,9 @@ func (e *Engine) initSupervisor(inst *instanceState) error {
 		sup.degrade = e.degradeDefault
 	} else if sup.degrade, err = ParseDegradePolicy(sp.Degrade); err != nil {
 		return fmt.Errorf("core: instance %q: %w", inst.id, err)
+	}
+	if sup.degrade == DegradeAuto {
+		sup.resolve = e.degradeResolver
 	}
 	if reg := e.metrics; reg != nil {
 		il := telemetry.L("instance", inst.id)

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRestoreSupervisorsResumesCooldown is the core of the crash-safe
+// restart story: a quarantined instance restored from a snapshot keeps its
+// absolute ReopenAt deadline — the cooldown clock resumes, it does not
+// reset — and the half-open probe lifecycle continues where it left off.
+func TestRestoreSupervisorsResumesCooldown(t *testing.T) {
+	cfgText := fanConfig(2, "quarantine_threshold = 2\nquarantine_cooldown = 10\n")
+
+	// First process: w0 fails until quarantined.
+	reg := supervisorRegistry()
+	e1, err := NewEngine(reg, mustParse(t, cfgText), WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, _ := e1.ModuleOf("w0")
+	mod.(*faulty).errorOn = func(int) bool { return true }
+	for i := 0; i < 3; i++ {
+		if err := e1.Tick(t0().Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := e1.InstanceHealthOf("w0")
+	if before.State != SupervisorQuarantined || before.ReopenAt.IsZero() {
+		t.Fatalf("precondition: w0 = %+v, want quarantined with a deadline", before)
+	}
+	snaps := e1.SupervisorSnapshots()
+
+	// "Restart": a fresh engine from the same configuration, restored from
+	// the snapshot. The replacement w0 is healthy (the fault died with the
+	// old process), so the probe will succeed.
+	reg2 := supervisorRegistry()
+	e2, err := NewEngine(reg2, mustParse(t, cfgText), WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.RestoreSupervisors(snaps); got != 4 {
+		t.Fatalf("RestoreSupervisors restored %d instances, want 4 (src, w0, w1, sink)", got)
+	}
+	after, _ := e2.InstanceHealthOf("w0")
+	if after.State != SupervisorQuarantined {
+		t.Fatalf("restored state = %s, want quarantined", after.State)
+	}
+	if !after.ReopenAt.Equal(before.ReopenAt) {
+		t.Fatalf("restored ReopenAt = %v, want the original deadline %v (cooldown must resume, not reset)",
+			after.ReopenAt, before.ReopenAt)
+	}
+	if after.TotalFailures != before.TotalFailures || after.Quarantines != before.Quarantines ||
+		after.ConsecutiveFailures != before.ConsecutiveFailures || after.LastFailure != before.LastFailure {
+		t.Errorf("lineage counters lost: before=%+v after=%+v", before, after)
+	}
+
+	w0runs := func() int {
+		m, _ := e2.ModuleOf("w0")
+		return m.(*faulty).runCount()
+	}
+	// Ticks still inside the original cooldown: skipped, no probe.
+	for i := 3; i < 11; i++ {
+		if err := e2.Tick(t0().Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w0runs() != 0 {
+		t.Fatalf("w0 ran %d times inside the restored cooldown, want 0", w0runs())
+	}
+	// First tick at/past ReopenAt (t0+11 >= t0+2+10… the deadline is
+	// t0+2+10 = t0+12): tick 12 probes and succeeds.
+	if err := e2.Tick(t0().Add(12 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	ih, _ := e2.InstanceHealthOf("w0")
+	if ih.State != SupervisorHealthy || w0runs() != 1 {
+		t.Fatalf("after probe: state=%s runs=%d, want healthy after exactly one probe", ih.State, w0runs())
+	}
+	if ih.Readmissions != before.Readmissions+1 {
+		t.Errorf("readmissions = %d, want %d", ih.Readmissions, before.Readmissions+1)
+	}
+}
+
+// TestRestoreSupervisorsEdgeCases: snapshots for unknown instances are
+// skipped; an instance with no quarantine budget takes the counters but
+// never resumes a quarantine it could not have entered; Wedged and Probing
+// don't restore as-is.
+func TestRestoreSupervisorsEdgeCases(t *testing.T) {
+	reg := supervisorRegistry()
+	e, err := NewEngine(reg, mustParse(t, fanConfig(1, "")), WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := t0().Add(time.Minute)
+	n := e.RestoreSupervisors([]InstanceHealth{
+		{ID: "no-such-instance", State: SupervisorQuarantined, ReopenAt: deadline},
+		{ID: "w0", State: SupervisorQuarantined, Wedged: true, ReopenAt: deadline,
+			TotalFailures: 9, Errors: 9, ConsecutiveFailures: 4, Quarantines: 2},
+	})
+	if n != 1 {
+		t.Fatalf("restored %d instances, want 1", n)
+	}
+	ih, _ := e.InstanceHealthOf("w0")
+	// fanConfig(1, "") configures no quarantine budget: the quarantine
+	// state must not be adopted, but the lineage counters are.
+	if ih.State != SupervisorHealthy {
+		t.Errorf("thresholdless instance restored as %s, want healthy", ih.State)
+	}
+	if ih.Wedged {
+		t.Error("Wedged restored across restart; the abandoned goroutine did not survive")
+	}
+	if ih.TotalFailures != 9 || ih.Quarantines != 2 {
+		t.Errorf("counters not restored: %+v", ih)
+	}
+
+	// Probing restores as Quarantined when a budget exists: the probe's
+	// outcome died with the old process.
+	reg2 := supervisorRegistry()
+	e2, err := NewEngine(reg2, mustParse(t, fanConfig(1, "quarantine_threshold = 2\nquarantine_cooldown = 5\n")),
+		WithErrorHandler(func(string, error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.RestoreSupervisors([]InstanceHealth{{ID: "w0", State: SupervisorProbing, ReopenAt: deadline}})
+	if ih, _ := e2.InstanceHealthOf("w0"); ih.State != SupervisorQuarantined || !ih.ReopenAt.Equal(deadline) {
+		t.Errorf("probing snapshot restored as %+v, want quarantined at the original deadline", ih)
+	}
+}
+
+// TestDegradeAutoResolver: degrade = auto consults the engine's resolver on
+// quarantined dispatches — gap-filling when the resolver says hold, silent
+// when it says skip, and silent without a resolver.
+func TestDegradeAutoResolver(t *testing.T) {
+	cfgText := `
+[faulty]
+id = f
+period = 1
+quarantine_threshold = 2
+quarantine_cooldown = 100
+degrade = auto
+[recorder]
+id = sink
+input[in] = f.output0
+`
+	run := func(t *testing.T, opts ...Option) (int, InstanceHealth) {
+		reg := supervisorRegistry()
+		opts = append(opts, WithErrorHandler(func(string, error) {}))
+		e, err := NewEngine(reg, mustParse(t, cfgText), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, _ := e.ModuleOf("f")
+		mod.(*faulty).errorOn = func(run int) bool { return run > 2 }
+		for i := 0; i < 8; i++ {
+			if err := e.Tick(t0().Add(time.Duration(i) * time.Second)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sink, _ := e.ModuleOf("sink")
+		ih, _ := e.InstanceHealthOf("f")
+		return len(sink.(*recorder).all()), ih
+	}
+
+	t.Run("resolver-hold", func(t *testing.T) {
+		var calls int
+		samples, ih := run(t, WithDegradeResolver(func() DegradePolicy {
+			calls++
+			return DegradeHold
+		}))
+		// 2 real samples + 4 quarantined ticks gap-filled by hold.
+		if samples != 6 || ih.GapFills != 4 {
+			t.Errorf("resolver-hold: samples=%d gapFills=%d, want 6 and 4", samples, ih.GapFills)
+		}
+		if calls == 0 {
+			t.Error("resolver never consulted")
+		}
+	})
+	t.Run("resolver-skip", func(t *testing.T) {
+		samples, ih := run(t, WithDegradeResolver(func() DegradePolicy { return DegradeSkip }))
+		if samples != 2 || ih.GapFills != 0 {
+			t.Errorf("resolver-skip: samples=%d gapFills=%d, want 2 and 0", samples, ih.GapFills)
+		}
+	})
+	t.Run("no-resolver", func(t *testing.T) {
+		samples, ih := run(t)
+		if samples != 2 || ih.GapFills != 0 {
+			t.Errorf("no-resolver: samples=%d gapFills=%d, want 2 and 0 (auto defaults to skip)", samples, ih.GapFills)
+		}
+		if ih.Degrade != DegradeAuto {
+			t.Errorf("health reports degrade=%s, want auto", ih.Degrade)
+		}
+	})
+}
+
+func TestParseDegradePolicyAuto(t *testing.T) {
+	p, err := ParseDegradePolicy("auto")
+	if err != nil || p != DegradeAuto {
+		t.Fatalf("ParseDegradePolicy(auto) = %v, %v", p, err)
+	}
+	if p.String() != "auto" {
+		t.Fatalf("DegradeAuto.String() = %q", p.String())
+	}
+	b, err := p.MarshalJSON()
+	if err != nil || string(b) != `"auto"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+	var back DegradePolicy
+	if err := back.UnmarshalJSON(b); err != nil || back != DegradeAuto {
+		t.Fatalf("round trip = %v, %v", back, err)
+	}
+}

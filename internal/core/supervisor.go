@@ -183,6 +183,12 @@ const (
 	DegradeHold
 	// DegradeZero publishes a zero vector of each output's last width.
 	DegradeZero
+	// DegradeAuto defers the choice to the engine's degrade resolver
+	// (WithDegradeResolver): the adaptive controller picks skip while the
+	// collection plane is healthy and a gap-filling policy once the open-
+	// breaker fraction crosses its tighten threshold. Without a resolver,
+	// auto behaves as skip.
+	DegradeAuto
 )
 
 // String renders the policy in configuration syntax.
@@ -194,6 +200,8 @@ func (p DegradePolicy) String() string {
 		return "hold"
 	case DegradeZero:
 		return "zero"
+	case DegradeAuto:
+		return "auto"
 	default:
 		return "unknown"
 	}
@@ -228,8 +236,10 @@ func ParseDegradePolicy(s string) (DegradePolicy, error) {
 		return DegradeHold, nil
 	case "zero":
 		return DegradeZero, nil
+	case "auto":
+		return DegradeAuto, nil
 	default:
-		return DegradeSkip, fmt.Errorf("core: unknown degrade policy %q (want skip, hold, or zero)", s)
+		return DegradeSkip, fmt.Errorf("core: unknown degrade policy %q (want skip, hold, zero, or auto)", s)
 	}
 }
 
@@ -281,6 +291,11 @@ type supervisor struct {
 	threshold  int           // 0 = quarantine disabled
 	cooldown   time.Duration
 	degrade    DegradePolicy
+	// resolve supplies the effective policy when degrade is DegradeAuto
+	// (nil = auto behaves as skip). Set from the engine's WithDegradeResolver
+	// at construction; called only on quarantined-instance dispatches, never
+	// on the healthy hot path.
+	resolve func() DegradePolicy
 
 	mu          sync.Mutex
 	state       SupervisorState
@@ -439,7 +454,17 @@ func (s *supervisor) abandon(done <-chan error) {
 // a zero vector of the same width (zero), marked Degraded, so downstream
 // trigger counts and analyses keep advancing through the outage.
 func (s *supervisor) gapFill(now time.Time) {
-	if s.degrade == DegradeSkip {
+	policy := s.degrade
+	if policy == DegradeAuto {
+		if s.resolve == nil {
+			return
+		}
+		policy = s.resolve()
+		if policy == DegradeSkip || policy == DegradeAuto {
+			return
+		}
+	}
+	if policy == DegradeSkip {
 		return
 	}
 	filled := false
@@ -449,7 +474,7 @@ func (s *supervisor) gapFill(now time.Time) {
 			continue
 		}
 		vals := last.Values
-		if s.degrade == DegradeZero {
+		if policy == DegradeZero {
 			vals = make([]float64, len(last.Values))
 		}
 		out.Publish(Sample{Time: now, Values: vals, Degraded: true})
@@ -498,6 +523,62 @@ func (e *Engine) SupervisorSnapshots() []InstanceHealth {
 		out[i] = inst.sup.snapshot()
 	}
 	return out
+}
+
+// RestoreSupervisors reloads persisted supervisor state (a prior process's
+// SupervisorSnapshots) into this engine's instances, matching by instance id.
+// It returns how many instances accepted state. Restore before the first
+// dispatch: it resumes lineage counters and — when the instance has a
+// quarantine budget configured — the quarantine lifecycle itself, so a
+// control-node restart does not reset cooldown clocks.
+func (e *Engine) RestoreSupervisors(snaps []InstanceHealth) int {
+	restored := 0
+	for _, h := range snaps {
+		inst, ok := e.byID[h.ID]
+		if !ok {
+			continue
+		}
+		if inst.sup.restore(h) {
+			restored++
+		}
+	}
+	return restored
+}
+
+// restore loads one persisted snapshot into the supervisor. Counters are
+// mirrored into telemetry so a post-restart /metrics scrape still agrees
+// with /status. A snapshot that was Quarantined or Probing resumes as
+// Quarantined with its original absolute ReopenAt deadline (a probe's
+// outcome died with the old process, so the conservative read is "still
+// quarantined"; the next admit at or past ReopenAt re-probes). Wedged is
+// never restored: the abandoned goroutine did not survive the restart.
+func (s *supervisor) restore(h InstanceHealth) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecutive = h.ConsecutiveFailures
+	s.totalFailures = h.TotalFailures
+	s.panics = h.Panics
+	s.timeouts = h.Timeouts
+	s.errs = h.Errors
+	s.quarantines = h.Quarantines
+	s.readmissions = h.Readmissions
+	s.lateReturns = h.LateReturns
+	s.gapFills = h.GapFills
+	s.lastFailure = h.LastFailure
+	s.lastFailureAt = h.LastFailureAt
+	s.mErrors.Add(h.Errors)
+	s.mPanics.Add(h.Panics)
+	s.mTimeouts.Add(h.Timeouts)
+	s.mQuarantines.Add(h.Quarantines)
+	s.mReadmissions.Add(h.Readmissions)
+	s.mLateReturns.Add(h.LateReturns)
+	s.mGapFills.Add(h.GapFills)
+	if s.threshold > 0 && (h.State == SupervisorQuarantined || h.State == SupervisorProbing) {
+		s.state = SupervisorQuarantined
+		s.reopenAt = h.ReopenAt
+		s.mState.Set(float64(SupervisorQuarantined))
+	}
+	return true
 }
 
 // InstanceHealthOf reports the named instance's supervisor state.

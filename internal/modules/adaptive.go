@@ -1,0 +1,208 @@
+package modules
+
+import (
+	"math"
+	"sync"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/telemetry"
+)
+
+// AdaptiveConfig tunes the adaptive degradation controller.
+type AdaptiveConfig struct {
+	// TightenAt is the open-breaker fraction at or above which the
+	// controller tightens (default 0.25).
+	TightenAt float64
+	// RelaxAt is the fraction at or below which a tightened controller
+	// relaxes (default 0.10). The gap between the two thresholds is the
+	// hysteresis band: a fraction oscillating inside it never flaps the
+	// mode.
+	RelaxAt float64
+	// QuorumFloorFrac is the lowest fraction of an instance's nodes an
+	// auto quorum may relax to, rounded up (default 0.5). The ceiling is
+	// always the strict quorum (every node).
+	QuorumFloorFrac float64
+	// TightenedDegrade is the gap-fill policy degrade = auto instances
+	// resolve to while tightened (default DegradeHold); while relaxed they
+	// resolve to DegradeSkip.
+	TightenedDegrade core.DegradePolicy
+	// Metrics, when non-nil, registers the asdf_adaptive_* series.
+	Metrics *telemetry.Registry
+	// Logf receives mode-transition decisions; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// AdaptiveController derives the effective degrade policy and sync quorum
+// for instances configured with degrade = auto or sync_quorum = auto from
+// the live health of the collection plane (the fraction of per-node circuit
+// breakers currently open). Collection modules feed it one observation per
+// sweep; the engine's degrade resolver and the timestamp synchronizer read
+// it. Transitions use hysteresis so a breaker flapping at the threshold
+// does not flap the policy, and every transition is logged.
+//
+// All methods are safe on a nil receiver, resolving to the strict
+// (non-degraded) behaviour, so wiring stays optional.
+type AdaptiveController struct {
+	mu        sync.Mutex
+	cfg       AdaptiveConfig
+	open      map[string]int // per observing instance: open breakers
+	total     map[string]int // per observing instance: supervised clients
+	tightened bool
+
+	mFraction    *telemetry.Gauge
+	mTightened   *telemetry.Gauge
+	mTransitions *telemetry.Counter
+	mQuorum      map[string]*telemetry.Gauge // per synchronizing instance
+}
+
+// NewAdaptiveController builds a controller, filling config defaults.
+func NewAdaptiveController(cfg AdaptiveConfig) *AdaptiveController {
+	if cfg.TightenAt <= 0 {
+		cfg.TightenAt = 0.25
+	}
+	if cfg.RelaxAt <= 0 {
+		cfg.RelaxAt = 0.10
+	}
+	if cfg.RelaxAt > cfg.TightenAt {
+		cfg.RelaxAt = cfg.TightenAt
+	}
+	if cfg.QuorumFloorFrac <= 0 {
+		cfg.QuorumFloorFrac = 0.5
+	}
+	if cfg.TightenedDegrade == 0 {
+		cfg.TightenedDegrade = core.DegradeHold
+	}
+	c := &AdaptiveController{
+		cfg:   cfg,
+		open:  make(map[string]int),
+		total: make(map[string]int),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		c.mFraction = reg.Gauge("asdf_adaptive_open_breaker_fraction",
+			"Fraction of collection-plane circuit breakers currently open.")
+		c.mTightened = reg.Gauge("asdf_adaptive_tightened",
+			"1 while the adaptive controller is tightened (degraded mode), else 0.")
+		c.mTransitions = reg.Counter("asdf_adaptive_transitions_total",
+			"Tighten/relax mode transitions of the adaptive controller.")
+		c.mQuorum = make(map[string]*telemetry.Gauge)
+	}
+	return c
+}
+
+// ObserveBreakers records one collection instance's sweep: how many of its
+// supervised per-node connections have an open breaker, out of how many
+// total. It recomputes the global open fraction and applies the hysteresis
+// thresholds.
+func (c *AdaptiveController) ObserveBreakers(instance string, open, total int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.open[instance] = open
+	c.total[instance] = total
+	sumOpen, sumTotal := 0, 0
+	for _, v := range c.open {
+		sumOpen += v
+	}
+	for _, v := range c.total {
+		sumTotal += v
+	}
+	frac := 0.0
+	if sumTotal > 0 {
+		frac = float64(sumOpen) / float64(sumTotal)
+	}
+	c.mFraction.Set(frac)
+	switch {
+	case !c.tightened && frac >= c.cfg.TightenAt:
+		c.tightened = true
+		c.mTransitions.Inc()
+		c.logf("adaptive: open breaker fraction %.2f >= %.2f (%d/%d): tightening (degrade=%s, quorum floor %.0f%%)",
+			frac, c.cfg.TightenAt, sumOpen, sumTotal, c.cfg.TightenedDegrade, 100*c.cfg.QuorumFloorFrac)
+	case c.tightened && frac <= c.cfg.RelaxAt:
+		c.tightened = false
+		c.mTransitions.Inc()
+		c.logf("adaptive: open breaker fraction %.2f <= %.2f (%d/%d): relaxing to strict mode",
+			frac, c.cfg.RelaxAt, sumOpen, sumTotal)
+	}
+	if c.tightened {
+		c.mTightened.Set(1)
+	} else {
+		c.mTightened.Set(0)
+	}
+}
+
+// Tightened reports whether the controller is in degraded mode.
+func (c *AdaptiveController) Tightened() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tightened
+}
+
+// DegradePolicy resolves degrade = auto: DegradeSkip while relaxed (a
+// quarantined instance simply publishes nothing), the configured tightened
+// policy (default DegradeHold) while the collection plane is degraded, so
+// downstream windows keep flowing through correlated outages. Safe on a nil
+// receiver (always DegradeSkip), and suitable as a core.WithDegradeResolver
+// callback.
+func (c *AdaptiveController) DegradePolicy() core.DegradePolicy {
+	if c == nil {
+		return core.DegradeSkip
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tightened {
+		return c.cfg.TightenedDegrade
+	}
+	return core.DegradeSkip
+}
+
+// EffectiveQuorum resolves sync_quorum = auto for one synchronizing
+// instance with the given node count and currently-open breaker count.
+// While relaxed the quorum is strict (every node); while tightened it
+// drops to the nodes expected to report (nodes - open), clamped to the
+// floor ceil(QuorumFloorFrac * nodes) and the ceiling nodes. Safe on a nil
+// receiver (strict).
+func (c *AdaptiveController) EffectiveQuorum(instance string, nodes, open int) int {
+	if nodes <= 0 {
+		return nodes
+	}
+	if c == nil {
+		return nodes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := nodes
+	if c.tightened {
+		q = nodes - open
+		if floor := int(math.Ceil(c.cfg.QuorumFloorFrac * float64(nodes))); q < floor {
+			q = floor
+		}
+		if q < 1 {
+			q = 1
+		}
+		if q > nodes {
+			q = nodes
+		}
+	}
+	if c.mQuorum != nil {
+		g, ok := c.mQuorum[instance]
+		if !ok {
+			g = c.cfg.Metrics.Gauge("asdf_adaptive_sync_quorum",
+				"Effective synchronization quorum resolved for sync_quorum = auto.",
+				telemetry.L("instance", instance))
+			c.mQuorum[instance] = g
+		}
+		g.Set(float64(q))
+	}
+	return q
+}
+
+func (c *AdaptiveController) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/asdf-project/asdf/internal/core"
@@ -63,6 +64,7 @@ import (
 // connection, whichever shard sweeps it.
 type sadcModule struct {
 	env     *Env
+	id      string
 	nodes   []string
 	single  bool // the node= form: output0 plus iface/pid extras
 	sources []MetricSource
@@ -70,6 +72,13 @@ type sadcModule struct {
 	outs    []*core.OutputPort
 	fanout  int
 	sharder *shardSweeper
+
+	// Replay guard (crash-safe restart): lastPub is the newest published
+	// tick (unixnano; atomic so the state snapshotter can read it beside a
+	// running engine), replayBar the restored watermark at or below which
+	// publishes are refused after a restart.
+	lastPub   atomic.Int64
+	replayBar atomic.Int64
 
 	ifaces    []string
 	pids      []int
@@ -83,6 +92,7 @@ type sadcModule struct {
 }
 
 func (m *sadcModule) Init(ctx *core.InitContext) error {
+	m.id = ctx.ID()
 	cfg := ctx.Config()
 	node := cfg.StringParam("node", "")
 	nodesParam := cfg.StringParam("nodes", "")
@@ -275,7 +285,17 @@ func (m *sadcModule) Run(ctx *core.RunContext) error {
 		m.recs[i], m.errs[i] = m.sources[i].Collect()
 		return m.errs[i]
 	})
+	if m.clients != nil {
+		open, total := countBreakers(m.clients)
+		m.env.Adaptive.ObserveBreakers(m.id, open, total)
+	}
+	// Replayed tick: a restarted control node resumes at the persisted
+	// watermark; collection still runs (warming rate state), but nothing
+	// at or before an already-published timestamp is re-published.
+	replay := m.replayBar.Load() != 0 && !ctx.Now.IsZero() &&
+		ctx.Now.UnixNano() <= m.replayBar.Load()
 	var firstErr error
+	published := false
 	for i, rec := range m.recs {
 		if err := m.errs[i]; err != nil {
 			// One unreachable node must not stop collection from the rest.
@@ -284,12 +304,13 @@ func (m *sadcModule) Run(ctx *core.RunContext) error {
 			}
 			continue
 		}
-		if rec.Warmup {
+		if rec.Warmup || replay {
 			// Rates need a second snapshot; skip the warmup record.
 			continue
 		}
 		// Black-box samples are timestamped on the control node (§3.7).
 		m.outs[i].Publish(core.Sample{Time: ctx.Now, Values: rec.Node})
+		published = true
 		if m.single {
 			for iface, out := range m.ifaceOuts {
 				if v, ok := rec.Net[iface]; ok {
@@ -303,7 +324,39 @@ func (m *sadcModule) Run(ctx *core.RunContext) error {
 			}
 		}
 	}
+	if published {
+		m.lastPub.Store(ctx.Now.UnixNano())
+	}
 	return firstErr
+}
+
+// ReplayWatermark reports the newest published tick; ok is false before the
+// first publish. Part of the crash-safe state surface (internal/state).
+func (m *sadcModule) ReplayWatermark() (time.Time, bool) {
+	lp := m.lastPub.Load()
+	if lp == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, lp).UTC(), true
+}
+
+// RestoreReplayWatermark arms the replay guard after a restart: ticks at or
+// before t were published by a previous life and must not be re-published.
+func (m *sadcModule) RestoreReplayWatermark(t time.Time) {
+	m.replayBar.Store(t.UnixNano())
+	m.lastPub.Store(t.UnixNano())
+}
+
+// ExportBreakerSnapshots snapshots per-node breaker state for persistence
+// (nil in local mode or with an unsupervised custom dialer).
+func (m *sadcModule) ExportBreakerSnapshots() map[string]rpc.BreakerSnapshot {
+	return exportBreakers(m.clients)
+}
+
+// ImportBreakerSnapshots restores persisted breaker state, staggering
+// re-probes of non-closed breakers through plan.
+func (m *sadcModule) ImportBreakerSnapshots(snaps map[string]rpc.BreakerSnapshot, plan *rpc.ProbePlanner) int {
+	return importBreakers(m.clients, snaps, plan)
 }
 
 // ClientHealth reports the supervised connection's health for the
@@ -381,7 +434,10 @@ var _ core.Module = (*sadcModule)(nil)
 //	push_window   = <int>                   (subscribe: max frames in flight;
 //	                                         default 1 = lockstep)
 //	sync_deadline = <duration>              (default 0: strict §3.7 sync)
-//	sync_quorum   = <int>                   (default 0: all nodes)
+//	sync_quorum   = <int> | auto            (default 0: all nodes; auto derives
+//	                                         the quorum from the live open-
+//	                                         breaker fraction via the adaptive
+//	                                         controller, Env.Adaptive)
 //
 // Per-node fetches run concurrently under a bounded worker pool (fanout),
 // optionally partitioned into shards each running its own pool, but
@@ -393,6 +449,7 @@ var _ core.Module = (*sadcModule)(nil)
 // keeps its own breaker state regardless of fanout.
 type hadoopLogModule struct {
 	env     *Env
+	id      string
 	kind    hadooplog.Kind
 	nodes   []string
 	sources []LogSource
@@ -407,13 +464,17 @@ type hadoopLogModule struct {
 
 	syncDeadline time.Duration // 0 = strict: wait for every node
 	syncQuorum   int           // minimum reporters for a partial publish
+	quorumAuto   bool          // sync_quorum = auto: resolve via env.Adaptive
 
-	pending      []map[int64][]float64 // per node: unix-second -> counts
-	maxSeen      []int64               // per node: newest fetched second
-	nextEmit     int64                 // next second to resolve; 0 = unset
-	dropped      uint64                // timestamps dropped by the sync rule
-	partial      uint64                // timestamps published without all nodes
-	missing      []uint64              // per node: resolved seconds it missed
+	pending []map[int64][]float64 // per node: unix-second -> counts
+	maxSeen []int64               // per node: newest fetched second
+	// nextEmit is the next second to resolve (0 = unset). Atomic because it
+	// doubles as the replay watermark, read by the state snapshotter beside
+	// a running engine; all writes stay on the engine goroutine.
+	nextEmit     atomic.Int64
+	dropped      uint64   // timestamps dropped by the sync rule
+	partial      uint64   // timestamps published without all nodes
+	missing      []uint64 // per node: resolved seconds it missed
 	statesPerVec int
 
 	// Telemetry mirrors of the sync counters above (nil without
@@ -425,6 +486,7 @@ type hadoopLogModule struct {
 }
 
 func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
+	m.id = ctx.ID()
 	cfg := ctx.Config()
 	switch cfg.StringParam("kind", "") {
 	case "tasktracker":
@@ -468,8 +530,9 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	}
 	m.syncDeadline = rp.SyncDeadline
 	m.syncQuorum = rp.SyncQuorum
+	m.quorumAuto = rp.SyncQuorumAuto
 	if m.syncQuorum == 0 || m.syncQuorum > len(m.nodes) {
-		m.syncQuorum = len(m.nodes) // default: strict, all nodes
+		m.syncQuorum = len(m.nodes) // default (and auto baseline): strict
 	}
 
 	mode := cfg.StringParam("mode", "local")
@@ -572,7 +635,12 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 		m.fetched[i], m.errs[i] = m.sources[i].Fetch(now)
 		return m.errs[i]
 	})
+	if m.clients != nil {
+		open, total := countBreakers(m.clients)
+		m.env.Adaptive.ObserveBreakers(m.id, open, total)
+	}
 	var firstErr error
+	ne := m.nextEmit.Load()
 	for i := range m.sources {
 		vecs, err := m.fetched[i], m.errs[i]
 		m.fetched[i] = nil
@@ -585,23 +653,55 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 		}
 		for _, v := range vecs {
 			sec := v.Time.Unix()
-			if m.nextEmit != 0 && sec < m.nextEmit {
+			if ne != 0 && sec < ne {
 				// Already resolved: a restarted daemon replays its log
-				// from the start; re-served history must not rewind the
-				// emit cursor or double-publish.
+				// from the start (and a restarted control node resumes at
+				// its persisted watermark); re-served history must not
+				// rewind the emit cursor or double-publish.
 				continue
 			}
 			m.pending[i][sec] = v.Counts
 			if sec > m.maxSeen[i] {
 				m.maxSeen[i] = sec
 			}
-			if m.nextEmit == 0 || sec < m.nextEmit {
-				m.nextEmit = sec
+			if ne == 0 || sec < ne {
+				ne = sec
+				m.nextEmit.Store(sec)
 			}
 		}
 	}
 	m.emitSynchronized(now)
 	return firstErr
+}
+
+// ReplayWatermark reports the newest resolved second (the second before the
+// emit cursor); ok is false before the first resolution. Part of the
+// crash-safe state surface (internal/state).
+func (m *hadoopLogModule) ReplayWatermark() (time.Time, bool) {
+	ne := m.nextEmit.Load()
+	if ne == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(ne-1, 0).UTC(), true
+}
+
+// RestoreReplayWatermark arms the replay guard after a restart: the emit
+// cursor resumes just past t, so seconds a previous life already published
+// are refused even when the daemons re-serve them.
+func (m *hadoopLogModule) RestoreReplayWatermark(t time.Time) {
+	m.nextEmit.Store(t.Unix() + 1)
+}
+
+// ExportBreakerSnapshots snapshots per-node breaker state for persistence
+// (nil in local mode or with an unsupervised custom dialer).
+func (m *hadoopLogModule) ExportBreakerSnapshots() map[string]rpc.BreakerSnapshot {
+	return exportBreakers(m.clients)
+}
+
+// ImportBreakerSnapshots restores persisted breaker state, staggering
+// re-probes of non-closed breakers through plan.
+func (m *hadoopLogModule) ImportBreakerSnapshots(snaps map[string]rpc.BreakerSnapshot, plan *rpc.ProbePlanner) int {
+	return importBreakers(m.clients, snaps, plan)
 }
 
 // emitSynchronized resolves pending seconds in order. A second is resolved
@@ -613,8 +713,17 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 // dropped otherwise. Resolution stops at the first non-final second so
 // samples always flow downstream in timestamp order.
 func (m *hadoopLogModule) emitSynchronized(now time.Time) {
-	if m.nextEmit == 0 {
+	ne := m.nextEmit.Load()
+	if ne == 0 {
 		return
+	}
+	quorum := m.syncQuorum
+	if m.quorumAuto {
+		// sync_quorum = auto: the adaptive controller derives the quorum
+		// from this instance's live open-breaker count (strict while the
+		// controller is relaxed or absent).
+		open, _ := countBreakers(m.clients)
+		quorum = m.env.Adaptive.EffectiveQuorum(m.id, len(m.nodes), open)
 	}
 	// frontier: newest second every node has reached (-1 while some node
 	// has revealed nothing). newest: newest second any node has reached.
@@ -641,7 +750,7 @@ func (m *hadoopLogModule) emitSynchronized(now time.Time) {
 		top = newest // never resolve ahead of all data
 	}
 
-	for sec := m.nextEmit; sec <= top; sec++ {
+	for sec := ne; sec <= top; sec++ {
 		have := 0
 		for i := range m.pending {
 			if _, ok := m.pending[i][sec]; ok {
@@ -655,7 +764,7 @@ func (m *hadoopLogModule) emitSynchronized(now time.Time) {
 		if !final {
 			break // must keep waiting; later seconds stay queued too
 		}
-		emit := complete || have >= m.syncQuorum
+		emit := complete || have >= quorum
 		t := time.Unix(sec, 0).UTC()
 		for i := range m.pending {
 			counts, ok := m.pending[i][sec]
@@ -680,7 +789,7 @@ func (m *hadoopLogModule) emitSynchronized(now time.Time) {
 			m.dropped++
 			m.mDropped.Inc()
 		}
-		m.nextEmit = sec + 1
+		m.nextEmit.Store(sec + 1)
 	}
 }
 

@@ -66,6 +66,13 @@ type Env struct {
 	// engine was built with (core.WithTelemetry) so one scrape covers the
 	// whole control node.
 	Metrics *telemetry.Registry
+	// Adaptive, when non-nil, is the adaptive degradation controller:
+	// rpc-mode collection modules feed it per-sweep open-breaker counts,
+	// and instances configured with sync_quorum = auto resolve their
+	// effective quorum through it (degrade = auto instances resolve their
+	// gap-fill policy through the same controller via the engine's
+	// core.WithDegradeResolver option). Nil keeps strict behaviour.
+	Adaptive *AdaptiveController
 	// Actions are the named mitigations available to action modules
 	// (§5 of the paper: active mitigation once a problem is detected).
 	// Each maps a fingerpointed node name to a recovery step, e.g.

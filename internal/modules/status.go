@@ -7,6 +7,7 @@ import (
 
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/rpc"
+	"github.com/asdf-project/asdf/internal/state"
 )
 
 // The operator status surface: a StatusReport aggregates, per engine, the
@@ -50,6 +51,13 @@ type SyncReporter interface {
 	PartialTimestamps() uint64
 	DroppedTimestamps() uint64
 	MissingByNode() map[string]uint64
+}
+
+// RestartReporter is implemented by engine views wrapping a crash-safe
+// state manager (cmd/asdf with -state-file): RestartStatus reports the
+// snapshot/restore accounting, ok false when no state file is configured.
+type RestartReporter interface {
+	RestartStatus() (state.RestartStatus, bool)
 }
 
 // ShardReporter is implemented by collection modules that partition their
@@ -113,12 +121,20 @@ type StatusReport struct {
 	// Shards maps instance id -> per-shard sweep accounting for every
 	// collection module running two or more shards.
 	Shards map[string][]ShardStatus `json:"shards,omitempty"`
+	// Restart is the crash-safe state layer's snapshot/restore accounting;
+	// absent when the control node runs without a -state-file.
+	Restart *state.RestartStatus `json:"restart,omitempty"`
 }
 
 // CollectStatus assembles a StatusReport from a live engine (or, inside a
 // module Run, from its RunContext).
 func CollectStatus(v EngineView, now time.Time) StatusReport {
 	rep := StatusReport{Time: now, Healthy: true}
+	if rr, ok := v.(RestartReporter); ok {
+		if rs, ok := rr.RestartStatus(); ok {
+			rep.Restart = &rs
+		}
+	}
 	rep.Instances = v.SupervisorSnapshots()
 	for _, ih := range rep.Instances {
 		if ih.State != core.SupervisorHealthy || ih.Wedged {

@@ -1,0 +1,134 @@
+package rpc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerSnapshot is the persistable circuit-breaker state of one managed
+// connection, written into the control node's crash-safe state file so a
+// restart does not reset breaker history or re-probe every known-dead node
+// at once. It round-trips through JSON.
+type BreakerSnapshot struct {
+	Addr                string       `json:"addr"`
+	State               BreakerState `json:"state"`
+	ConsecutiveFailures int          `json:"consecutive_failures,omitempty"`
+	TotalFailures       uint64       `json:"total_failures,omitempty"`
+	Reconnects          uint64       `json:"reconnects,omitempty"`
+	LastError           string       `json:"last_error,omitempty"`
+	LastErrorAt         time.Time    `json:"last_error_at,omitempty"`
+	StateChangedAt      time.Time    `json:"state_changed_at,omitempty"`
+	// CooldownUntil is when the open breaker would have allowed its next
+	// half-open probe. Informational on export; on import the probe time is
+	// re-planned (staggered) by the restorer.
+	CooldownUntil time.Time `json:"cooldown_until,omitempty"`
+}
+
+// ExportBreaker snapshots the breaker state for persistence.
+func (m *ManagedClient) ExportBreaker() BreakerSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := BreakerSnapshot{
+		Addr:                m.addr,
+		State:               m.state,
+		ConsecutiveFailures: m.fails,
+		TotalFailures:       m.totalFails,
+		Reconnects:          m.reconnects,
+		LastErrorAt:         m.lastErrAt,
+		StateChangedAt:      m.stateSince,
+		CooldownUntil:       m.cooldownAt,
+	}
+	if m.lastErr != nil {
+		s.LastError = m.lastErr.Error()
+	}
+	return s
+}
+
+// ImportBreaker restores persisted breaker state into a freshly constructed
+// client. Counters (total failures, reconnects) resume their lineage values
+// and are mirrored into the per-addr telemetry counters so a post-restart
+// scrape still agrees with Health().
+//
+// A snapshot that was Open or HalfOpen is restored as Open with its next
+// half-open probe at probeAt — the restorer staggers probeAt across clients
+// (see ProbePlanner) so a restart does not re-probe every known-dead node in
+// the same tick. A Closed snapshot keeps the breaker closed and probeAt is
+// ignored.
+func (m *ManagedClient) ImportBreaker(s BreakerSnapshot, probeAt time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fails = s.ConsecutiveFailures
+	m.totalFails = s.TotalFailures
+	m.reconnects = s.Reconnects
+	m.mFails.Add(s.TotalFailures)
+	m.mReconnects.Add(s.Reconnects)
+	if s.LastError != "" {
+		m.lastErr = errors.New(s.LastError)
+		m.lastErrAt = s.LastErrorAt
+	}
+	if s.State == BreakerClosed {
+		return
+	}
+	// Open and HalfOpen both reload as Open: a half-open probe's outcome was
+	// lost with the old process, so the conservative read is "still open".
+	// The existing do() gate turns it into a fresh half-open probe once
+	// probeAt passes.
+	m.toState(BreakerOpen, s.StateChangedAt)
+	m.cooldownAt = probeAt
+	// Let the probe actually dial at probeAt: clear any reconnect holdoff
+	// and start the backoff ladder over.
+	m.nextDialAt = time.Time{}
+	m.backoff = m.opt.ReconnectBackoff
+}
+
+// ProbePlanner staggers half-open re-probe times for breakers restored from
+// a snapshot. Restored-open breakers are assigned to consecutive slots of
+// Budget probes each; slot k's probes land at a jittered instant inside the
+// half-open window [base+k*Interval, base+(k+1)*Interval), so any one
+// interval window — and with Interval at or above the tick period, any one
+// tick — carries at most Budget probes instead of the full herd.
+type ProbePlanner struct {
+	mu       sync.Mutex
+	base     time.Time
+	interval time.Duration
+	budget   int
+	rand     func() float64
+	planned  int
+}
+
+// NewProbePlanner plans probes starting at base. interval <= 0 defaults to
+// 2s, budget <= 0 defaults to 4, rnd nil defaults to math/rand.Float64.
+func NewProbePlanner(base time.Time, interval time.Duration, budget int, rnd func() float64) *ProbePlanner {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if budget <= 0 {
+		budget = 4
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	return &ProbePlanner{base: base, interval: interval, budget: budget, rand: rnd}
+}
+
+// Next returns the probe time for the next restored breaker.
+func (p *ProbePlanner) Next() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	slot := p.planned / p.budget
+	p.planned++
+	jitter := time.Duration(p.rand() * float64(p.interval))
+	if jitter >= p.interval {
+		jitter = p.interval - 1
+	}
+	return p.base.Add(time.Duration(slot)*p.interval + jitter)
+}
+
+// Planned reports how many probes have been handed out.
+func (p *ProbePlanner) Planned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.planned
+}

@@ -1,0 +1,152 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProbePlannerBudgetPerWindow(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	interval := 2 * time.Second
+	const budget = 3
+	// Deterministic mid-slot jitter.
+	p := NewProbePlanner(base, interval, budget, func() float64 { return 0.5 })
+
+	const n = 20
+	perWindow := map[int]int{}
+	for i := 0; i < n; i++ {
+		at := p.Next()
+		if at.Before(base) {
+			t.Fatalf("probe %d planned before base: %v", i, at)
+		}
+		window := int(at.Sub(base) / interval)
+		perWindow[window]++
+	}
+	if p.Planned() != n {
+		t.Fatalf("Planned() = %d, want %d", p.Planned(), n)
+	}
+	for w, c := range perWindow {
+		if c > budget {
+			t.Errorf("window %d holds %d probes, budget %d", w, c, budget)
+		}
+	}
+	// The herd must actually spread: 20 probes at budget 3 need >= 7 windows.
+	if len(perWindow) < (n+budget-1)/budget {
+		t.Errorf("probes spread over %d windows, want >= %d", len(perWindow), (n+budget-1)/budget)
+	}
+}
+
+func TestProbePlannerJitterStaysInsideSlot(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	interval := time.Second
+	// Adversarial jitter at the top of the range must not spill into the
+	// next slot's window.
+	p := NewProbePlanner(base, interval, 1, func() float64 { return 0.999999999 })
+	for slot := 0; slot < 5; slot++ {
+		at := p.Next()
+		lo := base.Add(time.Duration(slot) * interval)
+		hi := lo.Add(interval)
+		if at.Before(lo) || !at.Before(hi) {
+			t.Errorf("slot %d probe at %v outside [%v, %v)", slot, at, lo, hi)
+		}
+	}
+}
+
+func TestProbePlannerDefaults(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	p := NewProbePlanner(base, 0, 0, nil)
+	if p.interval != 2*time.Second || p.budget != 4 {
+		t.Fatalf("defaults = (%v, %d), want (2s, 4)", p.interval, p.budget)
+	}
+	if at := p.Next(); at.Before(base) || !at.Before(base.Add(2*time.Second)) {
+		t.Fatalf("first default probe at %v outside first window", at)
+	}
+}
+
+func TestBreakerExportImportRoundTrip(t *testing.T) {
+	addr := refusedAddr(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	// Trip the breaker open: threshold 3 consecutive dial failures, with
+	// backoff advanced past between attempts.
+	for i := 0; i < 3; i++ {
+		_ = mc.Call("echo", nil, nil)
+		clk.advance(200 * time.Millisecond)
+	}
+	snap := mc.ExportBreaker()
+	if snap.State != BreakerOpen || snap.ConsecutiveFailures != 3 || snap.TotalFailures != 3 {
+		t.Fatalf("unexpected export after trip: %+v", snap)
+	}
+	if snap.Addr != addr || snap.LastError == "" || snap.CooldownUntil.IsZero() {
+		t.Fatalf("export missing context: %+v", snap)
+	}
+
+	// "Restart": a fresh client restored from the snapshot with a staggered
+	// probe time 5s out.
+	clk2 := newFakeClock()
+	probeAt := clk2.now().Add(5 * time.Second)
+	mc2 := NewManagedClient(addr, "test", managedOpts(clk2))
+	defer func() { _ = mc2.Close() }()
+	mc2.ImportBreaker(snap, probeAt)
+
+	h := mc2.Health()
+	if h.State != BreakerOpen || h.ConsecutiveFailures != 3 || h.TotalFailures != 3 {
+		t.Fatalf("restored health = %+v", h)
+	}
+	if h.LastError == "" {
+		t.Fatalf("restored client lost the last error")
+	}
+
+	// Before probeAt: fail fast, no dial.
+	if err := mc2.Call("echo", nil, nil); err == nil {
+		t.Fatal("call before probeAt should fail fast")
+	}
+	if h := mc2.Health(); h.State != BreakerOpen || h.TotalFailures != 3 {
+		t.Fatalf("pre-probe call changed state: %+v", h)
+	}
+
+	// At probeAt: the half-open probe dials (and fails against the refused
+	// addr, re-opening).
+	clk2.advance(5 * time.Second)
+	if err := mc2.Call("echo", nil, nil); err == nil {
+		t.Fatal("probe against refused addr should fail")
+	}
+	if h := mc2.Health(); h.State != BreakerOpen || h.TotalFailures != 4 {
+		t.Fatalf("failed probe should re-open with one more failure: %+v", h)
+	}
+}
+
+func TestBreakerImportClosedStateIsNoOp(t *testing.T) {
+	_, addr := newEchoServer(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	mc.ImportBreaker(BreakerSnapshot{Addr: addr, State: BreakerClosed, TotalFailures: 7, Reconnects: 2}, time.Time{})
+	h := mc.Health()
+	if h.State != BreakerClosed || h.TotalFailures != 7 || h.Reconnects != 2 {
+		t.Fatalf("closed import should keep breaker closed with lineage counters: %+v", h)
+	}
+	var out string
+	if err := mc.Call("echo", "hi", &out); err != nil || out != "hi" {
+		t.Fatalf("closed restored client should call through: %v %q", err, out)
+	}
+}
+
+func TestBreakerImportHalfOpenReloadsAsOpen(t *testing.T) {
+	addr := refusedAddr(t)
+	clk := newFakeClock()
+	mc := NewManagedClient(addr, "test", managedOpts(clk))
+	defer func() { _ = mc.Close() }()
+
+	probeAt := clk.now().Add(3 * time.Second)
+	mc.ImportBreaker(BreakerSnapshot{Addr: addr, State: BreakerHalfOpen, ConsecutiveFailures: 4}, probeAt)
+	if h := mc.Health(); h.State != BreakerOpen {
+		t.Fatalf("half-open snapshot should reload as open, got %v", h.State)
+	}
+	if err := mc.Call("echo", nil, nil); err == nil {
+		t.Fatal("call before planned probe should fail fast")
+	}
+}

@@ -1,0 +1,89 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// fileLock is a PID-based advisory lock guarding one state file: two control
+// nodes sharing a -state-file would corrupt each other's snapshots and
+// double-restore breaker probes, so the second refuses to start.
+type fileLock struct {
+	path string
+}
+
+// acquireLock takes the lock at lockPath for this process. A lock held by a
+// live PID is an error naming that PID; a lock left behind by a dead PID
+// (a crashed control node — the normal kill -9 case) is reclaimed with a
+// warning through logf. reclaimed reports whether a stale lock was taken
+// over.
+func acquireLock(lockPath string, logf func(format string, args ...any)) (lk *fileLock, reclaimed bool, err error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(lockPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				_ = os.Remove(lockPath)
+				return nil, reclaimed, fmt.Errorf("state: write lock %s: %w", lockPath, werr)
+			}
+			return &fileLock{path: lockPath}, reclaimed, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, reclaimed, fmt.Errorf("state: create lock %s: %w", lockPath, err)
+		}
+		// The lock exists: live owner → refuse; dead owner → reclaim.
+		raw, rerr := os.ReadFile(lockPath)
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				continue // released between our create and read; retry
+			}
+			return nil, reclaimed, fmt.Errorf("state: read lock %s: %w", lockPath, rerr)
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr == nil && pidAlive(pid) {
+			return nil, reclaimed, fmt.Errorf(
+				"state: %s is locked by running process (pid %d); refusing to start a second control node on the same state file",
+				lockPath, pid)
+		}
+		if perr == nil {
+			logf("state: reclaiming stale lock %s (pid %d is dead)", lockPath, pid)
+		} else {
+			logf("state: reclaiming malformed lock %s (%q)", lockPath, strings.TrimSpace(string(raw)))
+		}
+		reclaimed = true
+		if rmerr := os.Remove(lockPath); rmerr != nil && !errors.Is(rmerr, os.ErrNotExist) {
+			return nil, reclaimed, fmt.Errorf("state: reclaim lock %s: %w", lockPath, rmerr)
+		}
+	}
+	return nil, reclaimed, fmt.Errorf("state: could not acquire lock %s after repeated contention", lockPath)
+}
+
+// release removes the lock file. Safe to call more than once.
+func (l *fileLock) release() error {
+	if l == nil {
+		return nil
+	}
+	err := os.Remove(l.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// pidAlive reports whether pid names a live process. Signal 0 probes
+// existence without delivering anything; EPERM still proves the process
+// exists.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

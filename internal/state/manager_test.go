@@ -1,0 +1,295 @@
+package state
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/rpc"
+	"github.com/asdf-project/asdf/internal/telemetry"
+)
+
+// fakeCollector is a module carrying breaker and watermark state, standing
+// in for the rpc-mode collectors.
+type fakeCollector struct {
+	breakers  map[string]rpc.BreakerSnapshot
+	watermark time.Time
+
+	importedSnaps map[string]rpc.BreakerSnapshot
+	probeTimes    []time.Time
+	restoredWm    time.Time
+}
+
+func (m *fakeCollector) Init(*core.InitContext) error { return nil }
+func (m *fakeCollector) Run(*core.RunContext) error   { return nil }
+
+func (m *fakeCollector) ExportBreakerSnapshots() map[string]rpc.BreakerSnapshot {
+	return m.breakers
+}
+
+func (m *fakeCollector) ImportBreakerSnapshots(snaps map[string]rpc.BreakerSnapshot, plan *rpc.ProbePlanner) int {
+	m.importedSnaps = snaps
+	n := 0
+	for _, s := range snaps {
+		if s.State != rpc.BreakerClosed {
+			m.probeTimes = append(m.probeTimes, plan.Next())
+		}
+		n++
+	}
+	return n
+}
+
+func (m *fakeCollector) ReplayWatermark() (time.Time, bool) {
+	return m.watermark, !m.watermark.IsZero()
+}
+
+func (m *fakeCollector) RestoreReplayWatermark(t time.Time) { m.restoredWm = t }
+
+// fakeEngine satisfies the Engine interface without a real DAG.
+type fakeEngine struct {
+	ids      []string
+	mods     map[string]core.Module
+	sups     []core.InstanceHealth
+	restored []core.InstanceHealth
+}
+
+func (e *fakeEngine) Instances() []string { return e.ids }
+func (e *fakeEngine) ModuleOf(id string) (core.Module, bool) {
+	m, ok := e.mods[id]
+	return m, ok
+}
+func (e *fakeEngine) SupervisorSnapshots() []core.InstanceHealth { return e.sups }
+func (e *fakeEngine) RestoreSupervisors(s []core.InstanceHealth) int {
+	e.restored = s
+	return len(s)
+}
+
+func newFakeEngine() (*fakeEngine, *fakeCollector) {
+	col := &fakeCollector{
+		breakers: map[string]rpc.BreakerSnapshot{
+			"127.0.0.1:9001": {Addr: "127.0.0.1:9001", State: rpc.BreakerOpen, TotalFailures: 8},
+			"127.0.0.1:9002": {Addr: "127.0.0.1:9002", State: rpc.BreakerClosed},
+		},
+		watermark: t0().Add(14 * time.Second),
+	}
+	eng := &fakeEngine{
+		ids:  []string{"hl", "sink"},
+		mods: map[string]core.Module{"hl": col, "sink": &fakeCollector{}},
+		sups: []core.InstanceHealth{
+			{ID: "hl", State: core.SupervisorQuarantined, ReopenAt: t0().Add(30 * time.Second)},
+			{ID: "sink"},
+		},
+	}
+	return eng, col
+}
+
+func TestManagerSnapshotRestoreCycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	clock := t0()
+
+	// First life: fresh boot, one snapshot, graceful close.
+	eng1, _ := newFakeEngine()
+	mgr1, err := Open(eng1, Options{Path: path, Clock: func() time.Time { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mgr1.Status()
+	if st.Restarts != 0 || st.RestoredSupervisors != 0 {
+		t.Fatalf("fresh boot status = %+v", st)
+	}
+	if w, ok := st.ReplayWatermarks["hl"]; !ok || !w.Equal(t0().Add(14*time.Second)) {
+		t.Fatalf("live watermark missing from status: %+v", st.ReplayWatermarks)
+	}
+	if err := mgr1.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".lock"); !os.IsNotExist(err) {
+		t.Fatal("lock not released by Close")
+	}
+
+	// Second life: restore.
+	eng2, col2 := newFakeEngine()
+	col2.watermark = time.Time{} // fresh collector: watermark comes from the snapshot
+	mgr2, err := Open(eng2, Options{Path: path, Clock: func() time.Time { return clock },
+		ProbeBudget: 1, ProbeInterval: time.Second, Rand: func() float64 { return 0.5 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr2.Close() }()
+	st = mgr2.Status()
+	if st.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", st.Restarts)
+	}
+	if st.RestoredSupervisors != 2 || len(eng2.restored) != 2 {
+		t.Errorf("restored supervisors = %d (%d records), want 2", st.RestoredSupervisors, len(eng2.restored))
+	}
+	if eng2.restored[0].ID != "hl" || !eng2.restored[0].ReopenAt.Equal(t0().Add(30*time.Second)) {
+		t.Errorf("supervisor record mangled: %+v", eng2.restored[0])
+	}
+	// Both collector modules implement BreakerImporter; each sees the full
+	// per-addr map (2 addrs each, matched by address inside the module).
+	if st.RestoredBreakers != 4 || len(col2.importedSnaps) != 2 {
+		t.Errorf("restored breakers = %d, imported map %d addrs", st.RestoredBreakers, len(col2.importedSnaps))
+	}
+	if got := col2.importedSnaps["127.0.0.1:9001"]; got.State != rpc.BreakerOpen || got.TotalFailures != 8 {
+		t.Errorf("imported breaker mangled: %+v", got)
+	}
+	if len(col2.probeTimes) != 1 || col2.probeTimes[0].Before(clock) {
+		t.Errorf("open breaker probe not planned: %v", col2.probeTimes)
+	}
+	if st.RestoredWatermarks != 1 || !col2.restoredWm.Equal(t0().Add(14*time.Second)) {
+		t.Errorf("watermark not restored: %d, %v", st.RestoredWatermarks, col2.restoredWm)
+	}
+
+	// Third life after mgr2's close: restarts counts the lineage.
+	if err := mgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng3, _ := newFakeEngine()
+	mgr3, err := Open(eng3, Options{Path: path, Clock: func() time.Time { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr3.Close() }()
+	if got := mgr3.Status().Restarts; got != 2 {
+		t.Errorf("third-life restarts = %d, want 2", got)
+	}
+}
+
+func TestManagerQuarantinesCorruptSnapshotAndBootsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	if err := os.WriteFile(path, []byte("ASDFSTATE v1 crc=deadbeef len=2\n{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	eng, _ := newFakeEngine()
+	mgr, err := Open(eng, Options{Path: path, Clock: func() time.Time { return t0() },
+		Logf: func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) }})
+	if err != nil {
+		t.Fatalf("corrupt snapshot must not block boot: %v", err)
+	}
+	defer func() { _ = mgr.Close() }()
+	st := mgr.Status()
+	if !st.SnapshotQuarantined || st.Restarts != 0 {
+		t.Errorf("status = %+v, want quarantined fresh boot", st)
+	}
+	if len(eng.restored) != 0 {
+		t.Error("corrupt snapshot must not restore anything")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt file not quarantined aside: %v", err)
+	}
+	if len(logged) == 0 || !strings.Contains(strings.Join(logged, "\n"), ".corrupt") {
+		t.Errorf("quarantine not logged: %v", logged)
+	}
+}
+
+func TestManagerRefusesLockHeldByLivePID(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	// This test process is the live owner.
+	if err := os.WriteFile(path+".lock", []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := newFakeEngine()
+	_, err := Open(eng, Options{Path: path})
+	if err == nil {
+		t.Fatal("Open must refuse a lock held by a live process")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("pid %d", os.Getpid())) {
+		t.Errorf("error does not name the owning PID: %v", err)
+	}
+}
+
+func TestManagerReclaimsStaleLock(t *testing.T) {
+	// A just-reaped child is a real dead PID.
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot spawn child: %v", err)
+	}
+	deadPID := cmd.Process.Pid
+	if pidAlive(deadPID) {
+		t.Skipf("pid %d unexpectedly alive (reused)", deadPID)
+	}
+
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	if err := os.WriteFile(path+".lock", []byte(fmt.Sprintf("%d\n", deadPID)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	eng, _ := newFakeEngine()
+	mgr, err := Open(eng, Options{Path: path,
+		Logf: func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) }})
+	if err != nil {
+		t.Fatalf("stale lock must be reclaimed: %v", err)
+	}
+	defer func() { _ = mgr.Close() }()
+	if !mgr.Status().LockReclaimed {
+		t.Error("LockReclaimed not reported")
+	}
+	joined := strings.Join(logged, "\n")
+	if !strings.Contains(joined, "stale lock") || !strings.Contains(joined, fmt.Sprint(deadPID)) {
+		t.Errorf("reclaim warning missing or anonymous: %v", logged)
+	}
+}
+
+func TestManagerMetricsMatchStatus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	clock := t0()
+
+	// Seed a snapshot so the second life has restore counts.
+	eng1, _ := newFakeEngine()
+	mgr1, err := Open(eng1, Options{Path: path, Clock: func() time.Time { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	eng2, _ := newFakeEngine()
+	mgr2, err := Open(eng2, Options{Path: path, Clock: func() time.Time { return clock }, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr2.Close() }()
+	if err := mgr2.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	scraped, err := telemetry.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mgr2.Status()
+	for name, want := range map[string]float64{
+		"asdf_state_restarts":                   float64(st.Restarts),
+		"asdf_state_snapshots_written_total":    float64(st.SnapshotsWritten),
+		"asdf_state_snapshot_bytes":             float64(st.SnapshotBytes),
+		"asdf_state_last_snapshot_unix_seconds": float64(st.LastSnapshotAt.Unix()),
+		"asdf_state_restored_supervisors":       float64(st.RestoredSupervisors),
+		"asdf_state_restored_breakers":          float64(st.RestoredBreakers),
+		"asdf_state_restored_watermarks":        float64(st.RestoredWatermarks),
+	} {
+		got, ok := scraped[name]
+		if !ok {
+			t.Errorf("metric %s not exposed", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("metric %s = %v, status says %v", name, got, want)
+		}
+	}
+}

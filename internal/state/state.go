@@ -1,0 +1,170 @@
+// Package state is the control node's crash-safe state layer. It persists a
+// versioned, checksummed snapshot of the runtime state that must survive a
+// restart — per-instance supervisor state (failure budgets and quarantine
+// deadlines), per-addr circuit-breaker state from the collection plane, and
+// the per-collector replay watermark — and restores it on boot so a rolling
+// restart neither resets quarantine/breaker history nor re-probes every
+// known-dead node at once.
+//
+// The file format is one ASCII header line followed by a JSON payload:
+//
+//	ASDFSTATE v1 crc=<crc32-ieee hex> len=<payload bytes>\n
+//	{ ... }
+//
+// Writes are atomic (tmp + rename, same discipline as the bench reports); a
+// snapshot that fails its checksum or decode on load is quarantined aside as
+// <path>.corrupt and the node boots fresh instead of crashing.
+package state
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+// magic identifies a state file; the version suffix gates decoding.
+const magic = "ASDFSTATE"
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// Snapshot is the persisted control-node state.
+type Snapshot struct {
+	// SavedAt is the (engine) clock time of the write.
+	SavedAt time.Time `json:"saved_at"`
+	// Restarts counts restores across the file's lineage: 0 for a process
+	// that booted fresh, incremented each time a snapshot is loaded.
+	Restarts uint64 `json:"restarts"`
+	// Supervisors is every instance's supervisor snapshot.
+	Supervisors []core.InstanceHealth `json:"supervisors,omitempty"`
+	// Breakers is the per-addr circuit-breaker state of the collection
+	// plane.
+	Breakers map[string]rpc.BreakerSnapshot `json:"breakers,omitempty"`
+	// Watermarks is the per-collector replay guard: the newest timestamp
+	// each collector instance has published. After a restart the collector
+	// refuses to re-publish ticks at or before its watermark.
+	Watermarks map[string]time.Time `json:"watermarks,omitempty"`
+}
+
+// CorruptError reports a state file that exists but cannot be trusted: bad
+// header, checksum mismatch, truncation, or a JSON decode failure.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("state: corrupt snapshot %s: %s", e.Path, e.Reason)
+}
+
+// Save writes the snapshot to path atomically: marshal, checksum, write to
+// path.tmp, fsync, rename. It returns the total file size written.
+func Save(path string, snap *Snapshot) (int64, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return 0, fmt.Errorf("state: encode snapshot: %w", err)
+	}
+	header := fmt.Sprintf("%s v%d crc=%08x len=%d\n",
+		magic, Version, crc32.ChecksumIEEE(payload), len(payload))
+	buf := make([]byte, 0, len(header)+len(payload))
+	buf = append(buf, header...)
+	buf = append(buf, payload...)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("state: write snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("state: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("state: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("state: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("state: publish snapshot: %w", err)
+	}
+	return int64(len(buf)), nil
+}
+
+// Load reads and verifies the snapshot at path. A missing file returns
+// (nil, fs.ErrNotExist-wrapping error); any malformed content returns a
+// *CorruptError so the caller can quarantine the file aside and boot fresh.
+func Load(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, &CorruptError{Path: path, Reason: "missing header line"}
+	}
+	header, payload := string(raw[:nl]), raw[nl+1:]
+	var version int
+	var sum uint32
+	var length int
+	if _, err := fmt.Sscanf(header, magic+" v%d crc=%x len=%d", &version, &sum, &length); err != nil {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("bad header %q", header)}
+	}
+	if version != Version {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("unsupported version %d", version)}
+	}
+	if len(payload) != length {
+		return nil, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("truncated payload: %d bytes, header says %d", len(payload), length)}
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("checksum mismatch: payload %08x, header %08x", got, sum)}
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("decode: %v", err)}
+	}
+	return &snap, nil
+}
+
+// QuarantineCorrupt moves a corrupt state file aside as <path>.corrupt
+// (overwriting a previous quarantined file) so the next boot starts fresh
+// while the evidence survives for inspection. It returns the quarantine
+// path.
+func QuarantineCorrupt(path string) (string, error) {
+	aside := path + ".corrupt"
+	if err := os.Rename(path, aside); err != nil {
+		return "", fmt.Errorf("state: quarantine corrupt snapshot: %w", err)
+	}
+	return aside, nil
+}
+
+// IsCorrupt reports whether err marks an untrustworthy (rather than merely
+// absent) state file.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// ensureDir creates the parent directory of path if needed.
+func ensureDir(path string) error {
+	dir := filepath.Dir(path)
+	if dir == "" || dir == "." {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}

@@ -1,0 +1,154 @@
+package state
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/rpc"
+)
+
+func t0() time.Time { return time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		SavedAt:  t0(),
+		Restarts: 2,
+		Supervisors: []core.InstanceHealth{
+			{ID: "hl", State: core.SupervisorQuarantined, TotalFailures: 4, Errors: 4,
+				ConsecutiveFailures: 4, Quarantines: 1, ReopenAt: t0().Add(30 * time.Second)},
+			{ID: "sink", State: core.SupervisorHealthy},
+		},
+		Breakers: map[string]rpc.BreakerSnapshot{
+			"127.0.0.1:9001": {Addr: "127.0.0.1:9001", State: rpc.BreakerOpen,
+				ConsecutiveFailures: 5, TotalFailures: 12, LastError: "connection refused"},
+			"127.0.0.1:9002": {Addr: "127.0.0.1:9002", State: rpc.BreakerClosed, Reconnects: 1},
+		},
+		Watermarks: map[string]time.Time{"hl": t0().Add(14 * time.Second)},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	want := sampleSnapshot()
+	size, err := Save(path, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != size {
+		t.Fatalf("reported size %d, stat %v %v", size, fi, err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Restarts != 2 || !got.SavedAt.Equal(want.SavedAt) {
+		t.Errorf("header fields: %+v", got)
+	}
+	if len(got.Supervisors) != 2 || got.Supervisors[0].ID != "hl" ||
+		got.Supervisors[0].State != core.SupervisorQuarantined ||
+		!got.Supervisors[0].ReopenAt.Equal(want.Supervisors[0].ReopenAt) {
+		t.Errorf("supervisors did not round-trip: %+v", got.Supervisors)
+	}
+	b := got.Breakers["127.0.0.1:9001"]
+	if b.State != rpc.BreakerOpen || b.TotalFailures != 12 || b.LastError != "connection refused" {
+		t.Errorf("breakers did not round-trip: %+v", b)
+	}
+	if !got.Watermarks["hl"].Equal(want.Watermarks["hl"]) {
+		t.Errorf("watermarks did not round-trip: %+v", got.Watermarks)
+	}
+	// No stray tmp file.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("tmp file left behind: %v", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.state"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+	if IsCorrupt(err) {
+		t.Fatal("a missing file is not corrupt")
+	}
+}
+
+func TestLoadBitFlipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	if _, err := Save(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the JSON payload.
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if !IsCorrupt(err) {
+		t.Fatalf("bit-flipped snapshot loaded: %v", err)
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	if _, err := Save(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(raw) - 7, len(raw) / 2, 5} {
+		if err := os.WriteFile(path, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); !IsCorrupt(err) {
+			t.Errorf("truncated-to-%d snapshot loaded: %v", keep, err)
+		}
+	}
+}
+
+func TestLoadBadHeaderAndVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "asdf.state")
+	for name, content := range map[string]string{
+		"garbage":        "not a state file at all\n{}",
+		"wrong-magic":    "WRONGMAGIC v1 crc=00000000 len=2\n{}",
+		"future-version": "ASDFSTATE v99 crc=00000000 len=2\n{}",
+		"no-newline":     "ASDFSTATE v1",
+	} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); !IsCorrupt(err) {
+			t.Errorf("%s: want CorruptError, got %v", name, err)
+		}
+	}
+}
+
+func TestQuarantineCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "asdf.state")
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	aside, err := QuarantineCorrupt(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aside != path+".corrupt" {
+		t.Errorf("aside = %q", aside)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("original path still present")
+	}
+	if raw, err := os.ReadFile(aside); err != nil || string(raw) != "junk" {
+		t.Errorf("quarantined evidence = %q, %v", raw, err)
+	}
+}
