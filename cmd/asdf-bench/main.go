@@ -30,12 +30,13 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("asdf-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table3 | table4 | fig6a | fig6b | fig7a | fig7b | ablation | workload | shardscale | wire | detect | all")
+	experiment := fs.String("experiment", "all", "table3 | table4 | fig6a | fig6b | fig7a | fig7b | ablation | workload | shardscale | hier | wire | detect | all")
 	slaves := fs.Int("slaves", 0, "cluster size (0 = default)")
 	seed := fs.Int64("seed", 0, "base seed (0 = default)")
 	duration := fs.Int("duration", 0, "fault-run seconds (0 = default)")
 	csvOut := fs.String("csv", "", "directory to also write each exhibit's data as CSV (for plotting)")
 	shardJSON := fs.String("shard-json", "BENCH_shard.json", "output path for the shardscale experiment's JSON result")
+	hierJSON := fs.String("hier-json", "BENCH_hier.json", "output path for the hier experiment's JSON result")
 	wireJSON := fs.String("wire-json", "BENCH_wire.json", "output path for the wire experiment's JSON result")
 	detectJSON := fs.String("detect-json", "BENCH_detect.json", "output path for the detect experiment's JSON report")
 	detectMode := fs.String("detect-mode", "full", "detect matrix sizing: full | reduced (the CI gate uses reduced)")
@@ -86,6 +87,7 @@ func run(args []string) int {
 		"ablation":   func() error { return runAblation(opts, model) },
 		"workload":   func() error { return runWorkload(opts, model) },
 		"shardscale": func() error { return runShardScale(*shardJSON) },
+		"hier":       func() error { return runHierScale(*hierJSON) },
 		"wire":       func() error { return runWire(*wireJSON) },
 		"detect":     func() error { return runDetect(*detectJSON, *detectMode) },
 	}
@@ -330,6 +332,44 @@ func runShardScale(jsonPath string) error {
 			Ticks        int                    `json:"ticks"`
 			Points       []eval.ShardScalePoint `json:"points"`
 		}{"shardscale", cfg.RPCLatency.Microseconds(), cfg.Ticks, points}
+		if err := writeReportAtomic(jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+	return nil
+}
+
+// runHierScale measures the hierarchical collection plane's per-tick
+// latency — the fleet delegated to 2/4/8 shard leaders — against the
+// single-process sweep at growing cluster sizes and writes the result as
+// JSON (the committed BENCH_hier.json artifact).
+func runHierScale(jsonPath string) error {
+	cfg := eval.DefaultHierScaleConfig()
+	points, err := eval.MeasureHierScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Hierarchy scaling: per-tick collection latency, single process vs shard leaders ===")
+	fmt.Printf("(simulated daemons %v away; each leader sweeps with %d workers; columnar root hop)\n",
+		cfg.RPCLatency, cfg.LeaderFanout)
+	fmt.Printf("%-8s %8s %14s %10s\n", "nodes", "leaders", "per-tick ms", "speedup")
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		fmt.Printf("%-8d %8d %14.2f %9.1fx\n", p.Nodes, p.Leaders, p.PerTickMs, p.SpeedupVsSingle)
+		rows = append(rows, []string{fmt.Sprint(p.Nodes), fmt.Sprint(p.Leaders),
+			fmt.Sprintf("%.3f", p.PerTickMs), fmt.Sprintf("%.2f", p.SpeedupVsSingle)})
+	}
+	writeCSV("hierscale.csv", []string{"nodes", "leaders", "per_tick_ms", "speedup"}, rows)
+	fmt.Println("shape target: leader fleets hold per-tick latency roughly flat as nodes grow; clear win at >= 1024 nodes.")
+	if jsonPath != "" {
+		out := struct {
+			Experiment   string                `json:"experiment"`
+			RPCLatencyUS int64                 `json:"rpc_latency_us"`
+			LeaderFanout int                   `json:"leader_fanout"`
+			Ticks        int                   `json:"ticks"`
+			Points       []eval.HierScalePoint `json:"points"`
+		}{"hier", cfg.RPCLatency.Microseconds(), cfg.LeaderFanout, cfg.Ticks, points}
 		if err := writeReportAtomic(jsonPath, out); err != nil {
 			return err
 		}

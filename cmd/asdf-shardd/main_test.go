@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nonsense"}); code != 2 {
+		t.Errorf("exit with bad flag = %d, want 2", code)
+	}
+}
+
+func TestRunMissingNodes(t *testing.T) {
+	if code := run([]string{"-listen", "127.0.0.1:0"}); code != 2 {
+		t.Errorf("exit without -nodes = %d, want 2", code)
+	}
+}
+
+func TestRunBadHlogKind(t *testing.T) {
+	if code := run([]string{"-nodes", "n0", "-hlog-kind", "jobtracker"}); code != 2 {
+		t.Errorf("exit with bad -hlog-kind = %d, want 2", code)
+	}
+}
+
+func TestRunMismatchedAddrs(t *testing.T) {
+	// Two nodes but only one daemon address: NewLeader must reject it.
+	if code := run([]string{"-nodes", "n0,n1", "-sadc-addrs", "127.0.0.1:1"}); code != 2 {
+		t.Errorf("exit with mismatched -sadc-addrs = %d, want 2", code)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, ,b ,")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList = %v, want [a b]", got)
+	}
+}

@@ -281,6 +281,37 @@ func render(w io.Writer, rep modules.StatusReport, prev *modules.StatusReport, i
 		_ = tw.Flush()
 	}
 
+	if len(rep.Leaders) > 0 {
+		fmt.Fprintln(w, "\nLEADERS")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "INSTANCE\tLEADER\tRANGE\tNODES\tWIRE\tCONNECTED\tPARTIALS\tERRORS\tRECONN\tLDR SWEEPS\tLDR ERRS\tLDR BRK")
+		for _, inst := range sortedKeys(rep.Leaders) {
+			for _, ls := range rep.Leaders[inst] {
+				var partialsPrev, errsPrev uint64
+				havePrev := false
+				if prev != nil {
+					for _, ps := range prev.Leaders[inst] {
+						if ps.Addr == ls.Addr {
+							partialsPrev, errsPrev = ps.Partials, ps.Errors
+							havePrev = true
+							break
+						}
+					}
+				}
+				connected := "-"
+				if ls.Health != nil {
+					connected = fmt.Sprintf("%v", ls.Health.Connected)
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
+					inst, ls.Addr, ls.Range, ls.Nodes, ls.Wire, connected,
+					delta(ls.Partials, partialsPrev, havePrev),
+					delta(ls.Errors, errsPrev, havePrev),
+					ls.Restarts, ls.LeaderSweeps, ls.LeaderNodeErrors, ls.LeaderOpenBreakers)
+			}
+		}
+		_ = tw.Flush()
+	}
+
 	if len(rep.Sync) > 0 {
 		fmt.Fprintln(w, "\nSYNC")
 		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

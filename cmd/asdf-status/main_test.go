@@ -51,6 +51,14 @@ func sampleReport() modules.StatusReport {
 					LastErrors: 1, LastSweepSeconds: 0.0101, OpenBreakers: 1},
 			},
 		},
+		Leaders: map[string][]modules.LeaderStatus{
+			"collector": {
+				{Addr: "10.0.0.9:7411", Range: "0-64", Nodes: 64, Wire: "columnar",
+					Health:   &rpc.Health{Addr: "10.0.0.9:7411", Connected: true},
+					Partials: 40, Errors: 2, Restarts: 1,
+					LeaderSweeps: 40, LeaderNodeErrors: 3, LeaderOpenBreakers: 1},
+			},
+		},
 		Sync: map[string]modules.SyncStatus{
 			"logs": {
 				Partial: 3,
@@ -74,6 +82,7 @@ func TestRenderTables(t *testing.T) {
 		"sink", "healthy",
 		"BREAKERS", "node1:9999", "open", "SENT B", "62000",
 		"SHARDS", "10.1ms",
+		"LEADERS", "10.0.0.9:7411", "0-64", "columnar",
 		"SYNC", "logs", "node1:3",
 	} {
 		if !strings.Contains(out, want) {
@@ -134,11 +143,12 @@ func TestRenderDeltas(t *testing.T) {
 	}()
 	cur.Sync["logs"] = modules.SyncStatus{Partial: 3, Dropped: 4} // dropped +3
 	cur.Shards["collector"][1].Errors = 10                        // +4 over prev's 6
+	cur.Leaders["collector"][0].Partials = 46                     // +6 over prev's 40
 
 	var buf bytes.Buffer
 	render(&buf, cur, &prev, time.Second)
 	out := buf.String()
-	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)", "10(+4)", "5400(+400)", "62900(+900)"} {
+	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)", "10(+4)", "5400(+400)", "62900(+900)", "46(+6)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing delta %q:\n%s", want, out)
 		}

@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureHierScaling runs a scaled-down hierarchy measurement and
+// checks the latency-bound arithmetic: delegating the fleet to concurrent
+// leaders must beat the single-process sweep once nodes far exceed the
+// default fanout, despite the extra root→leader hop.
+func TestMeasureHierScaling(t *testing.T) {
+	cfg := HierScaleConfig{
+		NodeCounts:   []int{128},
+		LeaderCounts: []int{4},
+		LeaderFanout: 16,
+		RPCLatency:   300 * time.Microsecond,
+		Ticks:        5,
+	}
+	points, err := MeasureHierScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2 (single + 4-leader)", len(points))
+	}
+	single, hier := points[0], points[1]
+	if single.Leaders != 0 || single.SpeedupVsSingle != 1 {
+		t.Errorf("single cell = %+v", single)
+	}
+	if hier.Leaders != 4 || hier.Nodes != 128 {
+		t.Errorf("hier cell = %+v", hier)
+	}
+	if single.PerTickMs <= 0 || hier.PerTickMs <= 0 {
+		t.Fatalf("non-positive timings: %+v %+v", single, hier)
+	}
+	// 128 nodes: 8 serial waves of 16 vs 4 leaders sweeping 2 waves of 16
+	// concurrently — a 4x structural advantage; 1.3x leaves slack for the
+	// hop and scheduling noise.
+	if hier.SpeedupVsSingle < 1.3 {
+		t.Errorf("hier speedup = %.2fx, want >= 1.3x (single %.2fms, hier %.2fms)",
+			hier.SpeedupVsSingle, single.PerTickMs, hier.PerTickMs)
+	}
+}
+
+func TestMeasureHierScalingRejectsZeroTicks(t *testing.T) {
+	if _, err := MeasureHierScaling(HierScaleConfig{NodeCounts: []int{8}}); err == nil {
+		t.Error("zero ticks accepted")
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/hadooplog"
+	"github.com/asdf-project/asdf/internal/hierarchy"
 	"github.com/asdf-project/asdf/internal/rpc"
 	"github.com/asdf-project/asdf/internal/sadc"
 	"github.com/asdf-project/asdf/internal/telemetry"
@@ -52,6 +54,12 @@ import (
 //	                                     default 0 = lockstep with credits)
 //	push_window  = <int>                (subscribe: max frames in flight;
 //	                                     default 1 = lockstep)
+//	leaders      = host1:p,host2:p,...  (rpc multi-node: delegate node ranges
+//	                                     to asdf-shardd leader processes; the
+//	                                     delegated addrs entries become "-")
+//	leader_ranges = 0-64,64-128,...     (half-open node-index range per leader,
+//	                                     parallel to leaders; undelegated
+//	                                     indexes stay direct)
 //	ifaces       = eth0,eth1            (single-node: adds outputs net_<iface>)
 //	pids         = 3001,3002            (single-node: adds outputs proc_<pid>)
 //
@@ -72,6 +80,7 @@ type sadcModule struct {
 	outs    []*core.OutputPort
 	fanout  int
 	sharder *shardSweeper
+	hier    *leaderSet // delegated ranges (leaders =); nil without delegation
 
 	// Replay guard (crash-safe restart): lastPub is the newest published
 	// tick (unixnano; atomic so the state snapshotter can read it beside a
@@ -141,6 +150,13 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 	if err != nil {
 		return err
 	}
+	leaderAddrs, leaderRanges, err := parseHierParams(cfg, "sadc", mode, len(m.nodes))
+	if err != nil {
+		return err
+	}
+	if len(leaderAddrs) > 0 && m.single {
+		return fmt.Errorf("sadc: leaders requires the multi-node (nodes =) form")
+	}
 	switch mode {
 	case "local":
 		for _, n := range m.nodes {
@@ -172,7 +188,19 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 				return fmt.Errorf("sadc: %d addrs for %d nodes", len(addrs), len(m.nodes))
 			}
 		}
+		delegated := markDelegated(len(m.nodes), leaderRanges)
 		for i, a := range addrs {
+			if delegated != nil && delegated[i] {
+				// The leader owns this node's daemon connection; the addrs
+				// entry is a "-" placeholder (a real address is tolerated so
+				// a config can flip delegation on and off without edits).
+				m.clients = append(m.clients, nil)
+				m.sources = append(m.sources, nil)
+				continue
+			}
+			if a == "-" {
+				return fmt.Errorf("sadc: addr %q for undelegated node %s", a, m.nodes[i])
+			}
 			client, err := m.env.dial(a, "asdf-sadc", rp)
 			if err != nil {
 				return fmt.Errorf("sadc[%s]: dial %s: %w", m.nodes[i], a, err)
@@ -201,6 +229,13 @@ func (m *sadcModule) Init(ctx *core.InitContext) error {
 				}
 			}
 			m.sources = append(m.sources, src)
+		}
+		if len(leaderAddrs) > 0 {
+			m.hier, err = newLeaderSet(m.env, ctx.ID(), m.nodes, leaderAddrs, leaderRanges,
+				rp, wp, hierarchy.MethodSadcStream, len(sadc.NodeMetricNames))
+			if err != nil {
+				return fmt.Errorf("sadc: %w", err)
+			}
 		}
 	default:
 		return fmt.Errorf("sadc: unknown mode %q", mode)
@@ -281,12 +316,31 @@ func (m *sadcModule) Run(ctx *core.RunContext) error {
 	if ctx.Reason != core.RunPeriodic {
 		return nil
 	}
+	// Delegated ranges are fetched from their leaders concurrently with the
+	// direct sweep; the two paths write disjoint node indexes of the same
+	// scratch, and the serial merge below reads both in node order.
+	var hierWG sync.WaitGroup
+	if m.hier != nil {
+		hierWG.Add(1)
+		go func() {
+			defer hierWG.Done()
+			m.hier.sweepSadc(m.recs, m.errs)
+		}()
+	}
 	m.sharder.sweep(func(i int) error {
+		if m.sources[i] == nil {
+			return nil // delegated to a leader
+		}
 		m.recs[i], m.errs[i] = m.sources[i].Collect()
 		return m.errs[i]
 	})
-	if m.clients != nil {
+	hierWG.Wait()
+	if m.clients != nil || m.hier != nil {
 		open, total := countBreakers(m.clients)
+		if m.hier != nil {
+			ho, ht := countBreakers(m.hier.clients())
+			open, total = open+ho, total+ht
+		}
 		m.env.Adaptive.ObserveBreakers(m.id, open, total)
 	}
 	// Replayed tick: a restarted control node resumes at the persisted
@@ -347,16 +401,25 @@ func (m *sadcModule) RestoreReplayWatermark(t time.Time) {
 	m.lastPub.Store(t.UnixNano())
 }
 
-// ExportBreakerSnapshots snapshots per-node breaker state for persistence
-// (nil in local mode or with an unsupervised custom dialer).
+// ExportBreakerSnapshots snapshots per-node breaker state — leader
+// connections included — for persistence (nil in local mode or with an
+// unsupervised custom dialer).
 func (m *sadcModule) ExportBreakerSnapshots() map[string]rpc.BreakerSnapshot {
-	return exportBreakers(m.clients)
+	out := exportBreakers(m.clients)
+	if m.hier != nil {
+		out = mergeBreakerSnaps(out, exportBreakers(m.hier.clients()))
+	}
+	return out
 }
 
 // ImportBreakerSnapshots restores persisted breaker state, staggering
 // re-probes of non-closed breakers through plan.
 func (m *sadcModule) ImportBreakerSnapshots(snaps map[string]rpc.BreakerSnapshot, plan *rpc.ProbePlanner) int {
-	return importBreakers(m.clients, snaps, plan)
+	n := importBreakers(m.clients, snaps, plan)
+	if m.hier != nil {
+		n += importBreakers(m.hier.clients(), snaps, plan)
+	}
+	return n
 }
 
 // ClientHealth reports the supervised connection's health for the
@@ -370,9 +433,10 @@ func (m *sadcModule) ClientHealth() (rpc.Health, bool) {
 }
 
 // ClientHealths reports per-node connection health in rpc mode (nil in
-// local mode or with an unsupervised custom dialer), keyed by node name.
+// local mode or with an unsupervised custom dialer), keyed by node name;
+// leader connections appear as "leader:<addr>" rows.
 func (m *sadcModule) ClientHealths() map[string]rpc.Health {
-	if m.clients == nil {
+	if m.clients == nil && m.hier == nil {
 		return nil
 	}
 	out := make(map[string]rpc.Health, len(m.clients))
@@ -381,6 +445,9 @@ func (m *sadcModule) ClientHealths() map[string]rpc.Health {
 			out[m.nodes[i]] = h
 		}
 	}
+	if m.hier != nil {
+		m.hier.healths(out)
+	}
 	return out
 }
 
@@ -388,6 +455,15 @@ func (m *sadcModule) ClientHealths() map[string]rpc.Health {
 // breaker counts in rpc mode); nil when the instance runs a single shard.
 func (m *sadcModule) ShardStatuses() []ShardStatus {
 	return m.sharder.statusesWithBreakers(m.clients)
+}
+
+// LeaderStatuses reports per-leader delegation accounting; nil without
+// delegated ranges.
+func (m *sadcModule) LeaderStatuses() []LeaderStatus {
+	if m.hier == nil {
+		return nil
+	}
+	return m.hier.statuses()
 }
 
 var _ core.Module = (*sadcModule)(nil)
@@ -433,6 +509,11 @@ var _ core.Module = (*sadcModule)(nil)
 //	                                         default 0 = lockstep with credits)
 //	push_window   = <int>                   (subscribe: max frames in flight;
 //	                                         default 1 = lockstep)
+//	leaders       = host1:p,host2:p,...     (rpc: delegate node ranges to
+//	                                         asdf-shardd leader processes; the
+//	                                         delegated addrs entries become "-")
+//	leader_ranges = 0-64,64-128,...         (half-open node-index range per
+//	                                         leader, parallel to leaders)
 //	sync_deadline = <duration>              (default 0: strict §3.7 sync)
 //	sync_quorum   = <int> | auto            (default 0: all nodes; auto derives
 //	                                         the quorum from the live open-
@@ -457,6 +538,7 @@ type hadoopLogModule struct {
 	outs    []*core.OutputPort
 	fanout  int
 	sharder *shardSweeper
+	hier    *leaderSet // delegated ranges (leaders =); nil without delegation
 
 	// fan-out scratch, indexed by node; merged serially in node order.
 	fetched [][]hadooplog.StateVector
@@ -540,6 +622,10 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 	if err != nil {
 		return err
 	}
+	leaderAddrs, leaderRanges, err := parseHierParams(cfg, "hadoop_log", mode, len(m.nodes))
+	if err != nil {
+		return err
+	}
 	switch mode {
 	case "local":
 		for _, n := range m.nodes {
@@ -564,8 +650,19 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 		if len(addrs) != len(m.nodes) {
 			return fmt.Errorf("hadoop_log: %d addrs for %d nodes", len(addrs), len(m.nodes))
 		}
+		delegated := markDelegated(len(m.nodes), leaderRanges)
 		for i, a := range addrs {
 			addr := strings.TrimSpace(a)
+			if delegated != nil && delegated[i] {
+				// The leader owns this node's daemon connection ("-"
+				// placeholder; a real address is tolerated).
+				m.clients = append(m.clients, nil)
+				m.sources = append(m.sources, nil)
+				continue
+			}
+			if addr == "-" {
+				return fmt.Errorf("hadoop_log: addr %q for undelegated node %s", addr, m.nodes[i])
+			}
 			client, err := m.env.dial(addr, "asdf-hadoop-log", rp)
 			if err != nil {
 				return fmt.Errorf("hadoop_log[%s]: dial %s: %w", m.nodes[i], addr, err)
@@ -582,6 +679,13 @@ func (m *hadoopLogModule) Init(ctx *core.InitContext) error {
 				}
 			}
 			m.sources = append(m.sources, src)
+		}
+		if len(leaderAddrs) > 0 {
+			m.hier, err = newLeaderSet(m.env, ctx.ID(), m.nodes, leaderAddrs, leaderRanges,
+				rp, wp, hierarchy.MethodLogStream, m.statesPerVec)
+			if err != nil {
+				return fmt.Errorf("hadoop_log: %w", err)
+			}
 		}
 	default:
 		return fmt.Errorf("hadoop_log: unknown mode %q", mode)
@@ -630,13 +734,31 @@ func (m *hadoopLogModule) Run(ctx *core.RunContext) error {
 	}
 	// Fetch every node concurrently (partitioned across shards when
 	// configured); merge serially by node index below so the sync state
-	// (and therefore publish order) matches a serial sweep.
+	// (and therefore publish order) matches a serial sweep. Delegated
+	// ranges fetch from their leaders in parallel with the direct sweep;
+	// the paths write disjoint node indexes.
+	var hierWG sync.WaitGroup
+	if m.hier != nil {
+		hierWG.Add(1)
+		go func() {
+			defer hierWG.Done()
+			m.hier.sweepLog(m.fetched, m.errs)
+		}()
+	}
 	m.sharder.sweep(func(i int) error {
+		if m.sources[i] == nil {
+			return nil // delegated to a leader
+		}
 		m.fetched[i], m.errs[i] = m.sources[i].Fetch(now)
 		return m.errs[i]
 	})
-	if m.clients != nil {
+	hierWG.Wait()
+	if m.clients != nil || m.hier != nil {
 		open, total := countBreakers(m.clients)
+		if m.hier != nil {
+			ho, ht := countBreakers(m.hier.clients())
+			open, total = open+ho, total+ht
+		}
 		m.env.Adaptive.ObserveBreakers(m.id, open, total)
 	}
 	var firstErr error
@@ -692,16 +814,25 @@ func (m *hadoopLogModule) RestoreReplayWatermark(t time.Time) {
 	m.nextEmit.Store(t.Unix() + 1)
 }
 
-// ExportBreakerSnapshots snapshots per-node breaker state for persistence
-// (nil in local mode or with an unsupervised custom dialer).
+// ExportBreakerSnapshots snapshots per-node breaker state — leader
+// connections included — for persistence (nil in local mode or with an
+// unsupervised custom dialer).
 func (m *hadoopLogModule) ExportBreakerSnapshots() map[string]rpc.BreakerSnapshot {
-	return exportBreakers(m.clients)
+	out := exportBreakers(m.clients)
+	if m.hier != nil {
+		out = mergeBreakerSnaps(out, exportBreakers(m.hier.clients()))
+	}
+	return out
 }
 
 // ImportBreakerSnapshots restores persisted breaker state, staggering
 // re-probes of non-closed breakers through plan.
 func (m *hadoopLogModule) ImportBreakerSnapshots(snaps map[string]rpc.BreakerSnapshot, plan *rpc.ProbePlanner) int {
-	return importBreakers(m.clients, snaps, plan)
+	n := importBreakers(m.clients, snaps, plan)
+	if m.hier != nil {
+		n += importBreakers(m.hier.clients(), snaps, plan)
+	}
+	return n
 }
 
 // emitSynchronized resolves pending seconds in order. A second is resolved
@@ -721,8 +852,13 @@ func (m *hadoopLogModule) emitSynchronized(now time.Time) {
 	if m.quorumAuto {
 		// sync_quorum = auto: the adaptive controller derives the quorum
 		// from this instance's live open-breaker count (strict while the
-		// controller is relaxed or absent).
+		// controller is relaxed or absent). A leader breaker counts once,
+		// even though it gates a whole range — deliberately conservative.
 		open, _ := countBreakers(m.clients)
+		if m.hier != nil {
+			ho, _ := countBreakers(m.hier.clients())
+			open += ho
+		}
 		quorum = m.env.Adaptive.EffectiveQuorum(m.id, len(m.nodes), open)
 	}
 	// frontier: newest second every node has reached (-1 while some node
@@ -813,9 +949,10 @@ func (m *hadoopLogModule) MissingByNode() map[string]uint64 {
 }
 
 // ClientHealths reports per-node connection health in rpc mode (nil in
-// local mode or with an unsupervised custom dialer), keyed by node name.
+// local mode or with an unsupervised custom dialer), keyed by node name;
+// leader connections appear as "leader:<addr>" rows.
 func (m *hadoopLogModule) ClientHealths() map[string]rpc.Health {
-	if m.clients == nil {
+	if m.clients == nil && m.hier == nil {
 		return nil
 	}
 	out := make(map[string]rpc.Health, len(m.clients))
@@ -824,6 +961,9 @@ func (m *hadoopLogModule) ClientHealths() map[string]rpc.Health {
 			out[m.nodes[i]] = h
 		}
 	}
+	if m.hier != nil {
+		m.hier.healths(out)
+	}
 	return out
 }
 
@@ -831,6 +971,15 @@ func (m *hadoopLogModule) ClientHealths() map[string]rpc.Health {
 // breaker counts in rpc mode); nil when the instance runs a single shard.
 func (m *hadoopLogModule) ShardStatuses() []ShardStatus {
 	return m.sharder.statusesWithBreakers(m.clients)
+}
+
+// LeaderStatuses reports per-leader delegation accounting; nil without
+// delegated ranges.
+func (m *hadoopLogModule) LeaderStatuses() []LeaderStatus {
+	if m.hier == nil {
+		return nil
+	}
+	return m.hier.statuses()
 }
 
 var _ core.Module = (*hadoopLogModule)(nil)

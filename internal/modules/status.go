@@ -91,6 +91,43 @@ type ShardStatus struct {
 	OpenBreakers int `json:"open_breakers,omitempty"`
 }
 
+// LeaderReporter is implemented by collection modules that delegate node
+// ranges to shard-leader processes (sadc, hadoop_log with leaders =).
+type LeaderReporter interface {
+	// LeaderStatuses reports per-leader delegation accounting, nil when
+	// the instance delegates nothing.
+	LeaderStatuses() []LeaderStatus
+}
+
+// LeaderStatus is one leader link of a collection instance: the delegated
+// range, the root→leader connection health, and the merge accounting that
+// backs the asdf_hier_* metrics.
+type LeaderStatus struct {
+	// Addr is the leader's RPC address.
+	Addr string `json:"addr"`
+	// Range is the delegated node-index range ("0-64"), Nodes its size.
+	Range string `json:"range"`
+	Nodes int    `json:"nodes"`
+	// Wire is the live hop transport: "columnar", or "json" after the
+	// per-leader fallback (or when the instance never asked for columnar).
+	Wire string `json:"wire"`
+	// Health is the root→leader managed-connection snapshot; nil with an
+	// unsupervised custom dialer.
+	Health *rpc.Health `json:"health,omitempty"`
+	// Partials counts per-tick range partials merged from this leader;
+	// Errors counts failed leader fetches (whole-range gaps).
+	Partials uint64 `json:"partials"`
+	Errors   uint64 `json:"errors"`
+	// Restarts counts leader connection re-establishments after the first
+	// connect — a leader process restart, seen from the root.
+	Restarts uint64 `json:"restarts"`
+	// Leader* are piggybacked from the leader's own accounting on the JSON
+	// hop (stale or zero while the hop runs columnar).
+	LeaderSweeps       uint64 `json:"leader_sweeps,omitempty"`
+	LeaderNodeErrors   uint64 `json:"leader_node_errors,omitempty"`
+	LeaderOpenBreakers int    `json:"leader_open_breakers,omitempty"`
+}
+
 // SyncStatus is one instance's timestamp-sync degradation counters.
 type SyncStatus struct {
 	// Partial counts timestamps published without data from every node.
@@ -121,6 +158,9 @@ type StatusReport struct {
 	// Shards maps instance id -> per-shard sweep accounting for every
 	// collection module running two or more shards.
 	Shards map[string][]ShardStatus `json:"shards,omitempty"`
+	// Leaders maps instance id -> per-leader delegation accounting for
+	// every collection module delegating node ranges to shard leaders.
+	Leaders map[string][]LeaderStatus `json:"leaders,omitempty"`
 	// Restart is the crash-safe state layer's snapshot/restore accounting;
 	// absent when the control node runs without a -state-file.
 	Restart *state.RestartStatus `json:"restart,omitempty"`
@@ -165,6 +205,14 @@ func CollectStatus(v EngineView, now time.Time) StatusReport {
 					rep.Shards = make(map[string][]ShardStatus)
 				}
 				rep.Shards[id] = sts
+			}
+		}
+		if lr, ok := mod.(LeaderReporter); ok {
+			if lss := lr.LeaderStatuses(); len(lss) > 0 {
+				if rep.Leaders == nil {
+					rep.Leaders = make(map[string][]LeaderStatus)
+				}
+				rep.Leaders[id] = lss
 			}
 		}
 		if sr, ok := mod.(SyncReporter); ok {
