@@ -312,6 +312,27 @@ func render(w io.Writer, rep modules.StatusReport, prev *modules.StatusReport, i
 		_ = tw.Flush()
 	}
 
+	if len(rep.Ibuffer) > 0 {
+		fmt.Fprintln(w, "\nIBUFFER")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "INSTANCE\tSIZE\tFORWARDED\tDROPPED")
+		for _, inst := range sortedKeys(rep.Ibuffer) {
+			ib := rep.Ibuffer[inst]
+			var fwdPrev, droppedPrev uint64
+			havePrev := false
+			if prev != nil {
+				if pb, ok := prev.Ibuffer[inst]; ok {
+					fwdPrev, droppedPrev = pb.Forwarded, pb.Dropped
+					havePrev = true
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", inst, ib.Size,
+				delta(ib.Forwarded, fwdPrev, havePrev),
+				delta(ib.Dropped, droppedPrev, havePrev))
+		}
+		_ = tw.Flush()
+	}
+
 	if len(rep.Sync) > 0 {
 		fmt.Fprintln(w, "\nSYNC")
 		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

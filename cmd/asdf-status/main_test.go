@@ -59,6 +59,9 @@ func sampleReport() modules.StatusReport {
 					LeaderSweeps: 40, LeaderNodeErrors: 3, LeaderOpenBreakers: 1},
 			},
 		},
+		Ibuffer: map[string]modules.IbufferStatus{
+			"buf0": {Size: 10, Dropped: 17, Forwarded: 523},
+		},
 		Sync: map[string]modules.SyncStatus{
 			"logs": {
 				Partial: 3,
@@ -83,6 +86,7 @@ func TestRenderTables(t *testing.T) {
 		"BREAKERS", "node1:9999", "open", "SENT B", "62000",
 		"SHARDS", "10.1ms",
 		"LEADERS", "10.0.0.9:7411", "0-64", "columnar",
+		"IBUFFER", "buf0", "523", "17",
 		"SYNC", "logs", "node1:3",
 	} {
 		if !strings.Contains(out, want) {
@@ -141,14 +145,15 @@ func TestRenderDeltas(t *testing.T) {
 		h.BytesReceived = 62900 // +900: the per-poll wire cost of this node
 		return h
 	}()
-	cur.Sync["logs"] = modules.SyncStatus{Partial: 3, Dropped: 4} // dropped +3
-	cur.Shards["collector"][1].Errors = 10                        // +4 over prev's 6
-	cur.Leaders["collector"][0].Partials = 46                     // +6 over prev's 40
+	cur.Sync["logs"] = modules.SyncStatus{Partial: 3, Dropped: 4}                      // dropped +3
+	cur.Ibuffer["buf0"] = modules.IbufferStatus{Size: 10, Dropped: 22, Forwarded: 523} // dropped +5
+	cur.Shards["collector"][1].Errors = 10                                             // +4 over prev's 6
+	cur.Leaders["collector"][0].Partials = 46                                          // +6 over prev's 40
 
 	var buf bytes.Buffer
 	render(&buf, cur, &prev, time.Second)
 	out := buf.String()
-	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)", "10(+4)", "5400(+400)", "62900(+900)", "46(+6)"} {
+	for _, want := range []string{"12(+5)", "9(+2)", "4(+3)", "10(+4)", "5400(+400)", "62900(+900)", "46(+6)", "22(+5)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing delta %q:\n%s", want, out)
 		}

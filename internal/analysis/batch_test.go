@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchModel builds a deterministic model of the given dimensionality and
+// state count for batch tests.
+func batchTestModel(dim, states int, metricIndexes []int) *Model {
+	rng := rand.New(rand.NewSource(11))
+	d := dim
+	if len(metricIndexes) > 0 {
+		d = len(metricIndexes)
+	}
+	m := &Model{
+		Sigma:         make([]float64, d),
+		Centroids:     make([][]float64, states),
+		MetricIndexes: metricIndexes,
+	}
+	for i := range m.Sigma {
+		m.Sigma[i] = 0.5 + rng.Float64()
+	}
+	for s := range m.Centroids {
+		m.Centroids[s] = make([]float64, d)
+		for i := range m.Centroids[s] {
+			m.Centroids[s][i] = rng.Float64() * 4
+		}
+	}
+	return m
+}
+
+func batchTestMatrix(rows, dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	raw := make([]float64, rows*dim)
+	for i := range raw {
+		raw[i] = rng.Float64() * 100
+	}
+	return raw
+}
+
+// TestBatchClassifierMatchesPerRow is the bit-identity contract: the batched
+// kernel must assign exactly the state ClassifyInto assigns, for every row,
+// across worker counts, block sizes (including ones that do not divide the
+// row count), and models with metric selection.
+func TestBatchClassifierMatchesPerRow(t *testing.T) {
+	cases := []struct {
+		name    string
+		rows    int
+		dim     int
+		workers int
+		block   int
+		indexes []int
+	}{
+		{name: "serial", rows: 17, dim: 8, workers: 1, block: 4},
+		{name: "parallel-even", rows: 64, dim: 8, workers: 4, block: 16},
+		{name: "parallel-ragged", rows: 67, dim: 8, workers: 4, block: 16},
+		{name: "block-bigger-than-rows", rows: 5, dim: 8, workers: 4, block: 64},
+		{name: "one-row-blocks", rows: 33, dim: 8, workers: 8, block: 1},
+		{name: "metric-selection", rows: 50, dim: 12, workers: 3, block: 7, indexes: []int{0, 3, 7, 11}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model := batchTestModel(tc.dim, 6, tc.indexes)
+			raw := batchTestMatrix(tc.rows, tc.dim, 21)
+
+			c := NewBatchClassifier(model, tc.workers, tc.block)
+			defer c.Close()
+			got := make([]int, tc.rows)
+			if err := c.ClassifyMatrix(raw, tc.rows, tc.dim, got); err != nil {
+				t.Fatalf("ClassifyMatrix: %v", err)
+			}
+
+			scratch := make([]float64, model.ScratchLen(raw[:tc.dim]))
+			for i := 0; i < tc.rows; i++ {
+				want, err := model.ClassifyInto(raw[i*tc.dim:(i+1)*tc.dim], scratch)
+				if err != nil {
+					t.Fatalf("ClassifyInto row %d: %v", i, err)
+				}
+				if got[i] != want {
+					t.Fatalf("row %d: batched state %d, per-row state %d", i, got[i], want)
+				}
+			}
+
+			// Reuse across ticks: a second call over different data must
+			// stand alone (no state bleeding between calls).
+			raw2 := batchTestMatrix(tc.rows, tc.dim, 22)
+			if err := c.ClassifyMatrix(raw2, tc.rows, tc.dim, got); err != nil {
+				t.Fatalf("second ClassifyMatrix: %v", err)
+			}
+			for i := 0; i < tc.rows; i++ {
+				want, err := model.ClassifyInto(raw2[i*tc.dim:(i+1)*tc.dim], scratch)
+				if err != nil {
+					t.Fatalf("ClassifyInto row %d: %v", i, err)
+				}
+				if got[i] != want {
+					t.Fatalf("second call row %d: batched %d, per-row %d", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchClassifierValidation(t *testing.T) {
+	model := batchTestModel(4, 3, nil)
+	c := NewBatchClassifier(model, 2, 8)
+	defer c.Close()
+	dst := make([]int, 4)
+	if err := c.ClassifyMatrix(nil, 0, 4, nil); err != nil {
+		t.Fatalf("zero rows should be a no-op, got %v", err)
+	}
+	if err := c.ClassifyMatrix(make([]float64, 16), 4, 0, dst); err == nil {
+		t.Fatal("want error for non-positive dimension")
+	}
+	if err := c.ClassifyMatrix(make([]float64, 15), 4, 4, dst); err == nil {
+		t.Fatal("want error for short matrix")
+	}
+	if err := c.ClassifyMatrix(make([]float64, 16), 4, 4, make([]int, 3)); err == nil {
+		t.Fatal("want error for short dst")
+	}
+	// A model/dimension mismatch must surface as an error, not a panic,
+	// and must not poison later calls.
+	if err := c.ClassifyMatrix(make([]float64, 4*7), 4, 7, dst); err == nil {
+		t.Fatal("want error for dimension mismatch against the model")
+	}
+	raw := batchTestMatrix(4, 4, 5)
+	if err := c.ClassifyMatrix(raw, 4, 4, dst); err != nil {
+		t.Fatalf("call after failed call: %v", err)
+	}
+}
+
+// TestBatchClassifierNoAllocs gates the steady state: after the first
+// (warm-up) call, classifying a 1024-node matrix allocates nothing.
+func TestBatchClassifierNoAllocs(t *testing.T) {
+	const rows, dim = 1024, 16
+	model := batchTestModel(dim, 8, nil)
+	raw := batchTestMatrix(rows, dim, 31)
+	dst := make([]int, rows)
+	c := NewBatchClassifier(model, 4, 64)
+	defer c.Close()
+	if err := c.ClassifyMatrix(raw, rows, dim, dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.ClassifyMatrix(raw, rows, dim, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ClassifyMatrix allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkBatchClassify is the CI-gated hot path: one tick's worth of
+// fleet-wide classification. The bench-smoke job greps for 0 allocs/op.
+func BenchmarkBatchClassify(b *testing.B) {
+	const rows, dim = 1024, 16
+	model := batchTestModel(dim, 8, nil)
+	raw := batchTestMatrix(rows, dim, 41)
+	dst := make([]int, rows)
+	c := NewBatchClassifier(model, 4, 64)
+	defer c.Close()
+	if err := c.ClassifyMatrix(raw, rows, dim, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ClassifyMatrix(raw, rows, dim, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -38,6 +38,16 @@ type WhiteBox struct {
 	next        int
 	samples     int
 	sinceWindow int
+
+	// pooled per-evaluation buffers: a new evaluation fires every
+	// WindowSlide samples, so the per-node mean/sd matrices and the median
+	// scratch are reused rather than reallocated each time. Only the
+	// returned WindowResult (which escapes to the caller) is fresh.
+	means      [][]float64 // [node][metric] window means
+	sds        [][]float64 // [node][metric] window standard deviations
+	nodeMeans  []float64   // Nodes; one metric's means across nodes
+	nodeSDs    []float64   // Nodes; one metric's sds across nodes
+	medScratch []float64   // Nodes; quickselect scratch for the medians
 }
 
 // NewWhiteBox creates the analyzer.
@@ -61,12 +71,24 @@ func NewWhiteBox(cfg WhiteBoxConfig) (*WhiteBox, error) {
 	if cfg.K < 0 {
 		return nil, fmt.Errorf("analysis: whitebox: K must be non-negative")
 	}
-	w := &WhiteBox{cfg: cfg, ring: make([][][]float64, cfg.WindowSize)}
+	w := &WhiteBox{
+		cfg:        cfg,
+		ring:       make([][][]float64, cfg.WindowSize),
+		means:      make([][]float64, cfg.Nodes),
+		sds:        make([][]float64, cfg.Nodes),
+		nodeMeans:  make([]float64, cfg.Nodes),
+		nodeSDs:    make([]float64, cfg.Nodes),
+		medScratch: make([]float64, cfg.Nodes),
+	}
 	for i := range w.ring {
 		w.ring[i] = make([][]float64, cfg.Nodes)
 		for n := range w.ring[i] {
 			w.ring[i][n] = make([]float64, cfg.Metrics)
 		}
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		w.means[n] = make([]float64, cfg.Metrics)
+		w.sds[n] = make([]float64, cfg.Metrics)
 	}
 	return w, nil
 }
@@ -108,32 +130,22 @@ func (w *WhiteBox) evaluate() *WindowResult {
 		Scores:   make([]float64, w.cfg.Nodes),
 		Flagged:  make([]bool, w.cfg.Nodes),
 	}
-	means := make([][]float64, w.cfg.Nodes) // [node][metric]
-	sds := make([][]float64, w.cfg.Nodes)
-	for n := 0; n < w.cfg.Nodes; n++ {
-		means[n] = make([]float64, w.cfg.Metrics)
-		sds[n] = make([]float64, w.cfg.Metrics)
-	}
-	col := make([]float64, w.cfg.WindowSize)
-	nodeMeans := make([]float64, w.cfg.Nodes)
-	nodeSDs := make([]float64, w.cfg.Nodes)
 	for m := 0; m < w.cfg.Metrics; m++ {
 		for n := 0; n < w.cfg.Nodes; n++ {
 			var acc stats.Welford
 			for i := 0; i < w.cfg.WindowSize; i++ {
-				col[i] = w.ring[i][n][m]
-				acc.Add(col[i])
+				acc.Add(w.ring[i][n][m])
 			}
-			means[n][m] = acc.Mean()
-			sds[n][m] = acc.StdDev()
-			nodeMeans[n] = means[n][m]
-			nodeSDs[n] = sds[n][m]
+			w.means[n][m] = acc.Mean()
+			w.sds[n][m] = acc.StdDev()
+			w.nodeMeans[n] = w.means[n][m]
+			w.nodeSDs[n] = w.sds[n][m]
 		}
-		medianMean := stats.MustMedian(nodeMeans)
-		sigmaMedian := stats.MustMedian(nodeSDs)
+		medianMean := w.quickMedian(w.nodeMeans)
+		sigmaMedian := w.quickMedian(w.nodeSDs)
 		threshold := math.Max(1, w.cfg.K*sigmaMedian)
 		for n := 0; n < w.cfg.Nodes; n++ {
-			dev := math.Abs(means[n][m] - medianMean)
+			dev := math.Abs(w.means[n][m] - medianMean)
 			// Score in threshold units, maximized over metrics.
 			if score := dev / threshold; score > res.Scores[n] {
 				res.Scores[n] = score
@@ -144,6 +156,18 @@ func (w *WhiteBox) evaluate() *WindowResult {
 		}
 	}
 	return res
+}
+
+// quickMedian computes the median of xs via the pooled quickselect scratch
+// without disturbing xs; bit-identical to the sort-based stats.MustMedian.
+func (w *WhiteBox) quickMedian(xs []float64) float64 {
+	copy(w.medScratch, xs)
+	m, err := stats.QuickMedianInPlace(w.medScratch)
+	if err != nil {
+		// Unreachable: Nodes is validated positive by the constructor.
+		panic(err)
+	}
+	return m
 }
 
 // Combine merges black-box and white-box verdicts for the same window by

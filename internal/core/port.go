@@ -60,6 +60,18 @@ func (p *InputPort) Read() []Sample {
 	return out
 }
 
+// ReadAppend drains all queued samples (oldest first) by appending them to
+// dst and returns the extended slice. Unlike Read it allocates only when dst
+// lacks capacity, so batch modules that drain many ports per tick can reuse
+// one buffer across ticks.
+func (p *InputPort) ReadAppend(dst []Sample) []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dst = append(dst, p.queue...)
+	p.queue = p.queue[:0]
+	return dst
+}
+
 // Latest returns the newest queued sample without draining older ones, and
 // whether any data was pending. The queue is cleared.
 func (p *InputPort) Latest() (Sample, bool) {

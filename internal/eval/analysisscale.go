@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/modules"
+)
+
+// AnalysisScaleConfig sizes the analysis-plane scaling measurement: a
+// synthetic per-node metric feed (no collection, no RPC — the collection
+// plane has its own experiments) drives the classification and smoothing
+// stages at cluster scale, once as N per-node knn/mavgvec instances and
+// once as a single batched instance with nodes = N. The measurement
+// isolates what the batched plane is for: per-instance dispatch overhead,
+// per-Run read allocations, and cache-hostile row-at-a-time kernels.
+type AnalysisScaleConfig struct {
+	// NodeCounts are the simulated cluster sizes to measure.
+	NodeCounts []int
+	// Dim is the width of each node's metric vector.
+	Dim int
+	// States is the number of centroids in the synthetic knn model.
+	States int
+	// Window and Slide shape the mavgvec smoothing windows.
+	Window int
+	Slide  int
+	// Fanout and Block shape the batched form's worker pool.
+	Fanout int
+	Block  int
+	// Ticks is how many analysis ticks to time per configuration.
+	Ticks int
+}
+
+// DefaultAnalysisScaleConfig mirrors the CI analysis-scaling suite: 128 to
+// 1024 nodes, 32-wide vectors against a 6-state model, windows of 10
+// emitting every tick.
+func DefaultAnalysisScaleConfig() AnalysisScaleConfig {
+	return AnalysisScaleConfig{
+		NodeCounts: []int{128, 512, 1024},
+		Dim:        32,
+		States:     6,
+		Window:     10,
+		Slide:      1,
+		Fanout:     8,
+		Block:      64,
+		Ticks:      30,
+	}
+}
+
+// AnalysisScalePoint is one measured (nodes, form) cell.
+type AnalysisScalePoint struct {
+	Nodes int `json:"nodes"`
+	// Form is "per-node" (N single-node instances) or "batched" (one
+	// multi-node instance per stage).
+	Form      string  `json:"form"`
+	NsPerTick float64 `json:"ns_per_tick"`
+	// AllocsPerTick counts every heap allocation in the process during a
+	// timed tick — feed publishes and engine scheduling included — so the
+	// batched cells stay small but nonzero; the kernels' strict 0 allocs/op
+	// contract is gated separately on their benchmarks.
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	// SpeedupVsPerNode is this cell's per-tick advantage over the per-node
+	// cell at the same node count; 1.0 for the per-node cells themselves.
+	SpeedupVsPerNode float64 `json:"speedup_vs_per_node"`
+}
+
+// analysisFeed publishes one fresh dim-wide sample per node per tick —
+// the shape a collection stage hands the analysis plane, without its cost.
+// Values vary per tick so windows never degenerate to constants.
+type analysisFeed struct {
+	nodes, dim int
+	tick       int
+	outs       []*core.OutputPort
+}
+
+func (m *analysisFeed) Init(ctx *core.InitContext) error {
+	m.outs = make([]*core.OutputPort, m.nodes)
+	for i := range m.outs {
+		out, err := ctx.NewOutput(fmt.Sprintf("out%d", i),
+			core.Origin{Source: "feed", Node: fmt.Sprintf("n%04d", i)})
+		if err != nil {
+			return err
+		}
+		m.outs[i] = out
+	}
+	return ctx.SchedulePeriodic(time.Second)
+}
+
+func (m *analysisFeed) Run(ctx *core.RunContext) error {
+	if ctx.Reason == core.RunFlush {
+		return nil
+	}
+	m.tick++
+	for i, out := range m.outs {
+		vals := make([]float64, m.dim)
+		for d := range vals {
+			vals[d] = float64((m.tick*31+i*7+d*13)%97) / 19.0
+		}
+		out.Publish(core.Sample{Time: ctx.Now, Values: vals})
+	}
+	return nil
+}
+
+// analysisPlaneConfig renders the knn + mavgvec stages over the feed's
+// per-node ports: N per-node instances each, or one batched instance per
+// stage with nodes = N.
+func analysisPlaneConfig(cfg AnalysisScaleConfig, nodes int, batched bool) string {
+	ones := make([]string, cfg.Dim)
+	for i := range ones {
+		ones[i] = "1"
+	}
+	sigma := strings.Join(ones, ",")
+	rows := make([]string, cfg.States)
+	for s := range rows {
+		cells := make([]string, cfg.Dim)
+		for d := range cells {
+			cells[d] = fmt.Sprintf("%d", (s+d)%cfg.States)
+		}
+		rows[s] = strings.Join(cells, ",")
+	}
+	centroids := strings.Join(rows, ";")
+
+	var b strings.Builder
+	b.WriteString("[feed]\nid = feed\n\n")
+	if batched {
+		fmt.Fprintf(&b, "[knn]\nid = nn\nsigma = %s\ncentroids = %s\nnodes = %d\nfanout = %d\nblock = %d\n",
+			sigma, centroids, nodes, cfg.Fanout, cfg.Block)
+		for i := 0; i < nodes; i++ {
+			fmt.Fprintf(&b, "input[in%d] = feed.out%d\n", i, i)
+		}
+		fmt.Fprintf(&b, "\n[mavgvec]\nid = smooth\nwindow = %d\nslide = %d\nnodes = %d\nfanout = %d\nblock = %d\n",
+			cfg.Window, cfg.Slide, nodes, cfg.Fanout, cfg.Block)
+		for i := 0; i < nodes; i++ {
+			fmt.Fprintf(&b, "input[in%d] = feed.out%d\n", i, i)
+		}
+	} else {
+		for i := 0; i < nodes; i++ {
+			fmt.Fprintf(&b, "[knn]\nid = nn%d\nsigma = %s\ncentroids = %s\ninput[in] = feed.out%d\n\n",
+				i, sigma, centroids, i)
+			fmt.Fprintf(&b, "[mavgvec]\nid = smooth%d\nwindow = %d\nslide = %d\ninput[in] = feed.out%d\n\n",
+				i, cfg.Window, cfg.Slide, i)
+		}
+	}
+	return b.String()
+}
+
+// MeasureAnalysisScaling times the per-tick analysis pass at each
+// configured node count, per-node versus batched, and reports both cells
+// per node count (per-node first).
+func MeasureAnalysisScaling(cfg AnalysisScaleConfig) ([]AnalysisScalePoint, error) {
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("analysisscale: ticks must be positive")
+	}
+	var points []AnalysisScalePoint
+	for _, nodes := range cfg.NodeCounts {
+		perNode, perAllocs, err := timeAnalysisPlane(cfg, nodes, false)
+		if err != nil {
+			return nil, err
+		}
+		batched, batchAllocs, err := timeAnalysisPlane(cfg, nodes, true)
+		if err != nil {
+			return nil, err
+		}
+		speedup := 0.0
+		if batched > 0 {
+			speedup = float64(perNode) / float64(batched)
+		}
+		points = append(points,
+			AnalysisScalePoint{Nodes: nodes, Form: "per-node",
+				NsPerTick: float64(perNode), AllocsPerTick: perAllocs, SpeedupVsPerNode: 1},
+			AnalysisScalePoint{Nodes: nodes, Form: "batched",
+				NsPerTick: float64(batched), AllocsPerTick: batchAllocs, SpeedupVsPerNode: speedup})
+	}
+	return points, nil
+}
+
+// timeAnalysisPlane builds one engine around the synthetic feed and
+// returns the mean per-tick wall time and heap-allocation count over
+// cfg.Ticks steady-state ticks.
+func timeAnalysisPlane(cfg AnalysisScaleConfig, nodes int, batched bool) (time.Duration, float64, error) {
+	file, err := config.ParseString(analysisPlaneConfig(cfg, nodes, batched))
+	if err != nil {
+		return 0, 0, err
+	}
+	env := modules.NewEnv()
+	reg := modules.NewRegistry(env)
+	reg.Register("feed", func() core.Module {
+		return &analysisFeed{nodes: nodes, dim: cfg.Dim}
+	})
+	eng, err := core.NewEngine(reg, file)
+	if err != nil {
+		return 0, 0, err
+	}
+	virtual := time.Unix(1_700_000_000, 0)
+	tick := 0
+	step := func() error {
+		tick++
+		return eng.Tick(virtual.Add(time.Duration(tick) * time.Second))
+	}
+	// Warmup: fill every smoothing window and size every pooled buffer so
+	// the timed region is steady state.
+	for i := 0; i < cfg.Window+2; i++ {
+		if err := step(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < cfg.Ticks; i++ {
+		if err := step(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(cfg.Ticks)
+	return elapsed / time.Duration(cfg.Ticks), allocs, nil
+}

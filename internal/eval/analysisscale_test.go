@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/modules"
+)
+
+// TestMeasureAnalysisScaling runs a scaled-down analysis measurement and
+// checks the report shape: two cells per node count, per-node first with
+// speedup pinned at 1, positive timings and allocation counts everywhere.
+func TestMeasureAnalysisScaling(t *testing.T) {
+	cfg := AnalysisScaleConfig{
+		NodeCounts: []int{16, 64},
+		Dim:        8,
+		States:     3,
+		Window:     4,
+		Slide:      1,
+		Fanout:     4,
+		Block:      16,
+		Ticks:      5,
+	}
+	points, err := MeasureAnalysisScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4 (per-node + batched at two scales)", len(points))
+	}
+	for i := 0; i < len(points); i += 2 {
+		perNode, batched := points[i], points[i+1]
+		if perNode.Form != "per-node" || perNode.SpeedupVsPerNode != 1 {
+			t.Errorf("per-node cell = %+v", perNode)
+		}
+		if batched.Form != "batched" || batched.Nodes != perNode.Nodes {
+			t.Errorf("batched cell = %+v (per-node %+v)", batched, perNode)
+		}
+		if perNode.NsPerTick <= 0 || batched.NsPerTick <= 0 {
+			t.Fatalf("non-positive timings: %+v %+v", perNode, batched)
+		}
+		if batched.SpeedupVsPerNode <= 0 {
+			t.Errorf("batched speedup = %v", batched.SpeedupVsPerNode)
+		}
+		// The per-node form pays at least one Read allocation per module
+		// per tick; the batched form's pooled path must allocate less.
+		if batched.AllocsPerTick >= perNode.AllocsPerTick {
+			t.Errorf("batched allocs/tick %.0f >= per-node %.0f at %d nodes",
+				batched.AllocsPerTick, perNode.AllocsPerTick, perNode.Nodes)
+		}
+	}
+}
+
+func TestMeasureAnalysisScalingRejectsZeroTicks(t *testing.T) {
+	if _, err := MeasureAnalysisScaling(AnalysisScaleConfig{NodeCounts: []int{8}}); err == nil {
+		t.Error("zero ticks accepted")
+	}
+}
+
+// BenchmarkAnalysisPlane measures one full analysis tick — knn
+// classification plus mavgvec smoothing over every node — as N per-node
+// instances versus one batched instance per stage. The form=... suffix is
+// stripped by the CI benchstat step to produce the per-node-vs-batched
+// comparison.
+func BenchmarkAnalysisPlane(b *testing.B) {
+	cfg := DefaultAnalysisScaleConfig()
+	for _, nodes := range []int{128, 512, 1024} {
+		for _, form := range []struct {
+			name    string
+			batched bool
+		}{{"pernode", false}, {"batched", true}} {
+			b.Run(fmt.Sprintf("nodes=%d/form=%s", nodes, form.name), func(b *testing.B) {
+				file, err := config.ParseString(analysisPlaneConfig(cfg, nodes, form.batched))
+				if err != nil {
+					b.Fatal(err)
+				}
+				env := modules.NewEnv()
+				reg := modules.NewRegistry(env)
+				reg.Register("feed", func() core.Module {
+					return &analysisFeed{nodes: nodes, dim: cfg.Dim}
+				})
+				eng, err := core.NewEngine(reg, file)
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtual := time.Unix(1_700_000_000, 0)
+				tick := 0
+				step := func() error {
+					tick++
+					return eng.Tick(virtual.Add(time.Duration(tick) * time.Second))
+				}
+				for i := 0; i < cfg.Window+2; i++ {
+					if err := step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

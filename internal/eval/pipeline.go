@@ -25,7 +25,9 @@ func BuildPipelineConfig(nodes []string, modelPath string, p AnalysisParams) str
 		fmt.Fprintf(&b, "[knn]\nid = onenn%d\nmodel_file = %s\ninput[in] = sadc%d.output0\n\n", i, modelPath, i)
 		fmt.Fprintf(&b, "[ibuffer]\nid = buf%d\nsize = 10\ninput[input] = onenn%d.output0\n\n", i, i)
 	}
-	fmt.Fprintf(&b, "[analysis_bb]\nid = bb\nthreshold = %g\nwindow = %d\nslide = %d\nstates = %d\n",
+	// retain_results = 0: the offline harness inspects the full verdict
+	// history; online deployments keep the bounded default.
+	fmt.Fprintf(&b, "[analysis_bb]\nid = bb\nretain_results = 0\nthreshold = %g\nwindow = %d\nslide = %d\nstates = %d\n",
 		p.BBThreshold, p.WindowSize, p.WindowSlide, p.NumStates)
 	for i := range nodes {
 		fmt.Fprintf(&b, "input[l%d] = @buf%d\n", i, i)
@@ -34,7 +36,7 @@ func BuildPipelineConfig(nodes []string, modelPath string, p AnalysisParams) str
 
 	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_tt\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n",
 		strings.Join(nodes, ","))
-	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nk = %g\nwindow = %d\nslide = %d\n",
+	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nretain_results = 0\nk = %g\nwindow = %d\nslide = %d\n",
 		p.WBK, p.WindowSize, p.WindowSlide)
 	for i := range nodes {
 		fmt.Fprintf(&b, "input[s%d] = hl_tt.%s\n", i, nodes[i])

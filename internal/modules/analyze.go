@@ -4,40 +4,132 @@ import (
 	"fmt"
 
 	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/config"
 	"github.com/asdf-project/asdf/internal/core"
 )
 
-// peerSync aligns per-node input streams: it holds one FIFO per input and
+// defaultRetainResults bounds how many window verdicts the analysis modules
+// keep for inspection when retain_results is not configured. The online
+// north-star is a process that runs for months: retaining every window
+// forever is a slow leak, so the default keeps a bounded tail and the
+// offline evaluation harness opts into unbounded retention explicitly.
+const defaultRetainResults = 64
+
+// retainResultsParam parses the shared retain_results parameter: the number
+// of most-recent window verdicts to keep (0 = unbounded, for the evaluation
+// harness; default defaultRetainResults).
+func retainResultsParam(cfg *config.Instance) (int, error) {
+	n, err := cfg.IntParam("retain_results", defaultRetainResults)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("retain_results must be non-negative (0 = unbounded)")
+	}
+	return n, nil
+}
+
+// appendResult appends res to results, trimming to the retain bound (0 =
+// unbounded). Trimming slides the window by copying within the backing
+// array, so the steady state allocates nothing.
+func appendResult(results []*analysis.WindowResult, res *analysis.WindowResult, retain int) []*analysis.WindowResult {
+	results = append(results, res)
+	if retain > 0 && len(results) > retain {
+		n := copy(results, results[len(results)-retain:])
+		// Zero the vacated tail so trimmed results are collectable.
+		for i := n; i < len(results); i++ {
+			results[i] = nil
+		}
+		results = results[:n]
+	}
+	return results
+}
+
+// sampleRing is a FIFO of samples backed by a reusable circular buffer. It
+// replaces the naive slice FIFO (q = q[1:]) the peer aligner used to keep:
+// re-slicing never releases the consumed backing-array prefix, so a
+// long-running analysis pinned every sample ever queued on a lagging input.
+// The ring reuses its buffer, zeroes each slot on pop (releasing the
+// Sample's Values immediately), and its capacity is bounded by the maximum
+// number of samples simultaneously outstanding — the inter-input skew — not
+// by the total ever queued.
+type sampleRing struct {
+	buf  []core.Sample
+	head int // index of the oldest sample
+	n    int // occupied slots
+}
+
+// push appends a sample, growing the buffer by doubling when full.
+func (r *sampleRing) push(s core.Sample) {
+	if r.n == len(r.buf) {
+		grown := make([]core.Sample, max(2*len(r.buf), 8))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = s
+	r.n++
+}
+
+// pop removes and returns the oldest sample, zeroing its slot so the
+// consumed Sample (and its Values) stop being reachable through the ring.
+func (r *sampleRing) pop() core.Sample {
+	s := r.buf[r.head]
+	r.buf[r.head] = core.Sample{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return s
+}
+
+func (r *sampleRing) len() int { return r.n }
+
+// capacity reports the backing buffer size (for bounded-memory tests).
+func (r *sampleRing) capacity() int { return len(r.buf) }
+
+// peerSync aligns per-node input streams: it holds one ring per input and
 // releases a row only when every input has a sample, which is what the
 // peer-comparison analyses require (one sample per node per time step).
+// The aligned row and the drain scratch are preallocated and reused, so a
+// steady-state drain/pop cycle performs no allocation.
 type peerSync struct {
-	queues [][]core.Sample
+	rings   []sampleRing
+	row     []core.Sample // reusable aligned row, overwritten by each pop
+	scratch []core.Sample // reusable ReadAppend drain buffer
 }
 
 func newPeerSync(n int) *peerSync {
-	return &peerSync{queues: make([][]core.Sample, n)}
-}
-
-// drain pulls everything pending from the ports into the FIFOs.
-func (ps *peerSync) drain(inputs []*core.InputPort) {
-	for i, in := range inputs {
-		ps.queues[i] = append(ps.queues[i], in.Read()...)
+	return &peerSync{
+		rings: make([]sampleRing, n),
+		row:   make([]core.Sample, n),
 	}
 }
 
-// pop returns one aligned row, or nil when some input has no data yet.
+// drain pulls everything pending from the ports into the rings.
+func (ps *peerSync) drain(inputs []*core.InputPort) {
+	for i, in := range inputs {
+		ps.scratch = in.ReadAppend(ps.scratch[:0])
+		for j, s := range ps.scratch {
+			ps.rings[i].push(s)
+			ps.scratch[j] = core.Sample{}
+		}
+	}
+}
+
+// pop returns one aligned row, or nil when some input has no data yet. The
+// returned slice is reused by the next pop: callers must finish with a row
+// (the analyses copy what they keep) before popping again.
 func (ps *peerSync) pop() []core.Sample {
-	for _, q := range ps.queues {
-		if len(q) == 0 {
+	for i := range ps.rings {
+		if ps.rings[i].len() == 0 {
 			return nil
 		}
 	}
-	row := make([]core.Sample, len(ps.queues))
-	for i := range ps.queues {
-		row[i] = ps.queues[i][0]
-		ps.queues[i] = ps.queues[i][1:]
+	for i := range ps.rings {
+		ps.row[i] = ps.rings[i].pop()
 	}
-	return row
+	return ps.row
 }
 
 // analysisBBModule is the black-box fingerpointer (§4.5). Each input is one
@@ -48,10 +140,12 @@ func (ps *peerSync) pop() []core.Sample {
 //
 // Parameters:
 //
-//	threshold = <L1 distance>  (required; the paper picks 60 after Fig 6a)
-//	window    = <samples>      (default 60)
-//	slide     = <samples>      (default window)
-//	states    = <count>        (number of trained centroids; default 8)
+//	threshold      = <L1 distance>  (required; the paper picks 60 after Fig 6a)
+//	window         = <samples>      (default 60)
+//	slide          = <samples>      (default window)
+//	states         = <count>        (number of trained centroids; default 8)
+//	retain_results = <count>        (window verdicts kept for inspection;
+//	                                 default 64, 0 = unbounded)
 //
 // Outputs: alarm0..alarmN-1, one per input, Sample values [flag, score].
 type analysisBBModule struct {
@@ -59,8 +153,14 @@ type analysisBBModule struct {
 	sync   *peerSync
 	outs   []*core.OutputPort
 	counts int
+	retain int
 
-	// Results retained for inspection by the evaluation harness.
+	// states is the reusable per-row decode buffer; BlackBox.Observe
+	// copies it into its window ring, so reuse across rows is safe.
+	states []int
+
+	// Results retained for inspection by the evaluation harness, bounded
+	// by retain (0 = unbounded).
 	results []*analysis.WindowResult
 }
 
@@ -85,6 +185,9 @@ func (m *analysisBBModule) Init(ctx *core.InitContext) error {
 	if err != nil {
 		return err
 	}
+	if m.retain, err = retainResultsParam(cfg); err != nil {
+		return fmt.Errorf("analysis_bb: %w", err)
+	}
 	inputs := ctx.Inputs()
 	if len(inputs) < 2 {
 		return fmt.Errorf("analysis_bb: peer comparison requires >= 2 inputs, got %d", len(inputs))
@@ -101,6 +204,7 @@ func (m *analysisBBModule) Init(ctx *core.InitContext) error {
 		return err
 	}
 	m.sync = newPeerSync(len(inputs))
+	m.states = make([]int, len(inputs))
 	for i, in := range inputs {
 		origin := in.Origin()
 		origin.Source = "analysis_bb"
@@ -121,16 +225,15 @@ func (m *analysisBBModule) Run(ctx *core.RunContext) error {
 		if row == nil {
 			return nil
 		}
-		states := make([]int, len(row))
 		for i, s := range row {
-			states[i] = int(s.Scalar())
+			m.states[i] = int(s.Scalar())
 		}
-		res, err := m.bb.Observe(states)
+		res, err := m.bb.Observe(m.states)
 		if err != nil {
 			return fmt.Errorf("analysis_bb: %w", err)
 		}
 		if res != nil {
-			m.results = append(m.results, res)
+			m.results = appendResult(m.results, res, m.retain)
 			for i, out := range m.outs {
 				flag := 0.0
 				if res.Flagged[i] {
@@ -142,7 +245,8 @@ func (m *analysisBBModule) Run(ctx *core.RunContext) error {
 	}
 }
 
-// Results returns the window verdicts produced so far.
+// Results returns the retained window verdicts (the most recent
+// retain_results of them; everything when retain_results = 0).
 func (m *analysisBBModule) Results() []*analysis.WindowResult { return m.results }
 
 var _ core.Module = (*analysisBBModule)(nil)
@@ -154,16 +258,23 @@ var _ core.Module = (*analysisBBModule)(nil)
 //
 // Parameters:
 //
-//	k      = <factor>    (default 3, per Fig 6b)
-//	window = <samples>   (default 60)
-//	slide  = <samples>   (default window)
+//	k              = <factor>    (default 3, per Fig 6b)
+//	window         = <samples>   (default 60)
+//	slide          = <samples>   (default window)
+//	retain_results = <count>     (window verdicts kept for inspection;
+//	                              default 64, 0 = unbounded)
 //
 // Outputs: alarm0..alarmN-1, one per input, Sample values [flag, score].
 type analysisWBModule struct {
-	cfg  analysis.WhiteBoxConfig
-	wb   *analysis.WhiteBox
-	sync *peerSync
-	outs []*core.OutputPort
+	cfg    analysis.WhiteBoxConfig
+	wb     *analysis.WhiteBox
+	sync   *peerSync
+	outs   []*core.OutputPort
+	retain int
+
+	// vectors is the reusable per-row view buffer; WhiteBox.Observe copies
+	// the vectors into its window ring, so reuse across rows is safe.
+	vectors [][]float64
 
 	results []*analysis.WindowResult
 }
@@ -182,6 +293,9 @@ func (m *analysisWBModule) Init(ctx *core.InitContext) error {
 	if err != nil {
 		return err
 	}
+	if m.retain, err = retainResultsParam(cfg); err != nil {
+		return fmt.Errorf("analysis_wb: %w", err)
+	}
 	inputs := ctx.Inputs()
 	if len(inputs) < 2 {
 		return fmt.Errorf("analysis_wb: peer comparison requires >= 2 inputs, got %d", len(inputs))
@@ -193,6 +307,7 @@ func (m *analysisWBModule) Init(ctx *core.InitContext) error {
 		K:           k,
 	}
 	m.sync = newPeerSync(len(inputs))
+	m.vectors = make([][]float64, len(inputs))
 	for i, in := range inputs {
 		origin := in.Origin()
 		origin.Source = "analysis_wb"
@@ -222,16 +337,15 @@ func (m *analysisWBModule) Run(ctx *core.RunContext) error {
 			}
 			m.wb = wb
 		}
-		vectors := make([][]float64, len(row))
 		for i, s := range row {
-			vectors[i] = s.Values
+			m.vectors[i] = s.Values
 		}
-		res, err := m.wb.Observe(vectors)
+		res, err := m.wb.Observe(m.vectors)
 		if err != nil {
 			return fmt.Errorf("analysis_wb: %w", err)
 		}
 		if res != nil {
-			m.results = append(m.results, res)
+			m.results = appendResult(m.results, res, m.retain)
 			for i, out := range m.outs {
 				flag := 0.0
 				if res.Flagged[i] {
@@ -243,7 +357,8 @@ func (m *analysisWBModule) Run(ctx *core.RunContext) error {
 	}
 }
 
-// Results returns the window verdicts produced so far.
+// Results returns the retained window verdicts (the most recent
+// retain_results of them; everything when retain_results = 0).
 func (m *analysisWBModule) Results() []*analysis.WindowResult { return m.results }
 
 var _ core.Module = (*analysisWBModule)(nil)

@@ -1,0 +1,200 @@
+package modules
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/hadoopsim"
+)
+
+func ringSample(v float64) core.Sample {
+	return core.Sample{Time: time.Unix(int64(v), 0), Values: []float64{v}}
+}
+
+func TestSampleRingFIFOAcrossWrap(t *testing.T) {
+	var r sampleRing
+	next, popped := 0.0, 0.0
+	// Repeated push/pop bursts force the head to wrap the backing buffer
+	// many times; order must stay FIFO throughout.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			r.push(ringSample(next))
+			next++
+		}
+		for r.len() > 2 {
+			s := r.pop()
+			if s.Scalar() != popped {
+				t.Fatalf("round %d: popped %v, want %v", round, s.Scalar(), popped)
+			}
+			popped++
+		}
+	}
+	for r.len() > 0 {
+		if s := r.pop(); s.Scalar() != popped {
+			t.Fatalf("drain: popped %v, want %v", s.Scalar(), popped)
+		} else {
+			popped++
+		}
+	}
+	if popped != next {
+		t.Fatalf("popped %v samples, pushed %v", popped, next)
+	}
+}
+
+// TestSampleRingReleasesConsumedSamples is the head-retention regression:
+// the old slice FIFO (q = q[1:]) kept every consumed sample reachable
+// through the backing array. The ring must zero each slot on pop so the
+// consumed Sample's Values can be collected immediately.
+func TestSampleRingReleasesConsumedSamples(t *testing.T) {
+	var r sampleRing
+	for i := 0; i < 100; i++ {
+		r.push(ringSample(float64(i)))
+	}
+	for r.len() > 0 {
+		r.pop()
+	}
+	for i, s := range r.buf {
+		if s.Values != nil || !s.Time.IsZero() {
+			t.Fatalf("slot %d still holds a consumed sample: %+v", i, s)
+		}
+	}
+}
+
+// TestPeerSyncBoundedUnderSkew asserts the regression the ring rework
+// fixes: under sustained skew — one input lagging its peers by a bounded
+// number of samples — the aligner's memory must be bounded by the skew, not
+// grow with the total number of samples ever queued.
+func TestPeerSyncBoundedUnderSkew(t *testing.T) {
+	const skew = 10
+	const rounds = 5000
+	ps := newPeerSync(2)
+	fed, aligned := 0, 0
+	for round := 0; round < rounds; round++ {
+		// Input 0 delivers every round; input 1 delivers a burst of skew
+		// samples every skew rounds (a lagging shard catching up).
+		ps.rings[0].push(ringSample(float64(fed)))
+		if round%skew == skew-1 {
+			for i := 0; i < skew; i++ {
+				ps.rings[1].push(ringSample(float64(fed - skew + 1 + i)))
+			}
+		}
+		fed++
+		for {
+			row := ps.pop()
+			if row == nil {
+				break
+			}
+			if got, want := row[0].Scalar(), float64(aligned); got != want {
+				t.Fatalf("row %d misaligned: input0 sample %v", aligned, got)
+			}
+			if row[0].Scalar() != row[1].Scalar() {
+				t.Fatalf("row %d misaligned across inputs: %v vs %v", aligned, row[0].Scalar(), row[1].Scalar())
+			}
+			aligned++
+		}
+	}
+	if aligned != rounds {
+		t.Fatalf("aligned %d rows, want %d", aligned, rounds)
+	}
+	// Capacity is the high-water mark rounded up by doubling: a handful of
+	// times the skew, never proportional to the rounds*samples total.
+	for i := range ps.rings {
+		if c := ps.rings[i].capacity(); c > 4*skew {
+			t.Fatalf("ring %d capacity %d after %d rounds; want bounded by the %d-sample skew",
+				i, c, rounds, skew)
+		}
+	}
+}
+
+// TestPeerSyncRowReuse documents the pop contract: the returned row is a
+// reusable buffer, valid only until the next pop.
+func TestPeerSyncRowReuse(t *testing.T) {
+	ps := newPeerSync(2)
+	ps.rings[0].push(ringSample(1))
+	ps.rings[1].push(ringSample(1))
+	first := ps.pop()
+	ps.rings[0].push(ringSample(2))
+	ps.rings[1].push(ringSample(2))
+	second := ps.pop()
+	if &first[0] != &second[0] {
+		t.Fatal("pop allocated a fresh row; want the reused aligner buffer")
+	}
+}
+
+func TestAppendResultBounds(t *testing.T) {
+	mk := func(i int) *analysis.WindowResult { return &analysis.WindowResult{EndIndex: i} }
+	var bounded []*analysis.WindowResult
+	for i := 0; i < 10; i++ {
+		bounded = appendResult(bounded, mk(i), 4)
+	}
+	if len(bounded) != 4 {
+		t.Fatalf("bounded retention kept %d results, want 4", len(bounded))
+	}
+	for j, r := range bounded {
+		if want := 6 + j; r.EndIndex != want {
+			t.Fatalf("bounded[%d].EndIndex = %d, want %d (most recent tail)", j, r.EndIndex, want)
+		}
+	}
+	var unbounded []*analysis.WindowResult
+	for i := 0; i < 10; i++ {
+		unbounded = appendResult(unbounded, mk(i), 0)
+	}
+	if len(unbounded) != 10 {
+		t.Fatalf("unbounded retention kept %d results, want 10", len(unbounded))
+	}
+}
+
+// TestAnalysisRetainResultsBoundsMemory runs a real analysis_bb pipeline
+// long enough to produce well over the retention bound and checks that the
+// default keeps only the bounded tail while retain_results = 0 keeps all.
+func TestAnalysisRetainResultsBoundsMemory(t *testing.T) {
+	build := func(retain string) string {
+		sigma, centroids := inlineKNNModel()
+		cfg := ""
+		for i := 0; i < 2; i++ {
+			cfg += fmt.Sprintf("[sadc]\nid = sadc%d\nnode = %%NODE%d%%\nperiod = 1\n\n", i, i)
+			cfg += fmt.Sprintf("[knn]\nid = k%d\nsigma = %s\ncentroids = %s\ninput[in] = sadc%d.output0\n\n",
+				i, sigma, centroids, i)
+		}
+		cfg += "[analysis_bb]\nid = bb\nthreshold = 0.5\nwindow = 4\nslide = 1\nstates = 2\n" + retain
+		cfg += "input[l0] = @k0\ninput[l1] = @k1\n"
+		return cfg
+	}
+	run := func(retain string) []*analysis.WindowResult {
+		c, err := hadoopsim.NewCluster(hadoopsim.DefaultConfig(2, 77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := simEnv(c)
+		cfgText := build(retain)
+		for i, n := range c.Slaves() {
+			cfgText = strings.ReplaceAll(cfgText, fmt.Sprintf("%%NODE%d%%", i), n.Name)
+		}
+		e := mustEngine(t, env, cfgText)
+		runSim(t, c, e, 120)
+		mod, ok := e.ModuleOf("bb")
+		if !ok {
+			t.Fatal("bb module missing")
+		}
+		return mod.(*analysisBBModule).Results()
+	}
+	bounded := run("")
+	if len(bounded) != defaultRetainResults {
+		t.Fatalf("default retention kept %d results, want %d", len(bounded), defaultRetainResults)
+	}
+	all := run("retain_results = 0\n")
+	if len(all) <= defaultRetainResults {
+		t.Fatalf("unbounded retention kept %d results, want > %d", len(all), defaultRetainResults)
+	}
+	// The bounded run must retain exactly the unbounded run's tail.
+	tail := all[len(all)-defaultRetainResults:]
+	for i := range bounded {
+		if bounded[i].EndIndex != tail[i].EndIndex {
+			t.Fatalf("bounded[%d].EndIndex = %d, want %d", i, bounded[i].EndIndex, tail[i].EndIndex)
+		}
+	}
+}

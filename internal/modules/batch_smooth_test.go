@@ -1,0 +1,149 @@
+package modules
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/stats"
+)
+
+// smoothFixture builds a steady-state batchSmoother: nodes sliding windows,
+// one fresh sample per node per tick, windows already full so every tick
+// emits on slide = 1.
+func smoothFixture(nodes, dim, window, slide, workers, block int) (*batchSmoother, [][]core.Sample) {
+	sm := newBatchSmoother(nodes, window, slide, workers, block)
+	pending := make([][]core.Sample, nodes)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := range pending {
+		vals := make([]float64, dim)
+		for d := range vals {
+			vals[d] = float64(i*dim + d)
+		}
+		pending[i] = []core.Sample{{Time: base, Values: vals}}
+	}
+	return sm, pending
+}
+
+// advance mutates each node's pending sample in place: a new tick's worth
+// of values without reallocating the fixture.
+func advance(pending [][]core.Sample, tick int) {
+	for i := range pending {
+		for d := range pending[i][0].Values {
+			pending[i][0].Values[d] = math.Sin(float64(tick*31+i*7+d))*10 + 50
+		}
+		pending[i][0].Time = pending[i][0].Time.Add(time.Second)
+	}
+}
+
+// TestBatchSmootherMatchesVectorWindow replays the same per-node streams
+// through the batched kernel and through plain per-node VectorWindows,
+// asserting bit-identical means and variances for every emission.
+func TestBatchSmootherMatchesVectorWindow(t *testing.T) {
+	const nodes, dim, window, slide = 7, 5, 6, 2
+	sm, pending := smoothFixture(nodes, dim, window, slide, 3, 2)
+	defer sm.pool.Close()
+
+	ref := make([]*stats.VectorWindow, nodes)
+	sinceEmit := make([]int, nodes)
+	refMean := make([]float64, dim)
+	refVar := make([]float64, dim)
+	scratch := make([]float64, dim)
+	for i := range ref {
+		ref[i] = stats.NewVectorWindow(window, dim)
+	}
+
+	for tick := 0; tick < 40; tick++ {
+		advance(pending, tick)
+		// Reference push first: smooth reads pending, the windows copy.
+		type emission struct{ mean, variance []float64 }
+		want := make([][]emission, nodes)
+		for i := range pending {
+			for _, s := range pending[i] {
+				if err := ref[i].Push(s.Values); err != nil {
+					t.Fatal(err)
+				}
+				sinceEmit[i]++
+				if ref[i].Full() && sinceEmit[i] >= slide {
+					sinceEmit[i] = 0
+					ref[i].MeanInto(refMean)
+					ref[i].VarianceInto(refVar, scratch)
+					want[i] = append(want[i], emission{
+						mean:     append([]float64(nil), refMean...),
+						variance: append([]float64(nil), refVar...),
+					})
+				}
+			}
+		}
+		if err := sm.smooth(pending); err != nil {
+			t.Fatal(err)
+		}
+		for i := range pending {
+			if sm.emitN[i] != len(want[i]) {
+				t.Fatalf("tick %d node %d: %d emissions, want %d", tick, i, sm.emitN[i], len(want[i]))
+			}
+			for e, w := range want[i] {
+				slot := sm.base[i] + e
+				for d := 0; d < dim; d++ {
+					gm := sm.emitMean[slot*dim+d]
+					gv := sm.emitVar[slot*dim+d]
+					if math.Float64bits(gm) != math.Float64bits(w.mean[d]) {
+						t.Fatalf("tick %d node %d emission %d mean[%d] = %v, want %v", tick, i, e, d, gm, w.mean[d])
+					}
+					if math.Float64bits(gv) != math.Float64bits(w.variance[d]) {
+						t.Fatalf("tick %d node %d emission %d var[%d] = %v, want %v", tick, i, e, d, gv, w.variance[d])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSmootherNoAllocs gates the steady-state zero-allocation
+// contract of the batched smoothing kernel.
+func TestBatchSmootherNoAllocs(t *testing.T) {
+	const nodes, dim, window = 256, 16, 10
+	sm, pending := smoothFixture(nodes, dim, window, 1, 4, 64)
+	defer sm.pool.Close()
+	// Warm up: fill every window and size every pooled buffer.
+	for tick := 0; tick < window+2; tick++ {
+		advance(pending, tick)
+		if err := sm.smooth(pending); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tick := window + 2
+	allocs := testing.AllocsPerRun(50, func() {
+		advance(pending, tick)
+		tick++
+		if err := sm.smooth(pending); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state smooth allocates %v times per tick, want 0", allocs)
+	}
+}
+
+// BenchmarkBatchSmooth measures the steady-state batched smoothing pass:
+// 256 nodes x 16 metrics, every window full, one emission per node per
+// tick. CI gates the 0 allocs/op on this benchmark.
+func BenchmarkBatchSmooth(b *testing.B) {
+	const nodes, dim, window = 256, 16, 10
+	sm, pending := smoothFixture(nodes, dim, window, 1, 4, 64)
+	defer sm.pool.Close()
+	for tick := 0; tick < window+2; tick++ {
+		advance(pending, tick)
+		if err := sm.smooth(pending); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sm.smooth(pending); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -151,7 +151,7 @@ func Register(reg *core.Registry, env *Env) {
 	reg.Register("hadoop_log", func() core.Module { return &hadoopLogModule{env: env} })
 	reg.Register("mavgvec", func() core.Module { return &mavgvecModule{} })
 	reg.Register("knn", func() core.Module { return &knnModule{} })
-	reg.Register("ibuffer", func() core.Module { return &ibufferModule{} })
+	reg.Register("ibuffer", func() core.Module { return &ibufferModule{env: env} })
 	reg.Register("analysis_bb", func() core.Module { return &analysisBBModule{} })
 	reg.Register("analysis_wb", func() core.Module { return &analysisWBModule{} })
 	reg.Register("print", func() core.Module { return &printModule{env: env} })

@@ -1,0 +1,169 @@
+package modules
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/asdf-project/asdf/internal/config"
+	"github.com/asdf-project/asdf/internal/core"
+	"github.com/asdf-project/asdf/internal/telemetry"
+)
+
+// burstSource publishes a fixed burst of samples per run — enough to
+// overflow a small ibuffer in a single delivery.
+type burstSource struct {
+	burst int
+	next  float64
+	out   *core.OutputPort
+}
+
+func (m *burstSource) Init(ctx *core.InitContext) error {
+	var err error
+	if m.out, err = ctx.NewOutput("output0", core.Origin{Source: "burst", Node: "n0"}); err != nil {
+		return err
+	}
+	return ctx.SchedulePeriodic(time.Second)
+}
+
+func (m *burstSource) Run(ctx *core.RunContext) error {
+	if ctx.Reason == core.RunFlush {
+		return nil
+	}
+	for i := 0; i < m.burst; i++ {
+		m.out.Publish(core.NewScalar(ctx.Now, m.next))
+		m.next++
+	}
+	return nil
+}
+
+// TestIbufferDropAccounting overflows an ibuffer and checks the three
+// operator surfaces against each other: the asdf_ibuffer_dropped_total
+// counter on /metrics, the IbufferStatus in the /status report, and the
+// module's own accounting must all agree.
+func TestIbufferDropAccounting(t *testing.T) {
+	const burst = 5
+	const size = 2
+	const ticks = 8
+
+	env := NewEnv()
+	env.Metrics = telemetry.NewRegistry()
+	cfg, err := config.ParseString(fmt.Sprintf(`
+[burst]
+id = src
+
+[ibuffer]
+id = buf
+size = %d
+input[input] = src.output0
+
+[print]
+id = p
+input[x] = buf.output0
+only_nonzero = false
+`, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(env)
+	reg.Register("burst", func() core.Module { return &burstSource{burst: burst} })
+	e, err := core.NewEngine(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < ticks; i++ {
+		if err := e.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Each tick delivers burst samples into a size-slot buffer: the oldest
+	// burst-size are dropped, the rest forwarded.
+	wantDropped := uint64(ticks * (burst - size))
+	wantForwarded := uint64(ticks * size)
+
+	rep := CollectStatus(e, start)
+	ib, ok := rep.Ibuffer["buf"]
+	if !ok {
+		t.Fatalf("status report has no ibuffer entry: %+v", rep.Ibuffer)
+	}
+	if ib.Size != size || ib.Dropped != wantDropped || ib.Forwarded != wantForwarded {
+		t.Errorf("IbufferStatus = %+v, want size=%d dropped=%d forwarded=%d",
+			ib, size, wantDropped, wantForwarded)
+	}
+
+	// The /metrics surface must agree with the /status surface.
+	var buf bytes.Buffer
+	if _, err := env.Metrics.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scraped, err := telemetry.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	series := `asdf_ibuffer_dropped_total{instance="buf"}`
+	got, ok := scraped[series]
+	if !ok {
+		t.Fatalf("series %s missing from scrape:\n%s", series, buf.String())
+	}
+	if got != float64(ib.Dropped) {
+		t.Errorf("scraped %s = %v, want %v (status snapshot)", series, got, ib.Dropped)
+	}
+}
+
+// TestIbufferNoDropsNoCounter checks the quiet path: a buffer that never
+// overflows reports zero drops on both surfaces.
+func TestIbufferNoDropsNoCounter(t *testing.T) {
+	env := NewEnv()
+	env.Metrics = telemetry.NewRegistry()
+	cfg, err := config.ParseString(`
+[burst]
+id = src
+
+[ibuffer]
+id = buf
+size = 10
+input[input] = src.output0
+
+[print]
+id = p
+input[x] = buf.output0
+only_nonzero = false
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(env)
+	reg.Register("burst", func() core.Module { return &burstSource{burst: 1} })
+	e, err := core.NewEngine(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		if err := e.Tick(start.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := CollectStatus(e, start)
+	ib, ok := rep.Ibuffer["buf"]
+	if !ok {
+		t.Fatal("ibuffer entry missing from healthy status report")
+	}
+	if ib.Dropped != 0 || ib.Forwarded != 5 {
+		t.Errorf("IbufferStatus = %+v, want dropped=0 forwarded=5", ib)
+	}
+	var buf bytes.Buffer
+	if _, err := env.Metrics.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scraped, err := telemetry.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scraped[`asdf_ibuffer_dropped_total{instance="buf"}`]; got != 0 {
+		t.Errorf("dropped counter = %v on a buffer that never overflowed", got)
+	}
+}

@@ -25,7 +25,7 @@ func buildPaperConfig(nodes []string, modelPath string, bbThreshold float64, k f
 		fmt.Fprintf(&b, "[knn]\nid = onenn%d\nmodel_file = %s\ninput[in] = sadc%d.output0\n\n", i, modelPath, i)
 		fmt.Fprintf(&b, "[ibuffer]\nid = buf%d\nsize = 10\ninput[input] = onenn%d.output0\n\n", i, i)
 	}
-	b.WriteString("[analysis_bb]\nid = bb\n")
+	b.WriteString("[analysis_bb]\nid = bb\nretain_results = 0\n")
 	fmt.Fprintf(&b, "threshold = %g\nwindow = %d\nslide = %d\nstates = %d\n", bbThreshold, window, window/4, states)
 	for i := range nodes {
 		fmt.Fprintf(&b, "input[l%d] = @buf%d\n", i, i)
@@ -33,7 +33,7 @@ func buildPaperConfig(nodes []string, modelPath string, bbThreshold float64, k f
 	b.WriteString("\n[print]\nid = BlackBoxAlarm\nlabel = BB\ninput[a] = @bb\n\n")
 
 	fmt.Fprintf(&b, "[hadoop_log]\nid = hl_tt\nkind = tasktracker\nnodes = %s\nperiod = 1\n\n", strings.Join(nodes, ","))
-	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nk = %g\nwindow = %d\nslide = %d\n", k, window, window/4)
+	fmt.Fprintf(&b, "[analysis_wb]\nid = wb\nretain_results = 0\nk = %g\nwindow = %d\nslide = %d\n", k, window, window/4)
 	for i := range nodes {
 		fmt.Fprintf(&b, "input[s%d] = hl_tt.%s\n", i, nodes[i])
 	}

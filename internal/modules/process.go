@@ -6,8 +6,10 @@ import (
 	"strings"
 
 	"github.com/asdf-project/asdf/internal/analysis"
+	"github.com/asdf-project/asdf/internal/config"
 	"github.com/asdf-project/asdf/internal/core"
 	"github.com/asdf-project/asdf/internal/stats"
+	"github.com/asdf-project/asdf/internal/telemetry"
 )
 
 // mavgvecModule computes the arithmetic mean and variance of a moving
@@ -18,6 +20,11 @@ import (
 //
 //	window = <samples>   (required)
 //	slide  = <samples>   (default 1: emit on every new sample once full)
+//	nodes  = <count>     (multi-node form: one instance smooths count input
+//	                      streams batched per tick; outputs mean0..N-1 and
+//	                      var0..N-1 instead of output0/output1)
+//	fanout = <int>       (multi-node: worker budget; default min(16, nodes))
+//	block  = <int>       (multi-node: nodes per worker block; default 64)
 type mavgvecModule struct {
 	window     *stats.VectorWindow
 	windowSize int
@@ -25,6 +32,10 @@ type mavgvecModule struct {
 	sinceEmit  int
 	meanOut    *core.OutputPort
 	varOut     *core.OutputPort
+
+	// multi is set in the multi-node (nodes =) form, which batches all
+	// nodes' smoothing into one flat-matrix pass per tick (batch.go).
+	multi *mavgvecBatch
 
 	// meanScratch is the reusable intermediate for the variance pass.
 	// Published mean/variance slices must stay freshly allocated: a
@@ -48,6 +59,14 @@ func (m *mavgvecModule) Init(ctx *core.InitContext) error {
 	if m.slide <= 0 {
 		return fmt.Errorf("mavgvec: slide must be positive")
 	}
+	nodes, workers, block, err := batchParams(cfg, "mavgvec")
+	if err != nil {
+		return err
+	}
+	if nodes > 0 {
+		m.multi = &mavgvecBatch{}
+		return m.multi.init(ctx, nodes, m.windowSize, m.slide, workers, block)
+	}
 	inputs := ctx.Inputs()
 	if len(inputs) != 1 {
 		return fmt.Errorf("mavgvec: want exactly 1 input, got %d", len(inputs))
@@ -64,6 +83,9 @@ func (m *mavgvecModule) Init(ctx *core.InitContext) error {
 }
 
 func (m *mavgvecModule) Run(ctx *core.RunContext) error {
+	if m.multi != nil {
+		return m.multi.run(ctx)
+	}
 	for _, s := range ctx.Inputs()[0].Read() {
 		if m.window == nil {
 			m.window = stats.NewVectorWindow(m.windowSize, len(s.Values))
@@ -95,49 +117,75 @@ var _ core.Module = (*mavgvecModule)(nil)
 //	model_file = <path>                 (JSON model from analysis.TrainModel)
 //	sigma      = s1,s2,...              (inline alternative to model_file)
 //	centroids  = c11,c12;c21,c22;...    (inline alternative)
+//	nodes      = <count>                (multi-node form: one instance
+//	                                     classifies count input streams as a
+//	                                     batched flat matrix per tick;
+//	                                     outputs output0..N-1)
+//	fanout     = <int>                  (multi-node: worker budget; default
+//	                                     min(16, nodes))
+//	block      = <int>                  (multi-node: nodes per worker block;
+//	                                     default 64)
 type knnModule struct {
 	model   *analysis.Model
 	out     *core.OutputPort
 	scratch []float64 // classify scratch: projection/scaling workspace
+
+	// multi is set in the multi-node (nodes =) form, which batches all
+	// nodes' classification into one flat-matrix pass per tick (batch.go).
+	multi *knnBatch
+}
+
+// parseKNNModel loads the instance's model from model_file or the inline
+// sigma/centroids parameters.
+func parseKNNModel(cfg *config.Instance) (*analysis.Model, error) {
+	if path := cfg.StringParam("model_file", ""); path != "" {
+		return analysis.LoadModel(path)
+	}
+	sigma, err := cfg.FloatListParam("sigma", nil)
+	if err != nil {
+		return nil, err
+	}
+	centStr, ok := cfg.Param("centroids")
+	if sigma == nil || !ok {
+		return nil, fmt.Errorf("knn: need model_file, or inline sigma and centroids")
+	}
+	var centroids [][]float64
+	for _, row := range strings.Split(centStr, ";") {
+		row = strings.TrimSpace(row)
+		if row == "" {
+			continue
+		}
+		var vec []float64
+		for _, f := range strings.Split(row, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("knn: centroids: %w", err)
+			}
+			vec = append(vec, v)
+		}
+		centroids = append(centroids, vec)
+	}
+	model := &analysis.Model{Sigma: sigma, Centroids: centroids}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return model, nil
 }
 
 func (m *knnModule) Init(ctx *core.InitContext) error {
 	cfg := ctx.Config()
-	if path := cfg.StringParam("model_file", ""); path != "" {
-		model, err := analysis.LoadModel(path)
-		if err != nil {
-			return err
-		}
-		m.model = model
-	} else {
-		sigma, err := cfg.FloatListParam("sigma", nil)
-		if err != nil {
-			return err
-		}
-		centStr, ok := cfg.Param("centroids")
-		if sigma == nil || !ok {
-			return fmt.Errorf("knn: need model_file, or inline sigma and centroids")
-		}
-		var centroids [][]float64
-		for _, row := range strings.Split(centStr, ";") {
-			row = strings.TrimSpace(row)
-			if row == "" {
-				continue
-			}
-			var vec []float64
-			for _, f := range strings.Split(row, ",") {
-				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-				if err != nil {
-					return fmt.Errorf("knn: centroids: %w", err)
-				}
-				vec = append(vec, v)
-			}
-			centroids = append(centroids, vec)
-		}
-		m.model = &analysis.Model{Sigma: sigma, Centroids: centroids}
-		if err := m.model.Validate(); err != nil {
-			return err
-		}
+	model, err := parseKNNModel(cfg)
+	if err != nil {
+		return err
+	}
+	m.model = model
+	nodes, workers, block, err := batchParams(cfg, "knn")
+	if err != nil {
+		return err
+	}
+	if nodes > 0 {
+		m.multi = &knnBatch{}
+		return m.multi.init(ctx, m.model, nodes, workers, block)
 	}
 	inputs := ctx.Inputs()
 	if len(inputs) != 1 {
@@ -146,12 +194,14 @@ func (m *knnModule) Init(ctx *core.InitContext) error {
 	origin := inputs[0].Origin()
 	origin.Source = "knn(" + origin.Source + ")"
 	origin.Metric = "state"
-	var err error
 	m.out, err = ctx.NewOutput("output0", origin)
 	return err
 }
 
 func (m *knnModule) Run(ctx *core.RunContext) error {
+	if m.multi != nil {
+		return m.multi.run(ctx)
+	}
 	for _, s := range ctx.Inputs()[0].Read() {
 		if need := m.model.ScratchLen(s.Values); len(m.scratch) < need {
 			m.scratch = make([]float64, need)
@@ -175,11 +225,20 @@ var _ core.Module = (*knnModule)(nil)
 // Parameters:
 //
 //	size = <samples>   (default 10, as in the paper's Figure 3)
+//
+// Overflow drops are operator-visible: the running count is exported as
+// asdf_ibuffer_dropped_total{instance=...} and as the IBUFFER section of
+// the status report — a buffer that drops is the first sign an analysis is
+// falling behind its collectors.
 type ibufferModule struct {
-	size    int
-	pending []core.Sample
-	dropped uint64
-	out     *core.OutputPort
+	env       *Env
+	size      int
+	pending   []core.Sample
+	dropped   uint64
+	forwarded uint64
+	out       *core.OutputPort
+
+	mDropped *telemetry.Counter
 }
 
 func (m *ibufferModule) Init(ctx *core.InitContext) error {
@@ -194,6 +253,10 @@ func (m *ibufferModule) Init(ctx *core.InitContext) error {
 	if len(inputs) != 1 {
 		return fmt.Errorf("ibuffer: want exactly 1 input, got %d", len(inputs))
 	}
+	if m.env != nil && m.env.Metrics != nil {
+		m.mDropped = m.env.Metrics.Counter("asdf_ibuffer_dropped_total",
+			"Samples dropped by ibuffer overflow.", telemetry.L("instance", ctx.ID()))
+	}
 	m.out, err = ctx.NewOutput("output0", inputs[0].Origin())
 	return err
 }
@@ -203,14 +266,24 @@ func (m *ibufferModule) Run(ctx *core.RunContext) error {
 		if len(m.pending) >= m.size {
 			m.pending = m.pending[1:]
 			m.dropped++
+			if m.mDropped != nil {
+				m.mDropped.Inc()
+			}
 		}
 		m.pending = append(m.pending, s)
 	}
 	for _, s := range m.pending {
 		m.out.Publish(s)
 	}
+	m.forwarded += uint64(len(m.pending))
 	m.pending = m.pending[:0]
 	return nil
 }
 
+// IbufferStatus reports the module's drop accounting (DropReporter).
+func (m *ibufferModule) IbufferStatus() IbufferStatus {
+	return IbufferStatus{Size: m.size, Dropped: m.dropped, Forwarded: m.forwarded}
+}
+
 var _ core.Module = (*ibufferModule)(nil)
+var _ DropReporter = (*ibufferModule)(nil)

@@ -128,6 +128,25 @@ type LeaderStatus struct {
 	LeaderOpenBreakers int    `json:"leader_open_breakers,omitempty"`
 }
 
+// DropReporter is implemented by rate-matching modules that drop samples on
+// overflow (ibuffer).
+type DropReporter interface {
+	// IbufferStatus reports the buffer size and drop accounting.
+	IbufferStatus() IbufferStatus
+}
+
+// IbufferStatus is one ibuffer instance's drop accounting: a non-zero
+// Dropped means the downstream analysis is not keeping up with its
+// collectors and samples are being discarded oldest-first.
+type IbufferStatus struct {
+	// Size is the configured buffer capacity in samples.
+	Size int `json:"size"`
+	// Dropped counts samples discarded on overflow since start.
+	Dropped uint64 `json:"dropped"`
+	// Forwarded counts samples passed downstream since start.
+	Forwarded uint64 `json:"forwarded"`
+}
+
 // SyncStatus is one instance's timestamp-sync degradation counters.
 type SyncStatus struct {
 	// Partial counts timestamps published without data from every node.
@@ -161,6 +180,9 @@ type StatusReport struct {
 	// Leaders maps instance id -> per-leader delegation accounting for
 	// every collection module delegating node ranges to shard leaders.
 	Leaders map[string][]LeaderStatus `json:"leaders,omitempty"`
+	// Ibuffer maps instance id -> drop accounting for every ibuffer
+	// instance.
+	Ibuffer map[string]IbufferStatus `json:"ibuffer,omitempty"`
 	// Restart is the crash-safe state layer's snapshot/restore accounting;
 	// absent when the control node runs without a -state-file.
 	Restart *state.RestartStatus `json:"restart,omitempty"`
@@ -214,6 +236,12 @@ func CollectStatus(v EngineView, now time.Time) StatusReport {
 				}
 				rep.Leaders[id] = lss
 			}
+		}
+		if dr, ok := mod.(DropReporter); ok {
+			if rep.Ibuffer == nil {
+				rep.Ibuffer = make(map[string]IbufferStatus)
+			}
+			rep.Ibuffer[id] = dr.IbufferStatus()
 		}
 		if sr, ok := mod.(SyncReporter); ok {
 			if rep.Sync == nil {

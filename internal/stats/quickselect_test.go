@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortMedian is the reference implementation: the documented sort-based
+// median that QuickMedianInPlace must reproduce bit for bit.
+func sortMedian(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return cp[mid-1]/2 + cp[mid]/2
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestQuickMedianTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"single", []float64{3.5}},
+		{"two", []float64{2, 1}},
+		{"odd", []float64{5, 1, 3}},
+		{"even", []float64{4, 1, 3, 2}},
+		{"all-equal", []float64{7, 7, 7, 7, 7}},
+		{"all-equal-even", []float64{7, 7, 7, 7}},
+		{"heavy-ties-odd", []float64{1, 2, 1, 2, 1, 2, 1}},
+		{"heavy-ties-even", []float64{0, 0, 1, 1, 0, 1, 0, 1}},
+		{"sorted", []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+		{"reversed", []float64{8, 7, 6, 5, 4, 3, 2, 1}},
+		{"negatives", []float64{-3, -1, -2, -10, 4}},
+		{"zeros", []float64{0, 0, 0, 0}},
+		{"extreme-magnitudes", []float64{math.MaxFloat64, math.MaxFloat64, -math.MaxFloat64, math.MaxFloat64}},
+		{"tiny", []float64{math.SmallestNonzeroFloat64, 0, math.SmallestNonzeroFloat64}},
+		{"state-histogram", []float64{12, 0, 48, 0, 0, 0, 0, 0, 12, 0, 48, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := sortMedian(tc.xs)
+			cp := append([]float64(nil), tc.xs...)
+			got, err := QuickMedianInPlace(cp)
+			if err != nil {
+				t.Fatalf("QuickMedianInPlace: %v", err)
+			}
+			if !sameBits(got, want) {
+				t.Fatalf("QuickMedianInPlace = %v (%x), sort median = %v (%x)",
+					got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		})
+	}
+}
+
+func TestQuickMedianEmpty(t *testing.T) {
+	if _, err := QuickMedianInPlace(nil); err != ErrEmpty {
+		t.Fatalf("empty input: err = %v, want ErrEmpty", err)
+	}
+}
+
+// TestQuickMedianProperty drives random widths and value distributions —
+// continuous draws (no ties) and small-integer draws (heavy ties, the
+// black-box state-histogram case) — and demands bit equality with both the
+// sort-based reference and MedianInPlace itself.
+func TestQuickMedianProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(257)
+		xs := make([]float64, n)
+		switch trial % 3 {
+		case 0: // continuous
+			for i := range xs {
+				xs[i] = rng.NormFloat64() * 1e3
+			}
+		case 1: // heavy ties: small integers, as in state histograms
+			for i := range xs {
+				xs[i] = float64(rng.Intn(5))
+			}
+		default: // mixed magnitudes
+			for i := range xs {
+				xs[i] = math.Ldexp(rng.Float64()-0.5, rng.Intn(120)-60)
+			}
+		}
+		want := sortMedian(xs)
+
+		quick := append([]float64(nil), xs...)
+		got, err := QuickMedianInPlace(quick)
+		if err != nil {
+			t.Fatalf("trial %d: QuickMedianInPlace: %v", trial, err)
+		}
+		if !sameBits(got, want) {
+			t.Fatalf("trial %d (n=%d): quick = %v (%x), sort = %v (%x)\ninput: %v",
+				trial, n, got, math.Float64bits(got), want, math.Float64bits(want), xs)
+		}
+
+		slow := append([]float64(nil), xs...)
+		ref, err := MedianInPlace(slow)
+		if err != nil {
+			t.Fatalf("trial %d: MedianInPlace: %v", trial, err)
+		}
+		if !sameBits(got, ref) {
+			t.Fatalf("trial %d: quick = %v, MedianInPlace = %v", trial, got, ref)
+		}
+	}
+}
+
+// TestSelectKthProperty checks every order statistic, not just the median:
+// selectKth(xs, k) must equal sorted(xs)[k] for all k.
+func TestSelectKthProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			if trial%2 == 0 {
+				xs[i] = rng.NormFloat64()
+			} else {
+				xs[i] = float64(rng.Intn(4))
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for k := 0; k < n; k++ {
+			cp := append([]float64(nil), xs...)
+			got := selectKth(cp, k)
+			if !sameBits(got, sorted[k]) {
+				t.Fatalf("trial %d: selectKth(k=%d) = %v, sorted[%d] = %v\ninput: %v",
+					trial, k, got, k, sorted[k], xs)
+			}
+			// Partial-order invariant QuickMedianInPlace's even case relies
+			// on: everything left of k is <= xs[k], everything right is >=.
+			for i := 0; i < k; i++ {
+				if cp[i] > cp[k] {
+					t.Fatalf("trial %d: cp[%d]=%v > cp[k=%d]=%v after selectKth", trial, i, cp[i], k, cp[k])
+				}
+			}
+			for i := k + 1; i < n; i++ {
+				if cp[i] < cp[k] {
+					t.Fatalf("trial %d: cp[%d]=%v < cp[k=%d]=%v after selectKth", trial, i, cp[i], k, cp[k])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickMedianNoAllocs gates the whole point of the quickselect path:
+// zero allocations at peer-comparison column widths.
+func TestQuickMedianNoAllocs(t *testing.T) {
+	xs := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(3))
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range xs {
+			xs[i] = float64(rng.Intn(8))
+		}
+		if _, err := QuickMedianInPlace(xs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("QuickMedianInPlace allocates %v per run, want 0", allocs)
+	}
+}
+
+// FuzzQuickMedianMatchesSort decodes the fuzz payload as a float64 column
+// (NaN-free by construction: NaN bit patterns are skipped) and requires the
+// quickselect median to match the sort-based median bit for bit.
+func FuzzQuickMedianMatchesSort(f *testing.F) {
+	f.Add([]byte{})
+	seed := []float64{1, 1, 2, 3, 5, 8, 13, -21}
+	buf := make([]byte, 8*len(seed))
+	for i, v := range seed {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	f.Add(buf)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var xs []float64
+		for i := 0; i+8 <= len(data) && len(xs) < 512; i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[i:]))
+			if math.IsNaN(v) {
+				continue
+			}
+			if v == 0 {
+				// Canonicalize -0: the ordering of equal-comparing ±0 keys
+				// is unspecified for any sorting/selection algorithm, so
+				// bit-equality is only well-defined on ±0-canonical input.
+				v = 0
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return
+		}
+		want := sortMedian(xs)
+		got, err := QuickMedianInPlace(append([]float64(nil), xs...))
+		if err != nil {
+			t.Fatalf("QuickMedianInPlace: %v", err)
+		}
+		if !sameBits(got, want) {
+			t.Fatalf("quick = %v (%x), sort = %v (%x)\ninput: %v",
+				got, math.Float64bits(got), want, math.Float64bits(want), xs)
+		}
+	})
+}
+
+func BenchmarkMedianColumn(b *testing.B) {
+	for _, mode := range []string{"sort", "quickselect"} {
+		b.Run("mode="+mode+"/n=1024", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			src := make([]float64, 1024)
+			for i := range src {
+				src[i] = float64(rng.Intn(8))
+			}
+			col := make([]float64, len(src))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(col, src)
+				var err error
+				if mode == "sort" {
+					_, err = MedianInPlace(col)
+				} else {
+					_, err = QuickMedianInPlace(col)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

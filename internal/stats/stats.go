@@ -123,6 +123,84 @@ func MedianInPlace(xs []float64) (float64, error) {
 	return xs[mid-1]/2 + xs[mid]/2, nil
 }
 
+// QuickMedianInPlace computes the median of xs by quickselect, permuting xs
+// as a side effect. It returns bit-for-bit the value MedianInPlace would
+// (for NaN-free input): the k-th order statistic of a multiset does not
+// depend on how it is found, and the even-length case averages the same two
+// order statistics with the same overflow-avoiding halves-first formula.
+// Unlike the sort-based path it runs in O(n) expected time and never
+// allocates, which is what the peer-comparison analyses need at 1024-node
+// column widths.
+func QuickMedianInPlace(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	mid := len(xs) / 2
+	hi := selectKth(xs, mid)
+	if len(xs)%2 == 1 {
+		return hi, nil
+	}
+	// selectKth leaves every element of xs[:mid] <= xs[mid], so the
+	// (mid-1)-th order statistic is simply the max of that prefix.
+	lo := xs[0]
+	for _, v := range xs[1:mid] {
+		if v > lo {
+			lo = v
+		}
+	}
+	// Averaging halves first avoids overflow for extreme magnitudes.
+	return lo/2 + hi/2, nil
+}
+
+// selectKth partially sorts xs so that xs[k] holds the k-th smallest
+// element, everything before it is <= xs[k], and everything after is >=
+// xs[k]. It uses iterative quickselect with a median-of-three pivot and a
+// three-way (Dutch national flag) partition, so heavily tied columns — the
+// common case for black-box state indexes — collapse in one pass instead of
+// degrading quadratically. No allocation.
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot: order xs[lo] <= xs[mid] <= xs[hi].
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		// Three-way partition of xs[lo..hi] around pivot:
+		// xs[lo:lt] < pivot, xs[lt:gt+1] == pivot, xs[gt+1:hi+1] > pivot.
+		lt, i, gt := lo, lo, hi
+		for i <= gt {
+			switch {
+			case xs[i] < pivot:
+				xs[lt], xs[i] = xs[i], xs[lt]
+				lt++
+				i++
+			case xs[i] > pivot:
+				xs[i], xs[gt] = xs[gt], xs[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case k < lt:
+			hi = lt - 1
+		case k > gt:
+			lo = gt + 1
+		default:
+			return xs[k]
+		}
+	}
+	return xs[lo]
+}
+
 // MedianVector computes the component-wise median across a set of
 // equal-length vectors, as used by the peer-comparison analyses.
 func MedianVector(vs [][]float64) ([]float64, error) {
@@ -159,7 +237,9 @@ func MedianVectorInto(dst, col []float64, vs [][]float64) error {
 		for i, v := range vs {
 			col[i] = v[d]
 		}
-		m, err := MedianInPlace(col)
+		// Quickselect instead of a full sort: O(len(vs)) per component
+		// instead of O(len(vs) log len(vs)), bit-identical result.
+		m, err := QuickMedianInPlace(col)
 		if err != nil {
 			return err
 		}
